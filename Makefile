@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short bench tables fuzz vet fmt examples
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table of the paper's evaluation (see EXPERIMENTS.md).
+tables:
+	$(GO) run ./cmd/stint-tables -reps 3 all
+
+# Short fuzz sessions over the three fuzz targets.
+fuzz:
+	$(GO) test -fuzz=FuzzTreeAgainstOracle -fuzztime=30s ./internal/core
+	$(GO) test -fuzz=FuzzSetRangeFlush -fuzztime=30s ./internal/coalesce
+	$(GO) test -fuzz=FuzzReplay -fuzztime=30s ./trace
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/matmul
+	$(GO) run ./examples/sortcheck
+	$(GO) run ./examples/parallel
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/futures

@@ -1,0 +1,216 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark family per
+// table/figure. Workload sizes here are reduced from the cmd/stint-tables
+// defaults so the full -bench=. sweep completes in minutes; use
+// cmd/stint-tables for the table-formatted output and EXPERIMENTS.md for
+// the recorded paper-vs-measured comparison.
+package stint_test
+
+import (
+	"fmt"
+	"testing"
+
+	"stint"
+	"stint/workloads"
+)
+
+// benchFactories are mid-size instances of every paper benchmark.
+func benchFactories() []struct {
+	name string
+	f    workloads.Factory
+} {
+	return []struct {
+		name string
+		f    workloads.Factory
+	}{
+		{"chol", func() workloads.Workload { return workloads.NewChol(96, 16) }},
+		{"fft", func() workloads.Workload { return workloads.NewFFT(4096, 64) }},
+		{"heat", func() workloads.Workload { return workloads.NewHeat(64, 64, 8, 4) }},
+		{"mmul", func() workloads.Workload { return workloads.NewMMul(64, 16) }},
+		{"sort", func() workloads.Workload { return workloads.NewSort(30000, 512) }},
+		{"stra", func() workloads.Workload { return workloads.NewStrassen(64, 16, false) }},
+		{"straz", func() workloads.Workload { return workloads.NewStrassen(64, 16, true) }},
+	}
+}
+
+// runDetection executes fresh instances under one detector, timing only the
+// instrumented run (setup and verification are excluded).
+func runDetection(b *testing.B, f workloads.Factory, mode stint.Detector, timeAH bool) *stint.Report {
+	b.Helper()
+	var last *stint.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := f()
+		r, err := stint.NewRunner(stint.Options{Detector: mode, TimeAccessHistory: timeAH})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Setup(r)
+		b.StartTimer()
+		rep, err := r.Run(w.Run)
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Racy() {
+			b.Fatalf("%s under %v reported %d races", w.Name(), mode, rep.RaceCount)
+		}
+		if err := w.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+		b.StartTimer()
+	}
+	b.StopTimer()
+	return last
+}
+
+// BenchmarkFig1 measures the vanilla detector's component breakdown:
+// baseline execution, reachability maintenance only, and full detection.
+func BenchmarkFig1(b *testing.B) {
+	modes := []stint.Detector{stint.DetectorOff, stint.DetectorReachOnly, stint.DetectorVanilla}
+	for _, wl := range benchFactories() {
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("%s/%v", wl.name, mode), func(b *testing.B) {
+				rep := runDetection(b, wl.f, mode, false)
+				if mode == stint.DetectorVanilla {
+					b.ReportMetric(float64(rep.Stats.ReadAccesses), "reads")
+					b.ReportMetric(float64(rep.Stats.WriteAccesses), "writes")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig5 measures the four detector versions of the paper's main
+// result table.
+func BenchmarkFig5(b *testing.B) {
+	modes := []stint.Detector{
+		stint.DetectorVanilla, stint.DetectorCompiler,
+		stint.DetectorCompRTS, stint.DetectorSTINT,
+	}
+	for _, wl := range benchFactories() {
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("%s/%v", wl.name, mode), func(b *testing.B) {
+				runDetection(b, wl.f, mode, false)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6 reports the access and interval statistics behind Figure 6
+// as benchmark metrics (counts, not timings).
+func BenchmarkFig6(b *testing.B) {
+	for _, wl := range benchFactories() {
+		b.Run(wl.name, func(b *testing.B) {
+			rep := runDetection(b, wl.f, stint.DetectorSTINT, false)
+			st := rep.Stats
+			b.ReportMetric(float64(st.ReadAccesses+st.WriteAccesses), "accesses")
+			b.ReportMetric(float64(st.ReadIntervals+st.WriteIntervals), "intervals")
+			if ivs := st.ReadIntervals + st.WriteIntervals; ivs > 0 {
+				b.ReportMetric(float64(st.ReadIntervalBytes+st.WriteIntervalBytes)/float64(ivs), "B/interval")
+			}
+		})
+	}
+}
+
+// BenchmarkFig7 measures access-history update time: the comp+rts hashmap
+// vs the STINT treap, reported as ah-ns/op alongside total time.
+func BenchmarkFig7(b *testing.B) {
+	for _, wl := range benchFactories() {
+		for _, mode := range []stint.Detector{stint.DetectorCompRTS, stint.DetectorSTINT} {
+			b.Run(fmt.Sprintf("%s/%v", wl.name, mode), func(b *testing.B) {
+				rep := runDetection(b, wl.f, mode, true)
+				b.ReportMetric(float64(rep.Stats.AccessHistoryTime.Nanoseconds()), "ah-ns")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 sweeps input sizes for fft, mmul, and sort under comp+rts
+// and STINT, reporting the treap traversal detail of the paper's Figure 8.
+func BenchmarkFig8(b *testing.B) {
+	sweeps := []struct {
+		name string
+		fs   []workloads.Factory
+	}{
+		{"fft", []workloads.Factory{
+			func() workloads.Workload { return workloads.NewFFT(2048, 64) },
+			func() workloads.Workload { return workloads.NewFFT(4096, 64) },
+			func() workloads.Workload { return workloads.NewFFT(8192, 64) },
+		}},
+		{"mmul", []workloads.Factory{
+			func() workloads.Workload { return workloads.NewMMul(48, 16) },
+			func() workloads.Workload { return workloads.NewMMul(64, 16) },
+			func() workloads.Workload { return workloads.NewMMul(96, 16) },
+		}},
+		{"sort", []workloads.Factory{
+			func() workloads.Workload { return workloads.NewSort(15000, 512) },
+			func() workloads.Workload { return workloads.NewSort(30000, 512) },
+			func() workloads.Workload { return workloads.NewSort(60000, 512) },
+		}},
+	}
+	for _, sweep := range sweeps {
+		for i, f := range sweep.fs {
+			for _, mode := range []stint.Detector{stint.DetectorCompRTS, stint.DetectorSTINT} {
+				b.Run(fmt.Sprintf("%s/size%d/%v", sweep.name, i, mode), func(b *testing.B) {
+					rep := runDetection(b, f, mode, true)
+					st := rep.Stats
+					b.ReportMetric(float64(st.AccessHistoryTime.Nanoseconds()), "ah-ns")
+					if mode == stint.DetectorSTINT && st.TreapOps > 0 {
+						b.ReportMetric(float64(st.TreapOps), "treap-ops")
+						b.ReportMetric(float64(st.TreapNodesVisited)/float64(st.TreapOps), "nodes/treap-op")
+						b.ReportMetric(float64(st.TreapOverlaps)/float64(st.TreapOps), "overlaps/treap-op")
+					}
+					if mode == stint.DetectorCompRTS {
+						b.ReportMetric(float64(st.HashOps), "hash-ops")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationStores compares the treap against the plain-BST and
+// redundant-interval-skiplist access histories on two contrasting
+// workloads: sort (treap-friendly, large intervals) and fft (treap-hostile,
+// many small intervals).
+func BenchmarkAblationStores(b *testing.B) {
+	wls := []struct {
+		name string
+		f    workloads.Factory
+	}{
+		{"sort", func() workloads.Workload { return workloads.NewSort(30000, 512) }},
+		{"fft", func() workloads.Workload { return workloads.NewFFT(4096, 64) }},
+	}
+	modes := []stint.Detector{
+		stint.DetectorSTINT, stint.DetectorSTINTUnbalanced, stint.DetectorSTINTSkiplist,
+	}
+	for _, wl := range wls {
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("%s/%v", wl.name, mode), func(b *testing.B) {
+				rep := runDetection(b, wl.f, mode, false)
+				b.ReportMetric(float64(rep.Stats.AccessHistoryBytes), "hist-bytes")
+			})
+		}
+	}
+}
+
+// BenchmarkHookOverhead isolates the per-access instrumentation cost that
+// every detector configuration pays: a word hook into the bit hashmap.
+func BenchmarkHookOverhead(b *testing.B) {
+	r, err := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := r.Arena().AllocWords("data", 1<<16)
+	if _, err := r.Run(func(t *stint.Task) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Load(buf, i&(1<<16-1))
+		}
+		b.StopTimer()
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

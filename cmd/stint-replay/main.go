@@ -1,0 +1,75 @@
+// Command stint-replay analyzes a recorded execution trace under a chosen
+// detector configuration, without re-running the program.
+//
+// Record a trace with `stint -workload X -trace-out FILE` (or the
+// stint/trace package), then:
+//
+//	stint-replay -detector stint trace.bin
+//	stint-replay -detector vanilla -races 20 trace.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stint"
+	"stint/trace"
+)
+
+func main() {
+	var (
+		detector = flag.String("detector", "stint", "detector mode for the replay")
+		races    = flag.Int("races", 10, "max races to print")
+		timing   = flag.Bool("timing", false, "measure access-history time separately")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: stint-replay [flags] TRACEFILE")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *detector, *races, *timing); err != nil {
+		fmt.Fprintln(os.Stderr, "stint-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, detector string, maxRaces int, timing bool) error {
+	mode, err := stint.ParseDetector(detector)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	start := time.Now()
+	rep, err := trace.Replay(f, trace.Options{
+		Detector:          mode,
+		MaxRacesRecorded:  maxRaces,
+		TimeAccessHistory: timing,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %s under %v in %v\n", path, mode, time.Since(start).Round(time.Microsecond))
+	fmt.Printf("strands    %d\n", rep.Strands)
+	fmt.Printf("accesses   read %d  write %d\n", rep.Stats.ReadAccesses, rep.Stats.WriteAccesses)
+	if rep.Stats.ReadIntervals+rep.Stats.WriteIntervals > 0 {
+		fmt.Printf("intervals  read %d  write %d\n", rep.Stats.ReadIntervals, rep.Stats.WriteIntervals)
+	}
+	if timing {
+		fmt.Printf("access-history time %v\n", rep.Stats.AccessHistoryTime.Round(time.Microsecond))
+	}
+	if rep.Racy() {
+		fmt.Printf("RACES: %d found\n", rep.RaceCount)
+		for _, rc := range rep.Races {
+			fmt.Printf("  %v\n", rc)
+		}
+	} else {
+		fmt.Println("no races found")
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+// Command stint runs one benchmark under one race-detector configuration
+// and prints the timing, access statistics, and any races found.
+//
+// Usage:
+//
+//	stint -workload mmul -detector stint [-scale 2] [-races 10] [-timing]
+//
+// Detectors: off, reach, vanilla, compiler, comp+rts, stint,
+// stint-unbalanced, stint-skiplist.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"stint"
+	"stint/trace"
+	"stint/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "mmul", "benchmark: "+strings.Join(workloads.Names(), ", "))
+		detector = flag.String("detector", "stint", "detector mode (off, reach, vanilla, compiler, comp+rts, stint, stint-unbalanced, stint-skiplist)")
+		scale    = flag.Int("scale", 1, "problem-size multiplier")
+		races    = flag.Int("races", 10, "max races to print")
+		timing   = flag.Bool("timing", false, "measure access-history time separately")
+		traceOut = flag.String("trace-out", "", "record the execution to this trace file (replay with stint-replay)")
+	)
+	flag.Parse()
+	if err := run(*workload, *detector, *scale, *races, *timing, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "stint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, detector string, scale, maxRaces int, timing bool, traceOut string) error {
+	factory, err := workloads.ByName(workload, scale)
+	if err != nil {
+		return err
+	}
+	if detector == "all" {
+		return runAll(factory, timing)
+	}
+	mode, err := stint.ParseDetector(detector)
+	if err != nil {
+		return err
+	}
+	w := factory()
+	opts := stint.Options{
+		Detector:          mode,
+		MaxRacesRecorded:  maxRaces,
+		TimeAccessHistory: timing,
+	}
+	var rec *trace.Recorder
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec = trace.NewRecorder(f)
+		opts.Tracer = rec
+	}
+	r, err := stint.NewRunner(opts)
+	if err != nil {
+		return err
+	}
+	setupStart := time.Now()
+	w.Setup(r)
+	fmt.Printf("%s (%s) under %v  [setup %v]\n", w.Name(), w.Params(), mode, time.Since(setupStart).Round(time.Millisecond))
+
+	rep, err := r.Run(w.Run)
+	if err != nil {
+		return err
+	}
+	if err := w.Verify(); err != nil {
+		return fmt.Errorf("result verification failed: %w", err)
+	}
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Printf("trace written to %s\n", traceOut)
+	}
+	fmt.Printf("time       %v (result verified)\n", rep.WallTime.Round(time.Microsecond))
+	if mode == stint.DetectorOff {
+		return nil
+	}
+	st := rep.Stats
+	fmt.Printf("strands    %d\n", rep.Strands)
+	fmt.Printf("accesses   read %d  write %d (4-byte words)\n", st.ReadAccesses, st.WriteAccesses)
+	fmt.Printf("hook calls read %d  write %d\n", st.ReadHookCalls, st.WriteHookCalls)
+	if st.ReadIntervals+st.WriteIntervals > 0 {
+		fmt.Printf("intervals  read %d (%.1f B avg)  write %d (%.1f B avg)\n",
+			st.ReadIntervals, avg(st.ReadIntervalBytes, st.ReadIntervals),
+			st.WriteIntervals, avg(st.WriteIntervalBytes, st.WriteIntervals))
+	}
+	if st.HashOps > 0 {
+		fmt.Printf("hash ops   %d\n", st.HashOps)
+	}
+	if st.TreapOps > 0 {
+		fmt.Printf("treap ops  %d  (%.2f nodes, %.2f overlaps per op)\n", st.TreapOps,
+			avg(st.TreapNodesVisited, st.TreapOps), avg(st.TreapOverlaps, st.TreapOps))
+	}
+	if timing {
+		fmt.Printf("access-history time %v\n", st.AccessHistoryTime.Round(time.Microsecond))
+	}
+	if rep.Racy() {
+		fmt.Printf("RACES: %d found\n", rep.RaceCount)
+		for _, rc := range rep.Races {
+			fmt.Printf("  %s\n", r.DescribeRace(rc))
+		}
+	} else {
+		fmt.Println("no races found")
+	}
+	return nil
+}
+
+func avg(total, n uint64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// runAll compares every detector configuration on one workload.
+func runAll(factory workloads.Factory, timing bool) error {
+	modes := []stint.Detector{
+		stint.DetectorOff, stint.DetectorReachOnly, stint.DetectorVanilla,
+		stint.DetectorCompiler, stint.DetectorCompRTS, stint.DetectorSTINT,
+		stint.DetectorSTINTUnbalanced, stint.DetectorSTINTSkiplist,
+	}
+	var base time.Duration
+	fmt.Printf("%-18s %12s %9s %12s %12s %8s\n", "detector", "time", "overhead", "intervals", "ah-time", "races")
+	for _, mode := range modes {
+		w := factory()
+		r, err := stint.NewRunner(stint.Options{Detector: mode, TimeAccessHistory: timing})
+		if err != nil {
+			return err
+		}
+		w.Setup(r)
+		rep, err := r.Run(w.Run)
+		if err != nil {
+			return err
+		}
+		if err := w.Verify(); err != nil {
+			return fmt.Errorf("%v: %w", mode, err)
+		}
+		if mode == stint.DetectorOff {
+			base = rep.WallTime
+		}
+		oh := "-"
+		if base > 0 {
+			oh = fmt.Sprintf("%.2fx", float64(rep.WallTime)/float64(base))
+		}
+		ivs := rep.Stats.ReadIntervals + rep.Stats.WriteIntervals
+		ivCol := "-"
+		if ivs > 0 {
+			ivCol = fmt.Sprintf("%d", ivs)
+		}
+		ahCol := "-"
+		if timing && rep.Stats.AccessHistoryTime > 0 {
+			ahCol = rep.Stats.AccessHistoryTime.Round(time.Microsecond).String()
+		}
+		fmt.Printf("%-18v %12v %9s %12s %12s %8d\n",
+			mode, rep.WallTime.Round(time.Microsecond), oh, ivCol, ahCol, rep.RaceCount)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package dag_test
+
+import (
+	"testing"
+
+	"stint/dag"
+)
+
+// BenchmarkDAGLayeredGraph measures multi-reader detection on a layered
+// DAG (layers of parallel nodes, dense edges between adjacent layers) —
+// the shape of schedulers and build graphs.
+func BenchmarkDAGLayeredGraph(b *testing.B) {
+	const layers, width, chunk = 16, 16, 32
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := dag.NewGraph()
+		ids := make([][]dag.NodeID, layers)
+		for l := 0; l < layers; l++ {
+			ids[l] = make([]dag.NodeID, width)
+			for w := 0; w < width; w++ {
+				ids[l][w] = g.Node("n")
+				if l > 0 {
+					for p := 0; p < width; p += 4 {
+						g.Edge(ids[l-1][p], ids[l][w])
+					}
+				}
+			}
+		}
+		r, err := dag.NewRunner(dag.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := r.Arena().AllocWords("data", width*chunk)
+		b.StartTimer()
+		rep, err := r.Run(g, func(n *dag.Node, id dag.NodeID) {
+			slot := int(id) % width
+			n.LoadRange(buf, slot*chunk, chunk)
+			n.StoreRange(buf, slot*chunk, chunk)
+		})
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rep
+		b.StartTimer()
+	}
+}
+
+// BenchmarkReachabilityPrecompute isolates the ancestor-bitset
+// construction cost that bounds the DAG runner's scale.
+func BenchmarkReachabilityPrecompute(b *testing.B) {
+	g := dag.NewGraph()
+	const n = 2048
+	for i := 0; i < n; i++ {
+		g.Node("n")
+	}
+	for i := 0; i < n-1; i++ {
+		g.Edge(dag.NodeID(i), dag.NodeID(i+1))
+		if i+17 < n {
+			g.Edge(dag.NodeID(i), dag.NodeID(i+17))
+		}
+	}
+	r, _ := dag.NewRunner(dag.Options{})
+	r.Arena().AllocWords("data", 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(g, func(*dag.Node, dag.NodeID) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

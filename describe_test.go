@@ -1,0 +1,90 @@
+package stint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResolveRoundTrip(t *testing.T) {
+	r, _ := NewRunner(Options{})
+	a := r.Arena()
+	b1 := a.AllocWords("first", 100)
+	b2 := a.AllocFloat64("second", 50)
+	for _, c := range []struct {
+		buf  *Buffer
+		elem int
+	}{
+		{b1, 0}, {b1, 50}, {b1, 99}, {b2, 0}, {b2, 49},
+	} {
+		gotBuf, gotElem := a.Resolve(c.buf.Addr(c.elem))
+		if gotBuf != c.buf || gotElem != c.elem {
+			t.Errorf("Resolve(%s[%d]) = (%v, %d)", c.buf.Name(), c.elem, gotBuf, gotElem)
+		}
+		// Mid-element addresses resolve to the same element.
+		gotBuf, gotElem = a.Resolve(c.buf.Addr(c.elem) + 1)
+		if gotBuf != c.buf || gotElem != c.elem {
+			t.Errorf("Resolve(mid-element) = (%v, %d), want (%s, %d)", gotBuf, gotElem, c.buf.Name(), c.elem)
+		}
+	}
+}
+
+func TestResolveOutsideBuffers(t *testing.T) {
+	r, _ := NewRunner(Options{})
+	a := r.Arena()
+	b := a.AllocWords("only", 4)
+	if buf, _ := a.Resolve(0); buf != nil {
+		t.Error("address 0 resolved to a buffer")
+	}
+	if buf, _ := a.Resolve(b.Base() + b.Bytes()); buf != nil {
+		t.Error("one-past-end resolved to a buffer")
+	}
+	if buf, _ := a.Resolve(b.Base() - 1); buf != nil {
+		t.Error("address below first buffer resolved")
+	}
+}
+
+func TestDescribeRace(t *testing.T) {
+	r, _ := NewRunner(Options{Detector: DetectorSTINT})
+	buf := r.Arena().AllocWords("shared", 64)
+	rep, err := r.Run(func(task *Task) {
+		task.Spawn(func(c *Task) { c.StoreRange(buf, 8, 16) })
+		task.StoreRange(buf, 8, 16)
+		task.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Racy() {
+		t.Fatal("no race to describe")
+	}
+	desc := r.DescribeRace(rep.Races[0])
+	if !strings.Contains(desc, "shared[8:24]") {
+		t.Errorf("DescribeRace = %q, want element range shared[8:24]", desc)
+	}
+	if !strings.Contains(desc, "write by strand") {
+		t.Errorf("DescribeRace = %q, missing access kinds", desc)
+	}
+}
+
+func TestDescribeRaceSingleElement(t *testing.T) {
+	r, _ := NewRunner(Options{Detector: DetectorVanilla})
+	buf := r.Arena().AllocWords("x", 8)
+	rep, _ := r.Run(func(task *Task) {
+		task.Spawn(func(c *Task) { c.Store(buf, 3) })
+		task.Store(buf, 3)
+		task.Sync()
+	})
+	desc := r.DescribeRace(rep.Races[0])
+	if !strings.Contains(desc, "x[3]") {
+		t.Errorf("DescribeRace = %q, want x[3]", desc)
+	}
+}
+
+func TestDescribeRaceUnresolvedFallsBack(t *testing.T) {
+	r, _ := NewRunner(Options{})
+	rc := Race{Addr: 0x10, Size: 4, Prev: 1, Cur: 2, PrevWrite: true, CurWrite: true}
+	desc := r.DescribeRace(rc)
+	if !strings.Contains(desc, "0x10") {
+		t.Errorf("fallback description %q lacks the raw address", desc)
+	}
+}

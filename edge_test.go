@@ -1,0 +1,132 @@
+package stint
+
+import "testing"
+
+func TestDeepSpawnRecursion(t *testing.T) {
+	// Serial execution nests one Go call frame per spawn level; 10k levels
+	// must work (Go stacks grow on demand).
+	r, err := NewRunner(Options{Detector: DetectorSTINT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := r.Arena().AllocWords("b", 4)
+	var dive func(t *Task, depth int)
+	dive = func(task *Task, depth int) {
+		if depth == 0 {
+			task.Store(buf, 0)
+			return
+		}
+		task.Spawn(func(c *Task) { dive(c, depth-1) })
+		task.Sync()
+	}
+	rep, err := r.Run(func(task *Task) { dive(task, 10000) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Racy() {
+		t.Fatal("serial chain raced")
+	}
+	if rep.Strands < 30000 {
+		t.Fatalf("expected ~3 strands per level, got %d", rep.Strands)
+	}
+}
+
+func TestManySiblingStrands(t *testing.T) {
+	r, err := NewRunner(Options{Detector: DetectorSTINT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := r.Arena().AllocWords("b", 100000)
+	rep, err := r.Run(func(task *Task) {
+		for i := 0; i < 50000; i++ {
+			i := i
+			task.Spawn(func(c *Task) { c.Store(buf, i*2) })
+		}
+		task.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Racy() {
+		t.Fatal("disjoint sibling writes raced")
+	}
+	if rep.Stats.WriteIntervals != 50000 {
+		t.Fatalf("WriteIntervals = %d, want 50000", rep.Stats.WriteIntervals)
+	}
+}
+
+func TestRepeatedSyncsAreIdempotent(t *testing.T) {
+	r, _ := NewRunner(Options{Detector: DetectorSTINT})
+	buf := r.Arena().AllocWords("b", 8)
+	rep, err := r.Run(func(task *Task) {
+		task.Spawn(func(c *Task) { c.Store(buf, 0) })
+		task.Sync()
+		task.Sync() // no-ops
+		task.Sync()
+		task.Store(buf, 0) // ordered: no race
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Racy() {
+		t.Fatal("no-op syncs broke ordering")
+	}
+}
+
+func TestAlternatingSpawnSyncBlocks(t *testing.T) {
+	// Many sequential sync blocks in one task: each block's child is
+	// ordered with the next block's accesses.
+	r, _ := NewRunner(Options{Detector: DetectorVanilla})
+	buf := r.Arena().AllocWords("b", 4)
+	rep, err := r.Run(func(task *Task) {
+		for i := 0; i < 200; i++ {
+			task.Spawn(func(c *Task) { c.Store(buf, 0) })
+			task.Sync()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Racy() {
+		t.Fatal("sequential sync blocks raced")
+	}
+}
+
+func TestZeroLengthRangeHooksIgnored(t *testing.T) {
+	r, _ := NewRunner(Options{Detector: DetectorSTINT})
+	buf := r.Arena().AllocWords("b", 8)
+	rep, err := r.Run(func(task *Task) {
+		task.LoadRange(buf, 4, 0)
+		task.StoreRange(buf, 0, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.ReadAccesses != 0 || rep.Stats.WriteAccesses != 0 {
+		t.Fatalf("zero-length ranges recorded accesses: %+v", rep.Stats)
+	}
+}
+
+func TestSpawnInsideSpawnSameBlock(t *testing.T) {
+	// A child spawning before its parent syncs exercises nested frames
+	// with interleaved pending sync blocks.
+	r, _ := NewRunner(Options{Detector: DetectorSTINT})
+	buf := r.Arena().AllocWords("b", 16)
+	rep, err := r.Run(func(task *Task) {
+		task.Spawn(func(c *Task) {
+			c.Spawn(func(g *Task) { g.Store(buf, 0) })
+			c.Store(buf, 1)
+			// implicit sync joins g
+		})
+		task.Spawn(func(c *Task) { c.Store(buf, 2) })
+		task.Store(buf, 3)
+		task.Sync()
+		task.LoadRange(buf, 0, 4) // all joined: safe
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Racy() {
+		t.Fatalf("disjoint nested writes raced: %v", rep.Races[0])
+	}
+}

@@ -1,0 +1,116 @@
+// Matmul: verify a divide-and-conquer matrix multiplication is race-free,
+// then show how the detector pinpoints a real parallelization bug — the
+// classic mistake of spawning both halves of an inner-dimension split,
+// which makes two tasks accumulate into the same output block in parallel.
+//
+//	go run ./examples/matmul
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stint"
+	"stint/workloads"
+)
+
+func main() {
+	checkCorrectVersion()
+	checkBuggyVersion()
+}
+
+// checkCorrectVersion runs the library's mmul workload (Cilk-5 algorithm,
+// inner-dimension splits serialized) under STINT.
+func checkCorrectVersion() {
+	w := workloads.NewMMul(64, 16)
+	r, err := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Setup(r)
+	report, err := r.Run(w.Run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("correct mmul: %d races, %d strands, result verified\n",
+		report.RaceCount, report.Strands)
+}
+
+// checkBuggyVersion multiplies with a deliberately broken recursion that
+// spawns both halves of the k-dimension split. Both halves do
+// C += (their half of the inner products), so they load and store the same
+// C block in parallel.
+func checkBuggyVersion() {
+	const n, bcase = 32, 8
+	r, err := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT, MaxRacesRecorded: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) * 0.25
+		b[i] = float64(i%5) * 0.5
+	}
+	bufA := r.Arena().AllocFloat64("A", n*n)
+	bufB := r.Arena().AllocFloat64("B", n*n)
+	bufC := r.Arena().AllocFloat64("C", n*n)
+
+	var rec func(t *stint.Task, ar, ac, br, bc, cr, cc, m, kk, p int)
+	base := func(t *stint.Task, ar, ac, br, bc, cr, cc, m, kk, p int) {
+		for i := 0; i < m; i++ {
+			t.LoadRange(bufC, (cr+i)*n+cc, p)
+			t.StoreRange(bufC, (cr+i)*n+cc, p)
+			t.LoadRange(bufA, (ar+i)*n+ac, kk)
+			for j := 0; j < p; j++ {
+				sum := c[(cr+i)*n+cc+j]
+				for k := 0; k < kk; k++ {
+					t.Load(bufB, (br+k)*n+bc+j)
+					sum += a[(ar+i)*n+ac+k] * b[(br+k)*n+bc+j]
+				}
+				c[(cr+i)*n+cc+j] = sum
+			}
+		}
+	}
+	rec = func(t *stint.Task, ar, ac, br, bc, cr, cc, m, kk, p int) {
+		if m <= bcase && kk <= bcase && p <= bcase {
+			base(t, ar, ac, br, bc, cr, cc, m, kk, p)
+			return
+		}
+		switch {
+		case m >= kk && m >= p:
+			h := m / 2
+			t.Spawn(func(ct *stint.Task) { rec(ct, ar, ac, br, bc, cr, cc, h, kk, p) })
+			t.Spawn(func(ct *stint.Task) { rec(ct, ar+h, ac, br, bc, cr+h, cc, m-h, kk, p) })
+			t.Sync()
+		case p >= kk:
+			h := p / 2
+			t.Spawn(func(ct *stint.Task) { rec(ct, ar, ac, br, bc, cr, cc, m, kk, h) })
+			t.Spawn(func(ct *stint.Task) { rec(ct, ar, ac, br, bc+h, cr, cc+h, m, kk, p-h) })
+			t.Sync()
+		default:
+			h := kk / 2
+			// BUG: both halves accumulate into the same C block but are
+			// spawned in parallel. The correct code runs them serially.
+			t.Spawn(func(ct *stint.Task) { rec(ct, ar, ac, br, bc, cr, cc, m, h, p) })
+			t.Spawn(func(ct *stint.Task) { rec(ct, ar, ac+h, br+h, bc, cr, cc, m, kk-h, p) })
+			t.Sync()
+		}
+	}
+
+	report, err := r.Run(func(t *stint.Task) { rec(t, 0, 0, 0, 0, 0, 0, n, n, n) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("buggy mmul (parallel inner-dimension split): %d race report(s)\n", report.RaceCount)
+	for _, rc := range report.Races {
+		fmt.Printf("  %v\n", rc)
+	}
+	if !report.Racy() {
+		log.Fatal("expected the buggy version to race")
+	}
+}

@@ -1,0 +1,3 @@
+module stint
+
+go 1.22

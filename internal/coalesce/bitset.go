@@ -1,0 +1,214 @@
+// Package coalesce implements the runtime-coalescing bit hashmap of §3.2.
+//
+// While a strand executes, every word it accesses sets one bit in a
+// two-level page-table-like structure: the address prefix selects a page,
+// the suffix a bit within the page's array of 64-bit integers (one bit per
+// four-byte word). Ranges are set with bit-parallel mask operations. The
+// structure remembers which pages and which 64-bit slots were touched, so
+// that when the strand finishes, Flush can walk exactly the touched slots in
+// address order, coalesce set bits into maximal intervals (merging across
+// slot and page boundaries), report them, and clear the bits for the next
+// strand — all in time proportional to the strand's own footprint.
+//
+// A detector uses two BitSets per strand: one for reads, one for writes.
+package coalesce
+
+import (
+	"math/bits"
+	"sort"
+
+	"stint/internal/mem"
+)
+
+const (
+	pageBytesBits = 16
+	wordBits      = 2
+	pageWordBits  = pageBytesBits - wordBits
+	pageWords     = 1 << pageWordBits
+	slotBits      = 6 // 64 words per slot
+	slotsPerPage  = pageWords >> slotBits
+	slotWordMask  = (1 << slotBits) - 1
+)
+
+// page is the second-level table: one bit per word over 64 KiB of address
+// space, plus the dedup list of touched slots.
+type page struct {
+	bits    [slotsPerPage]uint64
+	touched []int32
+	inList  bool
+}
+
+// BitSet tracks the set of words accessed by the current strand.
+type BitSet struct {
+	pages    map[uint64]*page
+	touched  []uint64 // page indices touched this strand
+	lastIdx  uint64
+	lastPage *page
+}
+
+// New returns an empty BitSet.
+func New() *BitSet {
+	return &BitSet{pages: make(map[uint64]*page)}
+}
+
+// page returns the page for the given page index, allocating lazily.
+func (b *BitSet) pageFor(idx uint64) *page {
+	if b.lastPage != nil && idx == b.lastIdx {
+		return b.lastPage
+	}
+	p := b.pages[idx]
+	if p == nil {
+		p = &page{}
+		b.pages[idx] = p
+	}
+	b.lastIdx, b.lastPage = idx, p
+	return p
+}
+
+// SetRange marks every word overlapping the byte range [addr, addr+size) as
+// accessed. size 0 is a no-op.
+func (b *BitSet) SetRange(addr mem.Addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	w0 := addr >> wordBits
+	w1 := (addr + size + mem.WordSize - 1) >> wordBits
+	// Fast path: the whole range lies in one 64-word slot of the cached
+	// page — the common case for per-access hooks in hot loops.
+	if p := b.lastPage; p != nil && w0>>pageWordBits == b.lastIdx && (w1-1)>>pageWordBits == b.lastIdx {
+		lo := w0 & (pageWords - 1)
+		hi := (w1-1)&(pageWords-1) + 1
+		slot := lo >> slotBits
+		if (hi-1)>>slotBits == slot {
+			if !p.inList {
+				p.inList = true
+				b.touched = append(b.touched, b.lastIdx)
+			}
+			mask := maskRange(lo&slotWordMask, (hi-1)&slotWordMask+1)
+			if p.bits[slot] == 0 {
+				p.touched = append(p.touched, int32(slot))
+			}
+			p.bits[slot] |= mask
+			return
+		}
+	}
+	for w0 < w1 {
+		pageIdx := w0 >> pageWordBits
+		p := b.pageFor(pageIdx)
+		if !p.inList {
+			p.inList = true
+			b.touched = append(b.touched, pageIdx)
+		}
+		// Word range covered within this page.
+		pageEnd := (pageIdx + 1) << pageWordBits
+		end := w1
+		if end > pageEnd {
+			end = pageEnd
+		}
+		lo := w0 & (pageWords - 1)
+		hi := end - (pageIdx << pageWordBits)
+		// Set bits [lo, hi) slot by slot with full-width masks.
+		for lo < hi {
+			slot := lo >> slotBits
+			bitLo := lo & slotWordMask
+			bitHi := uint64(64)
+			if slotEnd := (slot + 1) << slotBits; slotEnd > hi {
+				bitHi = hi & slotWordMask
+				if bitHi == 0 {
+					bitHi = 64
+				}
+			}
+			mask := maskRange(bitLo, bitHi)
+			if p.bits[slot] == 0 {
+				p.touched = append(p.touched, int32(slot))
+			}
+			p.bits[slot] |= mask
+			lo = (slot << slotBits) + bitHi
+		}
+		w0 = end
+	}
+}
+
+// maskRange builds a 64-bit mask with bits [lo, hi) set; hi may be 64.
+func maskRange(lo, hi uint64) uint64 {
+	m := ^uint64(0) << lo
+	if hi < 64 {
+		m &^= ^uint64(0) << hi
+	}
+	return m
+}
+
+// Set marks the single word containing addr — the hot path for word-
+// granularity hooks, kept minimal so the per-access cost of runtime
+// coalescing stays far below a shadow-hashmap operation.
+func (b *BitSet) Set(addr mem.Addr) {
+	w := addr >> wordBits
+	p := b.lastPage
+	if p == nil || w>>pageWordBits != b.lastIdx {
+		b.SetRange(addr, mem.WordSize)
+		return
+	}
+	if !p.inList {
+		p.inList = true
+		b.touched = append(b.touched, b.lastIdx)
+	}
+	lo := w & (pageWords - 1)
+	slot := lo >> slotBits
+	if p.bits[slot] == 0 {
+		p.touched = append(p.touched, int32(slot))
+	}
+	p.bits[slot] |= 1 << (lo & slotWordMask)
+}
+
+// Flush reports every maximal interval of set words in address order as
+// (startByteAddr, byteLen) and clears the structure for the next strand.
+// It returns the total number of distinct words that were set, i.e. the
+// strand's deduplicated footprint.
+func (b *BitSet) Flush(emit func(start mem.Addr, size uint64)) (words uint64) {
+	if len(b.touched) == 0 {
+		return 0
+	}
+	sort.Slice(b.touched, func(i, j int) bool { return b.touched[i] < b.touched[j] })
+	var pendStart, pendEnd uint64 // pending interval in word units
+	havePending := false
+	for _, pageIdx := range b.touched {
+		p := b.pages[pageIdx]
+		slots := p.touched
+		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+		base := pageIdx << pageWordBits
+		for _, slot := range slots {
+			v := p.bits[slot]
+			p.bits[slot] = 0
+			slotBase := base + uint64(slot)<<slotBits
+			for v != 0 {
+				tz := uint64(bits.TrailingZeros64(v))
+				run := uint64(bits.TrailingZeros64(^(v >> tz)))
+				if tz+run >= 64 {
+					v = 0
+				} else {
+					v &^= maskRange(tz, tz+run)
+				}
+				s, e := slotBase+tz, slotBase+tz+run
+				words += run
+				if havePending && s == pendEnd {
+					pendEnd = e
+					continue
+				}
+				if havePending {
+					emit(pendStart<<wordBits, (pendEnd-pendStart)<<wordBits)
+				}
+				pendStart, pendEnd, havePending = s, e, true
+			}
+		}
+		p.touched = p.touched[:0]
+		p.inList = false
+	}
+	if havePending {
+		emit(pendStart<<wordBits, (pendEnd-pendStart)<<wordBits)
+	}
+	b.touched = b.touched[:0]
+	return words
+}
+
+// Pages returns the number of second-level pages allocated.
+func (b *BitSet) Pages() int { return len(b.pages) }

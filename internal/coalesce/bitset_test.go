@@ -1,0 +1,285 @@
+package coalesce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stint/internal/mem"
+)
+
+// flushAll collects the flushed intervals.
+func flushAll(b *BitSet) (ivs [][2]uint64, words uint64) {
+	words = b.Flush(func(start mem.Addr, size uint64) {
+		ivs = append(ivs, [2]uint64{start, size})
+	})
+	return ivs, words
+}
+
+// naive tracks set words in a map for comparison.
+type naiveSet map[uint64]bool
+
+func (n naiveSet) setRange(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	w0 := addr >> 2
+	w1 := (addr + size + 3) >> 2
+	for w := w0; w < w1; w++ {
+		n[w] = true
+	}
+}
+
+// intervalsOf converts the naive set to maximal word intervals in order.
+func (n naiveSet) intervals() [][2]uint64 {
+	if len(n) == 0 {
+		return nil
+	}
+	min, max := ^uint64(0), uint64(0)
+	for w := range n {
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	var out [][2]uint64
+	var start uint64
+	in := false
+	for w := min; w <= max+1; w++ {
+		if n[w] && !in {
+			start, in = w, true
+		} else if !n[w] && in {
+			out = append(out, [2]uint64{start << 2, (w - start) << 2})
+			in = false
+		}
+	}
+	if in {
+		out = append(out, [2]uint64{start << 2, (max + 1 - start) << 2})
+	}
+	return out
+}
+
+func compare(t *testing.T, got, want [][2]uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d intervals %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interval %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEmptyFlush(t *testing.T) {
+	b := New()
+	ivs, words := flushAll(b)
+	if len(ivs) != 0 || words != 0 {
+		t.Fatalf("empty flush produced %v (%d words)", ivs, words)
+	}
+}
+
+func TestSingleWord(t *testing.T) {
+	b := New()
+	b.Set(0x1000)
+	ivs, words := flushAll(b)
+	compare(t, ivs, [][2]uint64{{0x1000, 4}})
+	if words != 1 {
+		t.Fatalf("words = %d, want 1", words)
+	}
+}
+
+func TestContiguousRangeOneCall(t *testing.T) {
+	b := New()
+	b.SetRange(0x1000, 256)
+	ivs, words := flushAll(b)
+	compare(t, ivs, [][2]uint64{{0x1000, 256}})
+	if words != 64 {
+		t.Fatalf("words = %d, want 64", words)
+	}
+}
+
+func TestAdjacentCallsMerge(t *testing.T) {
+	b := New()
+	b.SetRange(0x1000, 16)
+	b.SetRange(0x1010, 16) // touching
+	ivs, _ := flushAll(b)
+	compare(t, ivs, [][2]uint64{{0x1000, 32}})
+}
+
+func TestOverlappingCallsDeduplicate(t *testing.T) {
+	b := New()
+	b.SetRange(0x1000, 32)
+	b.SetRange(0x1008, 32) // overlapping
+	b.SetRange(0x1000, 32) // duplicate
+	ivs, words := flushAll(b)
+	compare(t, ivs, [][2]uint64{{0x1000, 0x28}})
+	if words != 10 {
+		t.Fatalf("words = %d, want 10 (deduplicated)", words)
+	}
+}
+
+func TestDisjointRangesStaySplit(t *testing.T) {
+	b := New()
+	b.SetRange(0x2000, 8)
+	b.SetRange(0x1000, 8)
+	b.SetRange(0x3000, 8)
+	ivs, _ := flushAll(b)
+	compare(t, ivs, [][2]uint64{{0x1000, 8}, {0x2000, 8}, {0x3000, 8}})
+}
+
+func TestMergeAcrossSlotBoundary(t *testing.T) {
+	b := New()
+	// Words 62..65 straddle the 64-word slot boundary.
+	b.SetRange(62*4, 4*4)
+	ivs, _ := flushAll(b)
+	compare(t, ivs, [][2]uint64{{62 * 4, 16}})
+}
+
+func TestMergeAcrossPageBoundary(t *testing.T) {
+	b := New()
+	pageBytes := uint64(1) << pageBytesBits
+	b.SetRange(pageBytes-8, 16) // straddles two pages
+	ivs, _ := flushAll(b)
+	compare(t, ivs, [][2]uint64{{pageBytes - 8, 16}})
+	if b.Pages() != 2 {
+		t.Fatalf("Pages() = %d, want 2", b.Pages())
+	}
+}
+
+func TestLargeRangeSpanningManyPages(t *testing.T) {
+	b := New()
+	size := uint64(3) << pageBytesBits // three full pages
+	b.SetRange(0x10000, size)
+	ivs, words := flushAll(b)
+	compare(t, ivs, [][2]uint64{{0x10000, size}})
+	if words != size/4 {
+		t.Fatalf("words = %d, want %d", words, size/4)
+	}
+}
+
+func TestFlushClearsState(t *testing.T) {
+	b := New()
+	b.SetRange(0x1000, 64)
+	flushAll(b)
+	ivs, words := flushAll(b)
+	if len(ivs) != 0 || words != 0 {
+		t.Fatalf("second flush produced %v", ivs)
+	}
+	// And the structure is reusable for a different pattern.
+	b.SetRange(0x5000, 8)
+	ivs, _ = flushAll(b)
+	compare(t, ivs, [][2]uint64{{0x5000, 8}})
+}
+
+func TestUnalignedRangeCoversWholeWords(t *testing.T) {
+	b := New()
+	b.SetRange(0x1002, 4) // straddles words 0x1000 and 0x1004
+	ivs, words := flushAll(b)
+	compare(t, ivs, [][2]uint64{{0x1000, 8}})
+	if words != 2 {
+		t.Fatalf("words = %d, want 2", words)
+	}
+}
+
+func TestZeroSizeNoOp(t *testing.T) {
+	b := New()
+	b.SetRange(0x1000, 0)
+	ivs, _ := flushAll(b)
+	if len(ivs) != 0 {
+		t.Fatalf("zero-size set produced %v", ivs)
+	}
+}
+
+func TestRandomAgainstNaive(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := New()
+		n := naiveSet{}
+		for i := 0; i < 200; i++ {
+			addr := (rng.Uint64() % (1 << 18)) &^ 3
+			size := uint64(rng.Intn(512)+1) &^ 3
+			if size == 0 {
+				size = 4
+			}
+			b.SetRange(addr, size)
+			n.setRange(addr, size)
+		}
+		ivs, words := flushAll(b)
+		compare(t, ivs, n.intervals())
+		if words != uint64(len(n)) {
+			t.Fatalf("seed %d: words = %d, want %d", seed, words, len(n))
+		}
+	}
+}
+
+func TestQuickRandomPatterns(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		ops := int(opsRaw%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		b := New()
+		n := naiveSet{}
+		for i := 0; i < ops; i++ {
+			addr := (rng.Uint64() % (1 << 20)) &^ 3
+			size := uint64(rng.Intn(2048)) &^ 3
+			b.SetRange(addr, size)
+			n.setRange(addr, size)
+		}
+		ivs, _ := flushAll(b)
+		want := n.intervals()
+		if len(ivs) != len(want) {
+			return false
+		}
+		for i := range want {
+			if ivs[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskRange(t *testing.T) {
+	cases := []struct {
+		lo, hi uint64
+		want   uint64
+	}{
+		{0, 64, ^uint64(0)},
+		{0, 1, 1},
+		{63, 64, 1 << 63},
+		{4, 8, 0xF0},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := maskRange(c.lo, c.hi); got != c.want {
+			t.Errorf("maskRange(%d,%d) = %#x, want %#x", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func BenchmarkSetRangeLarge(b *testing.B) {
+	bs := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bs.SetRange(uint64(i%1024)*4096, 4096)
+		if i%1024 == 1023 {
+			bs.Flush(func(mem.Addr, uint64) {})
+		}
+	}
+}
+
+func BenchmarkSetSingleWords(b *testing.B) {
+	bs := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bs.Set(uint64(i%(1<<16)) * 4)
+		if i%(1<<16) == (1<<16)-1 {
+			bs.Flush(func(mem.Addr, uint64) {})
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// These tests validate the paper's §4.4 analysis empirically: operation
+// cost is O(h + k) with h the tree height and k the overlap count, heights
+// stay logarithmic under treap priorities, and the Lemma 4.1 bound keeps
+// the tree linear in the number of inserts.
+
+func TestTreapHeightLogarithmic(t *testing.T) {
+	for _, n := range []int{1 << 10, 1 << 13, 1 << 15} {
+		tr := NewTree()
+		for i := 0; i < n; i++ {
+			tr.InsertWrite(Interval{uint64(i) * 8, uint64(i)*8 + 4, int32(i)}, nil)
+		}
+		h := float64(tr.Height())
+		bound := 4.3 * math.Log2(float64(n)) // E[h] ≈ 2.99·lg n for treaps
+		if h > bound {
+			t.Errorf("n=%d: height %.0f exceeds %.1f", n, h, bound)
+		}
+	}
+}
+
+func TestNodesVisitedPerOpTracksHeightPlusOverlaps(t *testing.T) {
+	// Disjoint inserts: k = 0, so nodes/op must be O(lg n).
+	tr := NewTree()
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		tr.InsertWrite(Interval{uint64(i) * 8, uint64(i)*8 + 4, int32(i)}, nil)
+	}
+	tr.ResetStats()
+	for i := 0; i < 4096; i++ {
+		s := uint64((i * 37) % n * 8)
+		tr.Query(Interval{s, s + 4, 0}, nil)
+	}
+	st := tr.Stats()
+	perOp := float64(st.NodesVisited) / float64(st.Ops)
+	if bound := 4.5 * math.Log2(n); perOp > bound {
+		t.Errorf("nodes/op %.1f exceeds %.1f for point queries on %d nodes", perOp, bound, n)
+	}
+	if st.Overlaps != uint64(st.Ops) {
+		t.Errorf("point queries on full coverage: overlaps %d != ops %d", st.Overlaps, st.Ops)
+	}
+}
+
+func TestOverlapsChargeToIntervalSize(t *testing.T) {
+	// Theorem 4.1's amortization: an interval overlapping k stored
+	// intervals has size >= k (stored intervals are disjoint and each
+	// contributes >= 1 unit to the overlap range). Verify the accounting
+	// on random workloads: overlaps per op never exceed the interval's
+	// length in words plus one.
+	rng := rand.New(rand.NewSource(9))
+	tr := NewTree()
+	for i := 0; i < 3000; i++ {
+		s := rng.Uint64() % 100000
+		length := uint64(rng.Intn(64)+1) * 4
+		before := tr.Stats().Overlaps
+		tr.InsertWrite(Interval{s, s + length, int32(i)}, nil)
+		k := tr.Stats().Overlaps - before
+		if k > length/4+2 {
+			t.Fatalf("insert of %d words overlapped %d stored intervals", length/4, k)
+		}
+	}
+}
+
+func TestAmortizedLinearTotalSize(t *testing.T) {
+	// Lemma 4.1 at scale: m inserts leave at most 2m+1 intervals, for both
+	// trees, under adversarial gap-filling patterns.
+	lo := func(a, b int32) bool { return a > b }
+	rt := NewTree()
+	m := 0
+	rng := rand.New(rand.NewSource(4))
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 20; i++ {
+			s := uint64(rng.Intn(4000))
+			rt.InsertRead(Interval{s, s + uint64(rng.Intn(8)+1), int32(10000 + m)}, lo, nil)
+			m++
+		}
+		// Giant low-priority read forced to fill every gap.
+		rt.InsertRead(Interval{0, 4100, int32(round)}, lo, nil)
+		m++
+		if rt.Size() > 2*m+1 {
+			t.Fatalf("read tree size %d exceeds 2m+1 after %d inserts", rt.Size(), m)
+		}
+	}
+}
+
+func TestStableCostAcrossGrowth(t *testing.T) {
+	// Figure 8's observation: nodes visited per op grows like lg n, i.e.
+	// slowly; going from 2^10 to 2^14 intervals must not even double it.
+	perOpAt := func(n int) float64 {
+		tr := NewTree()
+		for i := 0; i < n; i++ {
+			tr.InsertWrite(Interval{uint64(i) * 8, uint64(i)*8 + 4, int32(i)}, nil)
+		}
+		tr.ResetStats()
+		for i := 0; i < 2000; i++ {
+			s := uint64((i * 613) % n * 8)
+			tr.Query(Interval{s, s + 4, 0}, nil)
+		}
+		st := tr.Stats()
+		return float64(st.NodesVisited) / float64(st.Ops)
+	}
+	small, large := perOpAt(1<<10), perOpAt(1<<14)
+	if large > 2*small {
+		t.Errorf("nodes/op grew from %.1f to %.1f across 16x growth; want sub-linear", small, large)
+	}
+}

@@ -1,0 +1,59 @@
+// Package core implements the paper's primary contribution: an access
+// history maintained at interval granularity in balanced binary search
+// trees (treaps).
+//
+// An access history for sequential race detection of fork-join programs
+// needs, per memory location, only the last writer and the leftmost reader
+// (Feng & Leiserson). Instead of a per-word hashmap, this package stores
+// maximal intervals of contiguous words with the same accessor in two
+// treaps — one for writes, one for reads — keyed by interval start and
+// maintaining the invariant that no two intervals in a tree overlap.
+//
+// Tree is the shared structure; InsertWrite implements §4.1 of the paper
+// (new interval always wins, overlapping old intervals are trimmed or
+// removed), InsertRead implements §4.2 (the left-of relation decides which
+// accessor survives on overlap, so the new interval may itself be split),
+// and Query implements the read-only overlap enumeration of §4.3. Each
+// operation costs O(h + k), where h is the tree height and k the number of
+// stored intervals overlapping the argument; treap priorities keep
+// h = O(lg n) with high probability.
+package core
+
+import "fmt"
+
+// Interval is a half-open range of byte addresses [Start, End) accessed by
+// the strand identified by Acc. Addresses and sizes are always multiples of
+// the shadow word size; the tree itself only requires Start < End.
+type Interval struct {
+	Start uint64
+	End   uint64
+	Acc   int32
+}
+
+// Len returns the interval's length in bytes.
+func (iv Interval) Len() uint64 { return iv.End - iv.Start }
+
+// Overlaps reports whether iv and other share at least one byte.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// Contains reports whether iv fully covers other.
+func (iv Interval) Contains(other Interval) bool {
+	return iv.Start <= other.Start && other.End <= iv.End
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%#x,%#x)@%d", iv.Start, iv.End, iv.Acc)
+}
+
+// LeftOfFunc reports whether the strand with the first ID is "left of" the
+// strand with the second: logically parallel and earlier in sequential
+// order, or in series and later. The read tree keeps the left-of winner
+// when intervals overlap.
+type LeftOfFunc func(a, b int32) bool
+
+// OverlapFunc receives one stored interval that overlaps an operation's
+// argument, together with the overlapping byte range [lo, hi). Each stored
+// interval is reported at most once per operation.
+type OverlapFunc func(acc int32, lo, hi uint64)

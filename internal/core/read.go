@@ -1,0 +1,118 @@
+package core
+
+// slot identifies an empty-or-occupied subtree position: the child slot of
+// parent on the given side (parent nil meaning the root slot). Read
+// insertion defers sub-interval work through slots so that all structural
+// changes finish before any rebalancing rotation runs.
+type slot struct {
+	parent *node
+	toLeft bool
+	iv     Interval
+}
+
+// InsertRead inserts a read interval x, implementing InsertReadInterval from
+// §4.2 of the paper. The read tree stores the leftmost reader of every word,
+// so on overlap the stored accessor survives unless the new accessor is
+// left-of it — which means the new interval, not the old one, may be split
+// into pieces that recurse into both subtrees (case D).
+//
+// leftOf decides the winner; onOverlap (optional) reports every stored
+// interval the operation overlaps, mirroring InsertWrite's accounting.
+func (t *Tree) InsertRead(x Interval, leftOf LeftOfFunc, onOverlap OverlapFunc) {
+	if x.Start >= x.End {
+		panic("core: empty read interval")
+	}
+	t.stats.Ops++
+	defer t.rebalance()
+	t.work = append(t.work[:0], slot{parent: nil, toLeft: false, iv: x})
+	for len(t.work) > 0 {
+		s := t.work[len(t.work)-1]
+		t.work = t.work[:len(t.work)-1]
+		t.insertReadSlot(s, leftOf, onOverlap, &t.work)
+	}
+}
+
+// insertReadSlot performs the §4.2 case walk for one pending interval,
+// starting at the given subtree slot. Case D pushes its outer pieces onto
+// the worklist instead of recursing.
+func (t *Tree) insertReadSlot(s slot, leftOf LeftOfFunc, onOverlap OverlapFunc, work *[]slot) {
+	cur := parentChild(s.parent, s.toLeft, t)
+	if cur == nil {
+		t.attach(s.parent, s.toLeft, t.newNode(s.iv))
+		return
+	}
+	x := s.iv
+	for {
+		t.visit(cur)
+		switch {
+		case x.Start >= cur.end: // case A: x entirely right of cur
+			if cur.right == nil {
+				t.attach(cur, false, t.newNode(x))
+				return
+			}
+			cur = cur.right
+
+		case x.End <= cur.start: // case A: x entirely left of cur
+			if cur.left == nil {
+				t.attach(cur, true, t.newNode(x))
+				return
+			}
+			cur = cur.left
+
+		case x.Start <= cur.start && cur.end <= x.End: // case D: x covers cur
+			t.emitOverlap(onOverlap, cur.acc, cur.start, cur.end)
+			if leftOf(x.Acc, cur.acc) {
+				cur.acc = x.Acc
+			}
+			if x.Start < cur.start {
+				*work = append(*work, slot{parent: cur, toLeft: true, iv: Interval{Start: x.Start, End: cur.start, Acc: x.Acc}})
+			}
+			if cur.end < x.End {
+				*work = append(*work, slot{parent: cur, toLeft: false, iv: Interval{Start: cur.end, End: x.End, Acc: x.Acc}})
+			}
+			return
+
+		case cur.start <= x.Start && x.End <= cur.end: // case C: cur covers x
+			t.emitOverlap(onOverlap, cur.acc, x.Start, x.End)
+			if !leftOf(x.Acc, cur.acc) {
+				return // old reader keeps the whole interval
+			}
+			left := Interval{Start: cur.start, End: x.Start, Acc: cur.acc}
+			right := Interval{Start: x.End, End: cur.end, Acc: cur.acc}
+			cur.start, cur.end, cur.acc = x.Start, x.End, x.Acc
+			if left.Start < left.End {
+				t.insertFresh(cur, true, left)
+			}
+			if right.Start < right.End {
+				t.insertFresh(cur, false, right)
+			}
+			return
+
+		case cur.start < x.Start: // case B: x overlaps cur's right part
+			t.emitOverlap(onOverlap, cur.acc, x.Start, cur.end)
+			if leftOf(x.Acc, cur.acc) {
+				cur.end = x.Start // new reader takes the overlap
+			} else {
+				x.Start = cur.end // old reader keeps it; trim x
+			}
+			if cur.right == nil {
+				t.attach(cur, false, t.newNode(x))
+				return
+			}
+			cur = cur.right
+
+		default: // case B: x overlaps cur's left part
+			t.emitOverlap(onOverlap, cur.acc, cur.start, x.End)
+			if leftOf(x.Acc, cur.acc) {
+				cur.start = x.End
+			} else {
+				x.End = cur.start
+			}
+			if cur.left == nil {
+				t.attach(cur, true, t.newNode(x))
+				return
+			}
+			cur = cur.left
+		}
+	}
+}

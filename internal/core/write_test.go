@@ -1,0 +1,204 @@
+package core
+
+import "testing"
+
+func TestInsertWriteIntoEmpty(t *testing.T) {
+	tr := NewTree()
+	o := newWordOracle()
+	checkedWrite(t, tr, o, Interval{10, 20, 1})
+	if tr.Size() != 1 {
+		t.Fatalf("Size() = %d, want 1", tr.Size())
+	}
+}
+
+func TestInsertWriteCaseA_DisjointChain(t *testing.T) {
+	tr := NewTree()
+	o := newWordOracle()
+	// Disjoint inserts in mixed order exercise both directions of case A.
+	for _, iv := range []Interval{{40, 50, 1}, {10, 20, 2}, {60, 70, 3}, {0, 5, 4}, {25, 30, 5}, {55, 58, 6}} {
+		checkedWrite(t, tr, o, iv)
+	}
+	if tr.Size() != 6 {
+		t.Fatalf("Size() = %d, want 6", tr.Size())
+	}
+}
+
+func TestInsertWriteTouchingIsNotOverlap(t *testing.T) {
+	tr := NewTree()
+	o := newWordOracle()
+	checkedWrite(t, tr, o, Interval{10, 20, 1})
+	// End-touching and start-touching intervals must not be treated as
+	// overlapping (half-open semantics).
+	checkedWrite(t, tr, o, Interval{20, 30, 2})
+	checkedWrite(t, tr, o, Interval{0, 10, 3})
+	if tr.Size() != 3 {
+		t.Fatalf("Size() = %d, want 3", tr.Size())
+	}
+}
+
+func TestInsertWriteCaseB_RightOverlap(t *testing.T) {
+	tr := NewTree()
+	o := newWordOracle()
+	checkedWrite(t, tr, o, Interval{10, 20, 1})
+	// New interval overlaps the right part of the old: old trims to [10,15).
+	checkedWrite(t, tr, o, Interval{15, 30, 2})
+	ivs := intervals(tr)
+	if len(ivs) != 2 || ivs[0] != (Interval{10, 15, 1}) || ivs[1] != (Interval{15, 30, 2}) {
+		t.Fatalf("unexpected contents: %v", ivs)
+	}
+}
+
+func TestInsertWriteCaseB_LeftOverlap(t *testing.T) {
+	tr := NewTree()
+	o := newWordOracle()
+	checkedWrite(t, tr, o, Interval{10, 20, 1})
+	checkedWrite(t, tr, o, Interval{5, 15, 2})
+	ivs := intervals(tr)
+	if len(ivs) != 2 || ivs[0] != (Interval{5, 15, 2}) || ivs[1] != (Interval{15, 20, 1}) {
+		t.Fatalf("unexpected contents: %v", ivs)
+	}
+}
+
+func TestInsertWriteCaseC_OldCovers(t *testing.T) {
+	tr := NewTree()
+	o := newWordOracle()
+	checkedWrite(t, tr, o, Interval{10, 40, 1})
+	// New interval strictly inside: old splits into three.
+	checkedWrite(t, tr, o, Interval{20, 30, 2})
+	ivs := intervals(tr)
+	want := []Interval{{10, 20, 1}, {20, 30, 2}, {30, 40, 1}}
+	if len(ivs) != 3 || ivs[0] != want[0] || ivs[1] != want[1] || ivs[2] != want[2] {
+		t.Fatalf("contents = %v, want %v", ivs, want)
+	}
+}
+
+func TestInsertWriteCaseC_SharedLeftEdge(t *testing.T) {
+	tr := NewTree()
+	o := newWordOracle()
+	checkedWrite(t, tr, o, Interval{10, 40, 1})
+	checkedWrite(t, tr, o, Interval{10, 25, 2}) // left piece empty
+	ivs := intervals(tr)
+	want := []Interval{{10, 25, 2}, {25, 40, 1}}
+	if len(ivs) != 2 || ivs[0] != want[0] || ivs[1] != want[1] {
+		t.Fatalf("contents = %v, want %v", ivs, want)
+	}
+}
+
+func TestInsertWriteCaseC_SharedRightEdge(t *testing.T) {
+	tr := NewTree()
+	o := newWordOracle()
+	checkedWrite(t, tr, o, Interval{10, 40, 1})
+	checkedWrite(t, tr, o, Interval{25, 40, 2}) // right piece empty
+	ivs := intervals(tr)
+	want := []Interval{{10, 25, 1}, {25, 40, 2}}
+	if len(ivs) != 2 || ivs[0] != want[0] || ivs[1] != want[1] {
+		t.Fatalf("contents = %v, want %v", ivs, want)
+	}
+}
+
+func TestInsertWriteCaseD_ExactReplace(t *testing.T) {
+	tr := NewTree()
+	o := newWordOracle()
+	checkedWrite(t, tr, o, Interval{10, 20, 1})
+	checkedWrite(t, tr, o, Interval{10, 20, 2})
+	ivs := intervals(tr)
+	if len(ivs) != 1 || ivs[0] != (Interval{10, 20, 2}) {
+		t.Fatalf("contents = %v, want single [10,20)@2", ivs)
+	}
+}
+
+func TestInsertWriteCaseD_SwallowsMany(t *testing.T) {
+	tr := NewTree()
+	o := newWordOracle()
+	for i := 0; i < 10; i++ {
+		checkedWrite(t, tr, o, Interval{uint64(i * 10), uint64(i*10 + 5), int32(i)})
+	}
+	// One giant write covers everything.
+	checkedWrite(t, tr, o, Interval{0, 100, 99})
+	ivs := intervals(tr)
+	if len(ivs) != 1 || ivs[0] != (Interval{0, 100, 99}) {
+		t.Fatalf("contents = %v, want single [0,100)@99", ivs)
+	}
+}
+
+func TestInsertWriteCaseD_PartialNeighbors(t *testing.T) {
+	tr := NewTree()
+	o := newWordOracle()
+	checkedWrite(t, tr, o, Interval{0, 20, 1})
+	checkedWrite(t, tr, o, Interval{30, 40, 2})
+	checkedWrite(t, tr, o, Interval{50, 80, 3})
+	// Covers all of [30,40), trims [0,20) to [0,10) and [50,80) to [60,80).
+	checkedWrite(t, tr, o, Interval{10, 60, 4})
+	ivs := intervals(tr)
+	want := []Interval{{0, 10, 1}, {10, 60, 4}, {60, 80, 3}}
+	if len(ivs) != 3 || ivs[0] != want[0] || ivs[1] != want[1] || ivs[2] != want[2] {
+		t.Fatalf("contents = %v, want %v", ivs, want)
+	}
+}
+
+func TestInsertWriteRemoveOverlapSubtreeDrop(t *testing.T) {
+	// Build a shape where RemoveOverlap must drop whole subtrees: many
+	// intervals strictly inside the new write, hanging off both sides.
+	tr := NewTree()
+	o := newWordOracle()
+	starts := []uint64{100, 50, 150, 25, 75, 125, 175, 10, 60, 90, 110, 160, 190}
+	for i, s := range starts {
+		checkedWrite(t, tr, o, Interval{s, s + 5, int32(i)})
+	}
+	checkedWrite(t, tr, o, Interval{20, 180, 100})
+	// Everything between 20 and 180 is gone; [10,15) and [190,195) survive.
+	ivs := intervals(tr)
+	want := []Interval{{10, 15, 7}, {20, 180, 100}, {190, 195, 12}}
+	if len(ivs) != 3 || ivs[0] != want[0] || ivs[1] != want[1] || ivs[2] != want[2] {
+		t.Fatalf("contents = %v, want %v", ivs, want)
+	}
+}
+
+func TestInsertWriteOverlapCallbackAccessors(t *testing.T) {
+	// The callback must report the *old* accessor with the overlap range
+	// clipped to the intersection.
+	tr := NewTree()
+	tr.InsertWrite(Interval{10, 30, 7}, nil)
+	var gotAcc int32
+	var gotLo, gotHi uint64
+	calls := 0
+	tr.InsertWrite(Interval{20, 40, 8}, func(acc int32, lo, hi uint64) {
+		calls++
+		gotAcc, gotLo, gotHi = acc, lo, hi
+	})
+	if calls != 1 || gotAcc != 7 || gotLo != 20 || gotHi != 30 {
+		t.Fatalf("callback = %d calls, acc=%d [%d,%d); want 1 call, acc=7 [20,30)", calls, gotAcc, gotLo, gotHi)
+	}
+}
+
+func TestInsertWriteNilCallback(t *testing.T) {
+	tr := NewTree()
+	tr.InsertWrite(Interval{0, 10, 1}, nil)
+	tr.InsertWrite(Interval{5, 15, 2}, nil) // overlap with nil callback must not panic
+	tr.checkInvariants()
+}
+
+func TestInsertWriteSizeBound(t *testing.T) {
+	// Lemma 4.1: after m inserts the tree holds at most 2m+1 intervals.
+	tr := NewTree()
+	o := newWordOracle()
+	m := 0
+	for i := 0; i < 60; i++ {
+		s := uint64((i * 37) % 200)
+		e := s + uint64(5+(i*13)%40)
+		checkedWrite(t, tr, o, Interval{s, e, int32(i)})
+		m++
+		if tr.Size() > 2*m+1 {
+			t.Fatalf("after %d inserts, size %d exceeds 2m+1", m, tr.Size())
+		}
+	}
+}
+
+func TestInsertWritePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty interval")
+		}
+	}()
+	NewTree().InsertWrite(Interval{5, 5, 1}, nil)
+}

@@ -1,0 +1,223 @@
+// Package detect implements the race-detector engines evaluated in the
+// paper: the vanilla word-granularity detector, the compile-time-coalescing
+// variant, the comp+rts variant that adds runtime coalescing over a hashmap
+// access history, and STINT, which adds the interval-treap access history.
+//
+// All engines share the SP-Order reachability substrate (stint/internal/
+// spord) and receive the same instrumentation events from the fork-join
+// runner: word-granularity hooks, compiler-coalesced range hooks, and
+// strand-end notifications. They differ only in how the access history is
+// represented and when races are checked — exactly the four configurations
+// of the paper's Figure 5.
+package detect
+
+import (
+	"fmt"
+	"time"
+
+	"stint/internal/mem"
+)
+
+// Reach abstracts the reachability component. The fork-join runner supplies
+// SP-Order (stint/internal/spord); the pipeline runner supplies 2D-grid
+// dominance reachability. Strands are identified by dense int32 IDs; the
+// engines only ever compare the currently executing strand against stored
+// IDs, plus stored-vs-new left-of arbitration in the read history.
+type Reach interface {
+	// CurrentID identifies the strand the program is executing now.
+	CurrentID() int32
+	// Parallel reports whether two strands are logically parallel.
+	Parallel(a, b int32) bool
+	// LeftOf reports whether strand a is left-of strand b: parallel and
+	// earlier in sequential order, or in series and later.
+	LeftOf(a, b int32) bool
+}
+
+// Mode selects a detector engine.
+type Mode int
+
+const (
+	// Off disables detection entirely; hooks are not invoked.
+	Off Mode = iota
+	// ReachOnly maintains SP-Order but no access history, isolating the
+	// reachability component's overhead (Figure 1's "reach." column).
+	ReachOnly
+	// Vanilla checks every memory access word by word against a two-level
+	// page-table hashmap. Compiler-coalesced range hooks are expanded back
+	// into per-access hooks, modeling per-access instrumentation.
+	Vanilla
+	// Compiler is Vanilla plus compile-time coalescing: range hooks reach
+	// the access history as single calls that iterate words internally.
+	Compiler
+	// CompRTS adds runtime coalescing: accesses set bits in a bit hashmap
+	// and race checks run once per strand over deduplicated words, still
+	// against the word-granularity hashmap access history.
+	CompRTS
+	// STINT is the paper's full system: compile-time and runtime coalescing
+	// with the interval-treap access history of §4.
+	STINT
+	// STINTUnbalanced is the ablation that turns off treap priorities,
+	// degrading the access-history trees to plain BSTs.
+	STINTUnbalanced
+	// STINTSkiplist replaces the treap with a Park-et-al-style interval
+	// skiplist that never removes redundant intervals (related-work
+	// comparison).
+	STINTSkiplist
+)
+
+// String returns the mode name used in tables and CLI flags.
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case ReachOnly:
+		return "reach"
+	case Vanilla:
+		return "vanilla"
+	case Compiler:
+		return "compiler"
+	case CompRTS:
+		return "comp+rts"
+	case STINT:
+		return "stint"
+	case STINTUnbalanced:
+		return "stint-unbalanced"
+	case STINTSkiplist:
+		return "stint-skiplist"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode converts a mode name (as produced by String) back to a Mode.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{Off, ReachOnly, Vanilla, Compiler, CompRTS, STINT, STINTUnbalanced, STINTSkiplist} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return Off, fmt.Errorf("detect: unknown mode %q", s)
+}
+
+// Race describes one detected determinacy race: two logically parallel
+// accesses to an overlapping address range, at least one a write.
+type Race struct {
+	Addr mem.Addr // start of the overlapping range
+	Size uint64   // length of the overlapping range in bytes
+	Prev int32    // strand stored in the access history
+	Cur  int32    // strand performing the current access
+	// PrevWrite and CurWrite give the access kinds; at least one is true.
+	PrevWrite bool
+	CurWrite  bool
+}
+
+func (r Race) String() string {
+	kind := func(w bool) string {
+		if w {
+			return "write"
+		}
+		return "read"
+	}
+	return fmt.Sprintf("race: %s by strand %d and %s by strand %d on [%#x,%#x)",
+		kind(r.PrevWrite), r.Prev, kind(r.CurWrite), r.Cur, r.Addr, r.Addr+r.Size)
+}
+
+// Stats aggregates the counters behind every figure in the paper's
+// evaluation.
+type Stats struct {
+	// Word-granularity access counts, duplicates included (Fig 1, Fig 6
+	// "acc." columns).
+	ReadAccesses  uint64
+	WriteAccesses uint64
+	// Instrumentation calls as emitted after compile-time coalescing
+	// (Fig 6 "compiler int." columns: each hook call is one interval).
+	ReadHookCalls  uint64
+	WriteHookCalls uint64
+	// Intervals after runtime coalescing (Fig 6 "both int." columns) and
+	// their total size in bytes (Fig 6 "sum", deduplicated within strands).
+	ReadIntervals      uint64
+	WriteIntervals     uint64
+	ReadIntervalBytes  uint64
+	WriteIntervalBytes uint64
+	// Access-history operation counts: per-word hashmap operations and
+	// treap operations (Fig 8 "hash ops" / "treap ops").
+	HashOps  uint64
+	TreapOps uint64
+	// Treap traversal detail (Fig 8 "# nodes" / "# overlaps" are these
+	// divided by TreapOps).
+	TreapNodesVisited uint64
+	TreapOverlaps     uint64
+	// Time spent in the access history alone (Fig 7, Fig 8 "oh" columns),
+	// measured only when Config.TimeAccessHistory is set.
+	AccessHistoryTime time.Duration
+	// Races found (every report, before any deduplication by the caller).
+	Races uint64
+	// AccessHistoryBytes approximates the access-history footprint.
+	AccessHistoryBytes uint64
+}
+
+// Config configures an engine.
+type Config struct {
+	Mode Mode
+	// OnRace, if set, receives every race as it is found.
+	OnRace func(Race)
+	// TimeAccessHistory enables the per-strand timers behind Figures 7
+	// and 8. It costs a few clock reads per strand.
+	TimeAccessHistory bool
+}
+
+// Engine is the event interface between the fork-join runner and a
+// detector. The runner guarantees that StrandEnd is called while the
+// finishing strand is still current in the SP structure, before any
+// spawn/sync transition, and that Finish is called once after the program
+// completes.
+type Engine interface {
+	// ReadHook and WriteHook report one memory access of size bytes at
+	// addr (per-access instrumentation).
+	ReadHook(addr mem.Addr, size uint64)
+	WriteHook(addr mem.Addr, size uint64)
+	// ReadRangeHook and WriteRangeHook report a compiler-coalesced access
+	// to count elements of elemBytes bytes each starting at addr.
+	ReadRangeHook(addr mem.Addr, count int, elemBytes uint64)
+	WriteRangeHook(addr mem.Addr, count int, elemBytes uint64)
+	// StrandEnd flushes per-strand state; the ending strand is still
+	// current.
+	StrandEnd()
+	// Finish flushes any remaining state after the final strand.
+	Finish()
+	// Stats returns the accumulated counters.
+	Stats() *Stats
+}
+
+// New builds the engine for cfg.Mode over the given reachability structure.
+// Off and ReachOnly return a no-op engine (the runner additionally skips
+// hook dispatch entirely for Off).
+func New(cfg Config, reach Reach) Engine {
+	switch cfg.Mode {
+	case Off, ReachOnly:
+		return &nopEngine{}
+	case Vanilla:
+		return newHashEngine(cfg, reach, true, false)
+	case Compiler:
+		return newHashEngine(cfg, reach, false, false)
+	case CompRTS:
+		return newHashEngine(cfg, reach, false, true)
+	case STINT:
+		return newTreeEngine(cfg, reach, treeBackendTreap)
+	case STINTUnbalanced:
+		return newTreeEngine(cfg, reach, treeBackendBST)
+	case STINTSkiplist:
+		return newTreeEngine(cfg, reach, treeBackendSkiplist)
+	}
+	panic(fmt.Sprintf("detect: no engine for mode %v", cfg.Mode))
+}
+
+// nopEngine supports Off and ReachOnly.
+type nopEngine struct{ stats Stats }
+
+func (e *nopEngine) ReadHook(mem.Addr, uint64)            {}
+func (e *nopEngine) WriteHook(mem.Addr, uint64)           {}
+func (e *nopEngine) ReadRangeHook(mem.Addr, int, uint64)  {}
+func (e *nopEngine) WriteRangeHook(mem.Addr, int, uint64) {}
+func (e *nopEngine) StrandEnd()                           {}
+func (e *nopEngine) Finish()                              {}
+func (e *nopEngine) Stats() *Stats                        { return &e.stats }

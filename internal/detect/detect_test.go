@@ -1,0 +1,286 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"stint/internal/spord"
+)
+
+// allModes are the real engines (not Off/ReachOnly).
+var allModes = []Mode{Vanilla, Compiler, CompRTS, STINT, STINTUnbalanced, STINTSkiplist}
+
+// script drives an engine through a minimal fork-join execution at the
+// spord level: the parent writes before the spawn (series with everything),
+// the child and the continuation then perform the given accesses, which are
+// logically parallel with each other.
+func runConflictScript(t *testing.T, mode Mode, childWrite, contWrite bool, childAddr, contAddr uint64, size uint64) []Race {
+	t.Helper()
+	sp := spord.New()
+	var races []Race
+	e := New(Config{Mode: mode, OnRace: func(r Race) { races = append(races, r) }}, sp)
+	f := &spord.Frame{}
+
+	e.WriteHook(0x9000, 4) // series access; must never race
+	e.StrandEnd()
+	_, cont := sp.Spawn(f)
+	if childWrite {
+		e.WriteHook(childAddr, size)
+	} else {
+		e.ReadHook(childAddr, size)
+	}
+	e.StrandEnd()
+	sp.Restore(cont)
+	if contWrite {
+		e.WriteHook(contAddr, size)
+	} else {
+		e.ReadHook(contAddr, size)
+	}
+	e.StrandEnd()
+	sp.Sync(f)
+	e.Finish()
+	return races
+}
+
+func TestEnginesReportWriteWriteConflict(t *testing.T) {
+	for _, m := range allModes {
+		races := runConflictScript(t, m, true, true, 0x1000, 0x1000, 8)
+		if len(races) == 0 {
+			t.Errorf("%v: write-write conflict missed", m)
+			continue
+		}
+		r := races[0]
+		if !r.PrevWrite || !r.CurWrite {
+			t.Errorf("%v: race kinds wrong: %+v", m, r)
+		}
+	}
+}
+
+func TestEnginesReportReadWriteConflict(t *testing.T) {
+	for _, m := range allModes {
+		races := runConflictScript(t, m, false, true, 0x1000, 0x1000, 4)
+		if len(races) == 0 {
+			t.Errorf("%v: read-write conflict missed", m)
+		}
+	}
+}
+
+func TestEnginesIgnoreReadRead(t *testing.T) {
+	for _, m := range allModes {
+		if races := runConflictScript(t, m, false, false, 0x1000, 0x1000, 4); len(races) != 0 {
+			t.Errorf("%v: read-read flagged: %v", m, races)
+		}
+	}
+}
+
+func TestEnginesIgnoreDisjointAddresses(t *testing.T) {
+	for _, m := range allModes {
+		if races := runConflictScript(t, m, true, true, 0x1000, 0x2000, 8); len(races) != 0 {
+			t.Errorf("%v: disjoint writes flagged: %v", m, races)
+		}
+	}
+}
+
+func TestPartialOverlapReported(t *testing.T) {
+	for _, m := range allModes {
+		races := runConflictScript(t, m, true, true, 0x1000, 0x1004, 8)
+		if len(races) == 0 {
+			t.Errorf("%v: 4-byte overlap of two 8-byte writes missed", m)
+		}
+	}
+}
+
+func TestVanillaExpandsRangeHooks(t *testing.T) {
+	sp := spord.New()
+	e := New(Config{Mode: Vanilla}, sp)
+	e.ReadRangeHook(0x1000, 10, 4)
+	if got := e.Stats().ReadHookCalls; got != 10 {
+		t.Errorf("vanilla ReadHookCalls = %d, want 10 (one per element)", got)
+	}
+	c := New(Config{Mode: Compiler}, sp)
+	c.ReadRangeHook(0x1000, 10, 4)
+	if got := c.Stats().ReadHookCalls; got != 1 {
+		t.Errorf("compiler ReadHookCalls = %d, want 1 (coalesced)", got)
+	}
+	if e.Stats().ReadAccesses != c.Stats().ReadAccesses {
+		t.Errorf("access counts differ: %d vs %d", e.Stats().ReadAccesses, c.Stats().ReadAccesses)
+	}
+}
+
+func TestCompRTSDefersChecksToStrandEnd(t *testing.T) {
+	sp := spord.New()
+	var races []Race
+	e := New(Config{Mode: CompRTS, OnRace: func(r Race) { races = append(races, r) }}, sp)
+	f := &spord.Frame{}
+	_, cont := sp.Spawn(f)
+	e.WriteHook(0x1000, 4)
+	e.StrandEnd()
+	sp.Restore(cont)
+	e.WriteHook(0x1000, 4)
+	if len(races) != 0 {
+		t.Fatal("race reported before strand end")
+	}
+	e.StrandEnd()
+	if len(races) == 0 {
+		t.Fatal("race not reported at strand end")
+	}
+}
+
+func TestRuntimeCoalescingMergesAdjacentHooks(t *testing.T) {
+	sp := spord.New()
+	e := New(Config{Mode: STINT}, sp)
+	for i := 0; i < 64; i++ {
+		e.WriteHook(uint64(0x1000+4*i), 4)
+	}
+	e.StrandEnd()
+	st := e.Stats()
+	if st.WriteIntervals != 1 {
+		t.Errorf("WriteIntervals = %d, want 1", st.WriteIntervals)
+	}
+	if st.WriteIntervalBytes != 256 {
+		t.Errorf("WriteIntervalBytes = %d, want 256", st.WriteIntervalBytes)
+	}
+}
+
+func TestFinishFlushesLastStrand(t *testing.T) {
+	sp := spord.New()
+	var races []Race
+	e := New(Config{Mode: STINT, OnRace: func(r Race) { races = append(races, r) }}, sp)
+	f := &spord.Frame{}
+	_, cont := sp.Spawn(f)
+	e.WriteHook(0x1000, 4)
+	e.StrandEnd()
+	sp.Restore(cont)
+	e.WriteHook(0x1000, 4)
+	// No StrandEnd: Finish must flush the continuation strand itself.
+	e.Finish()
+	if len(races) == 0 {
+		t.Fatal("Finish did not flush the final strand")
+	}
+}
+
+func TestTreapStatsPopulatedOnFinish(t *testing.T) {
+	sp := spord.New()
+	e := New(Config{Mode: STINT}, sp)
+	e.WriteHook(0x1000, 64)
+	e.ReadHook(0x2000, 64)
+	e.Finish()
+	st := e.Stats()
+	if st.TreapOps == 0 {
+		t.Error("TreapOps = 0 after Finish")
+	}
+	if st.AccessHistoryBytes == 0 {
+		t.Error("AccessHistoryBytes = 0 after Finish")
+	}
+}
+
+func TestHashOpsCounted(t *testing.T) {
+	sp := spord.New()
+	e := New(Config{Mode: Vanilla}, sp)
+	e.WriteHook(0x1000, 16) // 4 words
+	if got := e.Stats().HashOps; got != 4 {
+		t.Errorf("HashOps = %d, want 4", got)
+	}
+}
+
+func TestModeStringRoundTrip(t *testing.T) {
+	for _, m := range append([]Mode{Off, ReachOnly}, allModes...) {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("junk"); err == nil {
+		t.Error("ParseMode accepted junk")
+	}
+	if Mode(99).String() == "" {
+		t.Error("unknown mode has empty String")
+	}
+}
+
+func TestRaceString(t *testing.T) {
+	r := Race{Addr: 0x1000, Size: 8, Prev: 1, Cur: 2, PrevWrite: true, CurWrite: false}
+	s := r.String()
+	for _, want := range []string{"write", "read", "strand 1", "strand 2", "0x1000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Race.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestNopEngineDoesNothing(t *testing.T) {
+	sp := spord.New()
+	for _, m := range []Mode{Off, ReachOnly} {
+		e := New(Config{Mode: m}, sp)
+		e.WriteHook(0x1000, 4)
+		e.ReadRangeHook(0x1000, 4, 4)
+		e.WriteRangeHook(0x1000, 4, 4)
+		e.StrandEnd()
+		e.Finish()
+		if st := e.Stats(); st.ReadAccesses != 0 || st.Races != 0 {
+			t.Errorf("%v engine recorded activity: %+v", m, st)
+		}
+	}
+}
+
+func TestWordsIn(t *testing.T) {
+	cases := []struct {
+		addr, size, want uint64
+	}{
+		{0, 4, 1}, {0, 8, 2}, {2, 4, 2}, {0, 1, 1}, {3, 2, 2}, {4, 0, 0}, {0, 16, 4},
+	}
+	for _, c := range cases {
+		if got := wordsIn(c.addr, c.size); got != c.want {
+			t.Errorf("wordsIn(%d,%d) = %d, want %d", c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+func TestLeftmostReaderSemantics(t *testing.T) {
+	// Three siblings read the same word; then the parent (after sync)
+	// writes it. Every engine must flag the race even though only one
+	// reader is stored — the leftmost reader suffices (Feng–Leiserson).
+	for _, m := range allModes {
+		sp := spord.New()
+		var races []Race
+		e := New(Config{Mode: m, OnRace: func(r Race) { races = append(races, r) }}, sp)
+		f := &spord.Frame{}
+		for i := 0; i < 3; i++ {
+			e.StrandEnd()
+			_, cont := sp.Spawn(f)
+			e.ReadHook(0x1000, 4)
+			e.StrandEnd()
+			sp.Restore(cont)
+		}
+		// A fourth parallel sibling writes: race with some stored reader.
+		e.StrandEnd()
+		_, cont := sp.Spawn(f)
+		e.WriteHook(0x1000, 4)
+		e.StrandEnd()
+		sp.Restore(cont)
+		sp.Sync(f)
+		e.Finish()
+		if len(races) == 0 {
+			t.Errorf("%v: read-write race via stored leftmost reader missed", m)
+		}
+		// After the sync, a write is in series with all readers.
+		races = races[:0]
+		sp2 := spord.New()
+		e2 := New(Config{Mode: m, OnRace: func(r Race) { races = append(races, r) }}, sp2)
+		f2 := &spord.Frame{}
+		for i := 0; i < 3; i++ {
+			e2.StrandEnd()
+			_, cont := sp2.Spawn(f2)
+			e2.ReadHook(0x1000, 4)
+			e2.StrandEnd()
+			sp2.Restore(cont)
+		}
+		e2.StrandEnd()
+		sp2.Sync(f2)
+		e2.WriteHook(0x1000, 4)
+		e2.Finish()
+		if len(races) != 0 {
+			t.Errorf("%v: synced write flagged against readers: %v", m, races)
+		}
+	}
+}

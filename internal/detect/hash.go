@@ -1,0 +1,215 @@
+package detect
+
+import (
+	"time"
+
+	"stint/internal/coalesce"
+	"stint/internal/mem"
+	"stint/internal/shadow"
+)
+
+// span is a flushed interval, collected outside the timed section so access-
+// history timing excludes bitmap extraction.
+type span struct {
+	addr mem.Addr
+	size uint64
+}
+
+// hashEngine implements the Vanilla, Compiler, and CompRTS detectors. All
+// three use the word-granularity shadow hashmap as the access history; they
+// differ in how instrumentation events reach it:
+//
+//   - Vanilla (expandRanges): range hooks are re-expanded into one hook per
+//     element, modeling per-access instrumentation.
+//   - Compiler: range hooks update the hashmap word by word within a single
+//     call, modeling compile-time coalescing (fewer calls, same word work).
+//   - CompRTS (rts): hooks only set bits in the runtime-coalescing bit
+//     hashmap; race checks run once per strand over deduplicated words.
+type hashEngine struct {
+	stats        Stats
+	reach        Reach
+	table        *shadow.Table
+	onRace       func(Race)
+	expandRanges bool
+	rts          bool
+	timeAH       bool
+	readBits     *coalesce.BitSet
+	writeBits    *coalesce.BitSet
+	scratch      []span
+}
+
+func newHashEngine(cfg Config, reach Reach, expandRanges, rts bool) *hashEngine {
+	e := &hashEngine{
+		reach:        reach,
+		table:        shadow.New(),
+		onRace:       cfg.OnRace,
+		expandRanges: expandRanges,
+		rts:          rts,
+		timeAH:       cfg.TimeAccessHistory,
+	}
+	if rts {
+		e.readBits = coalesce.New()
+		e.writeBits = coalesce.New()
+	}
+	return e
+}
+
+func (e *hashEngine) race(r Race) {
+	e.stats.Races++
+	if e.onRace != nil {
+		e.onRace(r)
+	}
+}
+
+// wordsIn returns the number of shadow words covered by size bytes at addr.
+func wordsIn(addr mem.Addr, size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	first := addr >> 2
+	last := (addr + size - 1) >> 2
+	return last - first + 1
+}
+
+// accessWord performs the Feng–Leiserson check-and-update on one word: a
+// read races with a parallel last writer; a write races with a parallel
+// last writer or leftmost reader. Reads replace the stored reader only when
+// left-of it; writes always become the last writer.
+func (e *hashEngine) accessWord(addr mem.Addr, isWrite bool) {
+	e.stats.HashOps++
+	w, r := e.table.Cell(addr)
+	cur := e.reach.CurrentID()
+	if *w != shadow.None && e.reach.Parallel(*w, cur) {
+		e.race(Race{Addr: addr &^ 3, Size: mem.WordSize, Prev: *w, Cur: cur, PrevWrite: true, CurWrite: isWrite})
+	}
+	if isWrite {
+		if *r != shadow.None && e.reach.Parallel(*r, cur) {
+			e.race(Race{Addr: addr &^ 3, Size: mem.WordSize, Prev: *r, Cur: cur, PrevWrite: false, CurWrite: true})
+		}
+		*w = cur
+	} else if *r == shadow.None || e.reach.LeftOf(cur, *r) {
+		*r = cur
+	}
+}
+
+// accessRange runs accessWord over every word of [addr, addr+size).
+func (e *hashEngine) accessRange(addr mem.Addr, size uint64, isWrite bool) {
+	first := addr &^ 3
+	end := addr + size
+	for a := first; a < end; a += mem.WordSize {
+		e.accessWord(a, isWrite)
+	}
+}
+
+func (e *hashEngine) ReadHook(addr mem.Addr, size uint64) {
+	e.stats.ReadHookCalls++
+	e.stats.ReadAccesses += wordsIn(addr, size)
+	if e.rts {
+		setBits(e.readBits, addr, size)
+		return
+	}
+	e.accessRange(addr, size, false)
+}
+
+func (e *hashEngine) WriteHook(addr mem.Addr, size uint64) {
+	e.stats.WriteHookCalls++
+	e.stats.WriteAccesses += wordsIn(addr, size)
+	if e.rts {
+		setBits(e.writeBits, addr, size)
+		return
+	}
+	e.accessRange(addr, size, true)
+}
+
+// setBits routes aligned single-word accesses through the bit hashmap's
+// fast path.
+func setBits(b *coalesce.BitSet, addr mem.Addr, size uint64) {
+	if size <= mem.WordSize && addr&(mem.WordSize-1) == 0 {
+		b.Set(addr)
+		return
+	}
+	b.SetRange(addr, size)
+}
+
+func (e *hashEngine) ReadRangeHook(addr mem.Addr, count int, elemBytes uint64) {
+	if e.expandRanges {
+		// Vanilla: the compiler emitted one hook per access.
+		for i := 0; i < count; i++ {
+			e.ReadHook(addr+mem.Addr(uint64(i)*elemBytes), elemBytes)
+		}
+		return
+	}
+	size := uint64(count) * elemBytes
+	e.stats.ReadHookCalls++
+	e.stats.ReadAccesses += wordsIn(addr, size)
+	if e.rts {
+		e.readBits.SetRange(addr, size)
+		return
+	}
+	e.accessRange(addr, size, false)
+}
+
+func (e *hashEngine) WriteRangeHook(addr mem.Addr, count int, elemBytes uint64) {
+	if e.expandRanges {
+		for i := 0; i < count; i++ {
+			e.WriteHook(addr+mem.Addr(uint64(i)*elemBytes), elemBytes)
+		}
+		return
+	}
+	size := uint64(count) * elemBytes
+	e.stats.WriteHookCalls++
+	e.stats.WriteAccesses += wordsIn(addr, size)
+	if e.rts {
+		e.writeBits.SetRange(addr, size)
+		return
+	}
+	e.accessRange(addr, size, true)
+}
+
+// StrandEnd flushes the bit hashmaps (CompRTS only) and replays the
+// deduplicated intervals against the word-granularity access history.
+func (e *hashEngine) StrandEnd() {
+	if !e.rts {
+		return
+	}
+	e.flush(e.readBits, false)
+	e.flush(e.writeBits, true)
+}
+
+func (e *hashEngine) flush(bits *coalesce.BitSet, isWrite bool) {
+	e.scratch = e.scratch[:0]
+	bits.Flush(func(start mem.Addr, size uint64) {
+		e.scratch = append(e.scratch, span{addr: start, size: size})
+	})
+	if len(e.scratch) == 0 {
+		return
+	}
+	var bytes uint64
+	for _, s := range e.scratch {
+		bytes += s.size
+	}
+	if isWrite {
+		e.stats.WriteIntervals += uint64(len(e.scratch))
+		e.stats.WriteIntervalBytes += bytes
+	} else {
+		e.stats.ReadIntervals += uint64(len(e.scratch))
+		e.stats.ReadIntervalBytes += bytes
+	}
+	var t0 time.Time
+	if e.timeAH {
+		t0 = time.Now()
+	}
+	for _, s := range e.scratch {
+		e.accessRange(s.addr, s.size, isWrite)
+	}
+	if e.timeAH {
+		e.stats.AccessHistoryTime += time.Since(t0)
+	}
+}
+
+func (e *hashEngine) Finish() {
+	e.StrandEnd()
+	e.stats.AccessHistoryBytes = e.table.Bytes()
+}
+
+func (e *hashEngine) Stats() *Stats { return &e.stats }

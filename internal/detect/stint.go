@@ -1,0 +1,208 @@
+package detect
+
+import (
+	"time"
+
+	"stint/internal/coalesce"
+	"stint/internal/core"
+	"stint/internal/mem"
+	"stint/internal/skiplist"
+)
+
+// store abstracts the interval access history so the same detector pipeline
+// can run over the paper's treap, the plain-BST ablation, and the Park et
+// al. skiplist. core.Tree and skiplist.List both satisfy it.
+type store interface {
+	InsertWrite(x core.Interval, onOverlap core.OverlapFunc)
+	InsertRead(x core.Interval, leftOf core.LeftOfFunc, onOverlap core.OverlapFunc)
+	Query(x core.Interval, onOverlap core.OverlapFunc)
+	Stats() core.Stats
+	Size() int
+}
+
+type treeBackend int
+
+const (
+	treeBackendTreap treeBackend = iota
+	treeBackendBST
+	treeBackendSkiplist
+)
+
+// treeEngine is STINT: compile-time and runtime coalescing feeding an
+// interval-granularity access history. Hooks only set bits; at strand end
+// the deduplicated intervals are checked and inserted:
+//
+//   - each read interval is checked against the write tree (a parallel last
+//     writer is a race) and inserted into the read tree, where the left-of
+//     relation decides which reader survives on overlap;
+//   - each write interval is checked against the read tree (a parallel
+//     leftmost reader is a race) and inserted into the write tree, reporting
+//     every displaced parallel writer as a race.
+type treeEngine struct {
+	stats     Stats
+	reach     Reach
+	onRace    func(Race)
+	timeAH    bool
+	readBits  *coalesce.BitSet
+	writeBits *coalesce.BitSet
+	readHist  store
+	writeHist store
+	leftOf    core.LeftOfFunc
+	scratch   []span
+
+	// Per-flush state and preallocated callbacks: the overlap callbacks
+	// capture the engine, not the strand, so flushing allocates nothing.
+	curID         int32
+	readQueryCB   core.OverlapFunc // write-tree overlap vs a read interval
+	writeQueryCB  core.OverlapFunc // read-tree overlap vs a write interval
+	writeInsertCB core.OverlapFunc // write-tree overlap vs a write interval
+}
+
+func newTreeEngine(cfg Config, reach Reach, backend treeBackend) *treeEngine {
+	e := &treeEngine{
+		reach:     reach,
+		onRace:    cfg.OnRace,
+		timeAH:    cfg.TimeAccessHistory,
+		readBits:  coalesce.New(),
+		writeBits: coalesce.New(),
+	}
+	switch backend {
+	case treeBackendTreap:
+		e.readHist, e.writeHist = core.NewTree(), core.NewTree()
+	case treeBackendBST:
+		rt, wt := core.NewTree(), core.NewTree()
+		rt.SetBalancing(false)
+		wt.SetBalancing(false)
+		e.readHist, e.writeHist = rt, wt
+	case treeBackendSkiplist:
+		e.readHist, e.writeHist = skiplist.New(), skiplist.New()
+	}
+	e.leftOf = reach.LeftOf
+	e.readQueryCB = func(acc int32, lo, hi uint64) {
+		if e.reach.Parallel(acc, e.curID) {
+			e.race(Race{Addr: lo, Size: hi - lo, Prev: acc, Cur: e.curID, PrevWrite: true, CurWrite: false})
+		}
+	}
+	e.writeQueryCB = func(acc int32, lo, hi uint64) {
+		if e.reach.Parallel(acc, e.curID) {
+			e.race(Race{Addr: lo, Size: hi - lo, Prev: acc, Cur: e.curID, PrevWrite: false, CurWrite: true})
+		}
+	}
+	e.writeInsertCB = func(acc int32, lo, hi uint64) {
+		if e.reach.Parallel(acc, e.curID) {
+			e.race(Race{Addr: lo, Size: hi - lo, Prev: acc, Cur: e.curID, PrevWrite: true, CurWrite: true})
+		}
+	}
+	return e
+}
+
+func (e *treeEngine) race(r Race) {
+	e.stats.Races++
+	if e.onRace != nil {
+		e.onRace(r)
+	}
+}
+
+func (e *treeEngine) ReadHook(addr mem.Addr, size uint64) {
+	e.stats.ReadHookCalls++
+	e.stats.ReadAccesses += wordsIn(addr, size)
+	setBits(e.readBits, addr, size)
+}
+
+func (e *treeEngine) WriteHook(addr mem.Addr, size uint64) {
+	e.stats.WriteHookCalls++
+	e.stats.WriteAccesses += wordsIn(addr, size)
+	setBits(e.writeBits, addr, size)
+}
+
+func (e *treeEngine) ReadRangeHook(addr mem.Addr, count int, elemBytes uint64) {
+	size := uint64(count) * elemBytes
+	e.stats.ReadHookCalls++
+	e.stats.ReadAccesses += wordsIn(addr, size)
+	e.readBits.SetRange(addr, size)
+}
+
+func (e *treeEngine) WriteRangeHook(addr mem.Addr, count int, elemBytes uint64) {
+	size := uint64(count) * elemBytes
+	e.stats.WriteHookCalls++
+	e.stats.WriteAccesses += wordsIn(addr, size)
+	e.writeBits.SetRange(addr, size)
+}
+
+// StrandEnd flushes both bit hashmaps and runs the interval-granularity
+// race checks and access-history updates for the finishing strand.
+func (e *treeEngine) StrandEnd() {
+	e.curID = e.reach.CurrentID()
+
+	// Reads: race-check against the write history, then record.
+	e.collect(e.readBits)
+	if len(e.scratch) > 0 {
+		var bytes uint64
+		for _, s := range e.scratch {
+			bytes += s.size
+		}
+		e.stats.ReadIntervals += uint64(len(e.scratch))
+		e.stats.ReadIntervalBytes += bytes
+		var t0 time.Time
+		if e.timeAH {
+			t0 = time.Now()
+		}
+		for _, s := range e.scratch {
+			iv := core.Interval{Start: s.addr, End: s.addr + s.size, Acc: e.curID}
+			e.writeHist.Query(iv, e.readQueryCB)
+			e.readHist.InsertRead(iv, e.leftOf, nil)
+		}
+		if e.timeAH {
+			e.stats.AccessHistoryTime += time.Since(t0)
+		}
+	}
+
+	// Writes: race-check against the read history, then insert; displaced
+	// parallel writers are races too.
+	e.collect(e.writeBits)
+	if len(e.scratch) > 0 {
+		var bytes uint64
+		for _, s := range e.scratch {
+			bytes += s.size
+		}
+		e.stats.WriteIntervals += uint64(len(e.scratch))
+		e.stats.WriteIntervalBytes += bytes
+		var t0 time.Time
+		if e.timeAH {
+			t0 = time.Now()
+		}
+		for _, s := range e.scratch {
+			iv := core.Interval{Start: s.addr, End: s.addr + s.size, Acc: e.curID}
+			e.readHist.Query(iv, e.writeQueryCB)
+			e.writeHist.InsertWrite(iv, e.writeInsertCB)
+		}
+		if e.timeAH {
+			e.stats.AccessHistoryTime += time.Since(t0)
+		}
+	}
+}
+
+func (e *treeEngine) collect(bits *coalesce.BitSet) {
+	e.scratch = e.scratch[:0]
+	bits.Flush(func(start mem.Addr, size uint64) {
+		e.scratch = append(e.scratch, span{addr: start, size: size})
+	})
+}
+
+func (e *treeEngine) Finish() {
+	e.StrandEnd()
+	rs, ws := e.readHist.Stats(), e.writeHist.Stats()
+	e.stats.TreapOps = rs.Ops + ws.Ops
+	e.stats.TreapNodesVisited = rs.NodesVisited + ws.NodesVisited
+	e.stats.TreapOverlaps = rs.Overlaps + ws.Overlaps
+	// Approximate footprint: one node per stored interval.
+	e.stats.AccessHistoryBytes = uint64(e.readHist.Size()+e.writeHist.Size()) * 48
+}
+
+func (e *treeEngine) Stats() *Stats { return &e.stats }
+
+// HistorySizes reports the number of intervals currently stored in the read
+// and write histories (used by the skiplist-vs-treap ablation).
+func (e *treeEngine) HistorySizes() (read, write int) {
+	return e.readHist.Size(), e.writeHist.Size()
+}

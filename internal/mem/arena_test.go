@@ -1,0 +1,130 @@
+package mem
+
+import "testing"
+
+func TestAllocBasics(t *testing.T) {
+	a := NewArena()
+	b := a.AllocWords("x", 100)
+	if b.Name() != "x" || b.Len() != 100 || b.ElemBytes() != WordSize {
+		t.Fatalf("unexpected buffer: %s len=%d elem=%d", b.Name(), b.Len(), b.ElemBytes())
+	}
+	if b.Base() == 0 {
+		t.Fatal("buffer allocated at address 0")
+	}
+	if b.Base()%WordSize != 0 {
+		t.Fatal("buffer base not word-aligned")
+	}
+	if b.Bytes() != 400 {
+		t.Fatalf("Bytes() = %d, want 400", b.Bytes())
+	}
+}
+
+func TestBuffersDoNotOverlap(t *testing.T) {
+	a := NewArena()
+	b1 := a.AllocWords("a", 1000)
+	b2 := a.AllocFloat64("b", 1000)
+	b3 := a.Alloc("c", 10, 16)
+	type span struct{ lo, hi Addr }
+	spans := []span{
+		{b1.Base(), b1.Base() + b1.Bytes()},
+		{b2.Base(), b2.Base() + b2.Bytes()},
+		{b3.Base(), b3.Base() + b3.Bytes()},
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				t.Fatalf("buffers %d and %d overlap", i, j)
+			}
+		}
+	}
+	if len(a.Buffers()) != 3 {
+		t.Fatalf("Buffers() has %d entries, want 3", len(a.Buffers()))
+	}
+}
+
+func TestAddrArithmetic(t *testing.T) {
+	a := NewArena()
+	b := a.AllocFloat64("f", 10)
+	if b.Addr(0) != b.Base() {
+		t.Fatal("Addr(0) != Base")
+	}
+	if b.Addr(3)-b.Addr(2) != 8 {
+		t.Fatal("float64 elements not 8 bytes apart")
+	}
+	addr, size := b.Range(2, 4)
+	if addr != b.Addr(2) || size != 32 {
+		t.Fatalf("Range(2,4) = (%#x,%d), want (%#x,32)", addr, size, b.Addr(2))
+	}
+}
+
+func TestDeterministicLayout(t *testing.T) {
+	build := func() []Addr {
+		a := NewArena()
+		var bases []Addr
+		bases = append(bases, a.AllocWords("a", 123).Base())
+		bases = append(bases, a.AllocFloat64("b", 77).Base())
+		bases = append(bases, a.Alloc("c", 5, 24).Base())
+		return bases
+	}
+	x, y := build(), build()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("layout not deterministic at %d: %#x vs %#x", i, x[i], y[i])
+		}
+	}
+}
+
+func TestZeroLengthBuffer(t *testing.T) {
+	a := NewArena()
+	b1 := a.AllocWords("z", 0)
+	b2 := a.AllocWords("after", 4)
+	if b1.Base() == b2.Base() {
+		t.Fatal("zero-length buffer shares a base with the next allocation")
+	}
+	if b1.Bytes() != 0 {
+		t.Fatal("zero-length buffer has bytes")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	a := NewArena()
+	b := a.AllocWords("x", 4)
+	for _, f := range []func(){
+		func() { b.Addr(-1) },
+		func() { b.Addr(4) },
+		func() { b.Range(2, 3) },
+		func() { b.Range(-1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBadElemSizePanics(t *testing.T) {
+	a := NewArena()
+	for _, size := range []int{0, -4, 3, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Alloc accepted element size %d", size)
+				}
+			}()
+			a.Alloc("bad", 1, size)
+		}()
+	}
+}
+
+func TestFootprintGrows(t *testing.T) {
+	a := NewArena()
+	before := a.Footprint()
+	a.AllocWords("x", 1<<16)
+	if a.Footprint() <= before {
+		t.Fatal("footprint did not grow")
+	}
+}

@@ -1,0 +1,236 @@
+package multiread
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// noSeries treats every pair as parallel: nothing is pruned.
+func noSeries(a, b int32) bool { return false }
+
+// byIDSeries makes lower IDs precede higher ones (a total chain).
+func byIDSeries(a, b int32) bool { return a < b }
+
+// byteOracle models the map as per-byte reader sets.
+type byteOracle struct {
+	readers map[uint64]map[int32]bool
+	series  SeriesFunc
+}
+
+func newByteOracle(series SeriesFunc) *byteOracle {
+	return &byteOracle{readers: make(map[uint64]map[int32]bool), series: series}
+}
+
+func (o *byteOracle) insert(start, end uint64, acc int32) {
+	for b := start; b < end; b++ {
+		set := o.readers[b]
+		if set == nil {
+			set = make(map[int32]bool)
+			o.readers[b] = set
+		}
+		for r := range set {
+			if r != acc && o.series(r, acc) {
+				delete(set, r)
+			}
+		}
+		set[acc] = true
+	}
+}
+
+func (o *byteOracle) pairs(start, end uint64) map[string]bool {
+	out := make(map[string]bool)
+	for b := start; b < end; b++ {
+		for r := range o.readers[b] {
+			out[fmt.Sprintf("%d@%d", b, r)] = true
+		}
+	}
+	return out
+}
+
+func queryPairs(m *Map, start, end uint64) map[string]bool {
+	out := make(map[string]bool)
+	m.Query(start, end, func(acc int32, lo, hi uint64) {
+		for b := lo; b < hi; b++ {
+			key := fmt.Sprintf("%d@%d", b, acc)
+			if out[key] {
+				panic("duplicate (byte, reader) pair in one query")
+			}
+			out[key] = true
+		}
+	})
+	return out
+}
+
+func compare(t *testing.T, ctx string, m *Map, o *byteOracle, start, end uint64) {
+	t.Helper()
+	got, want := queryPairs(m, start, end), o.pairs(start, end)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", ctx, len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("%s: missing pair %s", ctx, k)
+		}
+	}
+}
+
+func TestInsertDisjoint(t *testing.T) {
+	var m Map
+	m.Insert(10, 20, 1, noSeries)
+	m.Insert(30, 40, 2, noSeries)
+	m.checkInvariants()
+	if m.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", m.Size())
+	}
+}
+
+func TestInsertOverlapAccumulatesReaders(t *testing.T) {
+	var m Map
+	m.Insert(0, 10, 1, noSeries)
+	m.Insert(5, 15, 2, noSeries)
+	m.checkInvariants()
+	// Regions: [0,5)={1}, [5,10)={1,2}, [10,15)={2}.
+	var got []string
+	m.Walk(func(s, e uint64, acc []int32) { got = append(got, fmt.Sprintf("[%d,%d)%v", s, e, acc)) })
+	want := []string{"[0,5)[1]", "[5,10)[1 2]", "[10,15)[2]"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("regions = %v, want %v", got, want)
+	}
+}
+
+func TestSeriesPruning(t *testing.T) {
+	var m Map
+	m.Insert(0, 10, 1, byIDSeries)
+	m.Insert(0, 10, 2, byIDSeries) // 1 ≼ 2: 1 pruned
+	m.checkInvariants()
+	if m.Readers() != 1 {
+		t.Fatalf("Readers = %d, want 1 (dominated reader kept)", m.Readers())
+	}
+	pairs := queryPairs(&m, 0, 10)
+	if len(pairs) != 10 || !pairs["0@2"] {
+		t.Fatalf("unexpected readers: %v", pairs)
+	}
+}
+
+func TestParallelReadersAccumulate(t *testing.T) {
+	var m Map
+	for acc := int32(0); acc < 5; acc++ {
+		m.Insert(0, 4, acc, noSeries)
+	}
+	m.checkInvariants()
+	if m.Readers() != 5 {
+		t.Fatalf("Readers = %d, want 5 parallel readers", m.Readers())
+	}
+}
+
+func TestDuplicateReaderNotStoredTwice(t *testing.T) {
+	var m Map
+	m.Insert(0, 8, 3, noSeries)
+	m.Insert(0, 8, 3, noSeries)
+	m.checkInvariants()
+	if m.Readers() != 1 {
+		t.Fatalf("Readers = %d, want 1", m.Readers())
+	}
+}
+
+func TestSplitOnPartialOverlap(t *testing.T) {
+	var m Map
+	m.Insert(0, 100, 1, noSeries)
+	m.Insert(40, 60, 2, noSeries)
+	m.checkInvariants()
+	if m.Size() != 3 {
+		t.Fatalf("Size = %d, want 3 after a middle split", m.Size())
+	}
+}
+
+func TestQueryEmptyAndMiss(t *testing.T) {
+	var m Map
+	m.Query(0, 100, func(int32, uint64, uint64) { t.Fatal("empty map emitted") })
+	m.Insert(50, 60, 1, noSeries)
+	m.Query(0, 50, func(int32, uint64, uint64) { t.Fatal("miss emitted") })
+	m.Query(60, 100, func(int32, uint64, uint64) { t.Fatal("miss emitted") })
+}
+
+func TestRandomAgainstOracle(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// Random partial order: series iff a < b and bit set.
+		rel := make(map[[2]int32]bool)
+		series := func(a, b int32) bool { return a < b && rel[[2]int32{a, b}] }
+		var m Map
+		o := newByteOracle(series)
+		for i := int32(0); i < 80; i++ {
+			for j := i + 1; j < 80; j++ {
+				if rng.Intn(3) == 0 {
+					rel[[2]int32{i, j}] = true
+				}
+			}
+		}
+		for i := int32(0); i < 80; i++ {
+			s := rng.Uint64() % 200
+			e := s + uint64(rng.Intn(40)) + 1
+			m.Insert(s, e, i, series)
+			m.checkInvariants()
+			o.insert(s, e, i)
+			if rng.Intn(3) == 0 {
+				qs := rng.Uint64() % 200
+				qe := qs + uint64(rng.Intn(60)) + 1
+				compare(t, fmt.Sprintf("seed %d step %d", seed, i), &m, o, qs, qe)
+			}
+		}
+		compare(t, fmt.Sprintf("seed %d final", seed), &m, o, 0, 260)
+	}
+}
+
+func TestQuickChainPruningBoundsFootprint(t *testing.T) {
+	// With a total chain, the antichain per region is always a single
+	// reader, no matter how many inserts hit it.
+	f := func(seed int64, opsRaw uint8) bool {
+		ops := int(opsRaw%60) + 5
+		rng := rand.New(rand.NewSource(seed))
+		var m Map
+		for i := 0; i < ops; i++ {
+			s := rng.Uint64() % 100
+			m.Insert(s, s+uint64(rng.Intn(30))+1, int32(i), byIDSeries)
+		}
+		m.checkInvariants()
+		ok := true
+		m.Walk(func(_, _ uint64, acc []int32) {
+			if len(acc) != 1 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnEmptyInterval(t *testing.T) {
+	var m Map
+	for _, f := range []func(){
+		func() { m.Insert(5, 5, 1, noSeries) },
+		func() { m.Query(5, 5, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkInsertChain(b *testing.B) {
+	var m Map
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := uint64(i%1000) * 16
+		m.Insert(s, s+16, int32(i), byIDSeries)
+	}
+}

@@ -1,0 +1,105 @@
+// Package oracle provides a brute-force reference race detector for
+// testing.
+//
+// Instead of an access history, the oracle records every strand that ever
+// read or wrote each shadow word. After the run, RacingWords reports the
+// exact set of words on which two logically parallel strands performed
+// conflicting accesses — the ground truth every real detector is compared
+// against: by Feng–Leiserson, a sound-and-complete detector reports a race
+// on a word if and only if that word has one.
+//
+// The oracle implements detect.Engine so the fork-join runner can drive it
+// like any production engine. It is O(accesses × strands²) in the worst
+// case and intended only for small randomized test programs.
+package oracle
+
+import (
+	"stint/internal/detect"
+	"stint/internal/mem"
+)
+
+// Detector is the brute-force engine.
+type Detector struct {
+	reach  detect.Reach
+	reads  map[mem.Addr]map[int32]struct{}
+	writes map[mem.Addr]map[int32]struct{}
+	stats  detect.Stats
+}
+
+var _ detect.Engine = (*Detector)(nil)
+
+// New returns an oracle over the given reachability structure.
+func New(reach detect.Reach) *Detector {
+	return &Detector{
+		reach:  reach,
+		reads:  make(map[mem.Addr]map[int32]struct{}),
+		writes: make(map[mem.Addr]map[int32]struct{}),
+	}
+}
+
+func (d *Detector) record(m map[mem.Addr]map[int32]struct{}, addr mem.Addr, size uint64) {
+	cur := d.reach.CurrentID()
+	first := addr &^ 3
+	for a := first; a < addr+size; a += mem.WordSize {
+		set := m[a]
+		if set == nil {
+			set = make(map[int32]struct{})
+			m[a] = set
+		}
+		set[cur] = struct{}{}
+	}
+}
+
+// ReadHook records a read access.
+func (d *Detector) ReadHook(addr mem.Addr, size uint64) { d.record(d.reads, addr, size) }
+
+// WriteHook records a write access.
+func (d *Detector) WriteHook(addr mem.Addr, size uint64) { d.record(d.writes, addr, size) }
+
+// ReadRangeHook records a coalesced read element by element.
+func (d *Detector) ReadRangeHook(addr mem.Addr, count int, elemBytes uint64) {
+	d.record(d.reads, addr, uint64(count)*elemBytes)
+}
+
+// WriteRangeHook records a coalesced write element by element.
+func (d *Detector) WriteRangeHook(addr mem.Addr, count int, elemBytes uint64) {
+	d.record(d.writes, addr, uint64(count)*elemBytes)
+}
+
+// StrandEnd is a no-op: the oracle needs no per-strand state.
+func (d *Detector) StrandEnd() {}
+
+// Finish is a no-op.
+func (d *Detector) Finish() {}
+
+// Stats returns zeroed counters; the oracle measures nothing.
+func (d *Detector) Stats() *detect.Stats { return &d.stats }
+
+// RacingWords returns the set of word addresses with at least one pair of
+// logically parallel conflicting accesses.
+func (d *Detector) RacingWords() map[mem.Addr]bool {
+	racy := make(map[mem.Addr]bool)
+	for addr, writers := range d.writes {
+		if d.wordRaces(writers, d.reads[addr]) {
+			racy[addr] = true
+		}
+	}
+	return racy
+}
+
+// wordRaces checks writer-writer and writer-reader pairs for parallelism.
+func (d *Detector) wordRaces(writers, readers map[int32]struct{}) bool {
+	for w1 := range writers {
+		for w2 := range writers {
+			if w1 < w2 && d.reach.Parallel(w1, w2) {
+				return true
+			}
+		}
+		for r := range readers {
+			if r != w1 && d.reach.Parallel(w1, r) {
+				return true
+			}
+		}
+	}
+	return false
+}

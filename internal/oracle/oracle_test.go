@@ -1,0 +1,88 @@
+package oracle
+
+import (
+	"testing"
+
+	"stint/internal/spord"
+)
+
+func TestNoAccessesNoRaces(t *testing.T) {
+	sp := spord.New()
+	d := New(sp)
+	if len(d.RacingWords()) != 0 {
+		t.Fatal("empty oracle reports races")
+	}
+}
+
+func TestParallelWritesDetected(t *testing.T) {
+	sp := spord.New()
+	d := New(sp)
+	f := &spord.Frame{}
+	_, cont := sp.Spawn(f)
+	d.WriteHook(0x1000, 4)
+	sp.Restore(cont)
+	d.WriteHook(0x1000, 4)
+	sp.Sync(f)
+	racy := d.RacingWords()
+	if !racy[0x1000] || len(racy) != 1 {
+		t.Fatalf("RacingWords = %v, want {0x1000}", racy)
+	}
+}
+
+func TestSeriesWritesClean(t *testing.T) {
+	sp := spord.New()
+	d := New(sp)
+	f := &spord.Frame{}
+	d.WriteHook(0x1000, 4)
+	_, cont := sp.Spawn(f)
+	d.WriteHook(0x1000, 4)
+	sp.Restore(cont)
+	sp.Sync(f)
+	d.WriteHook(0x1000, 4) // after sync
+	if racy := d.RacingWords(); len(racy) != 0 {
+		t.Fatalf("series writes flagged: %v", racy)
+	}
+}
+
+func TestReadReadClean(t *testing.T) {
+	sp := spord.New()
+	d := New(sp)
+	f := &spord.Frame{}
+	_, cont := sp.Spawn(f)
+	d.ReadHook(0x1000, 4)
+	sp.Restore(cont)
+	d.ReadHook(0x1000, 4)
+	sp.Sync(f)
+	if racy := d.RacingWords(); len(racy) != 0 {
+		t.Fatalf("read-read flagged: %v", racy)
+	}
+}
+
+func TestRangeHooksExpandToWords(t *testing.T) {
+	sp := spord.New()
+	d := New(sp)
+	f := &spord.Frame{}
+	_, cont := sp.Spawn(f)
+	d.WriteRangeHook(0x1000, 4, 4) // words 0x1000..0x100c
+	sp.Restore(cont)
+	d.ReadRangeHook(0x1008, 2, 4) // words 0x1008, 0x100c
+	sp.Sync(f)
+	racy := d.RacingWords()
+	if len(racy) != 2 || !racy[0x1008] || !racy[0x100c] {
+		t.Fatalf("RacingWords = %v, want exactly {0x1008, 0x100c}", racy)
+	}
+}
+
+func TestUnalignedAccessCoversWords(t *testing.T) {
+	sp := spord.New()
+	d := New(sp)
+	f := &spord.Frame{}
+	_, cont := sp.Spawn(f)
+	d.WriteHook(0x1002, 4) // straddles words 0x1000 and 0x1004
+	sp.Restore(cont)
+	d.ReadHook(0x1004, 4)
+	sp.Sync(f)
+	if racy := d.RacingWords(); !racy[0x1004] {
+		t.Fatalf("straddled word missed: %v", racy)
+	}
+}

@@ -1,0 +1,50 @@
+package shadow
+
+import "stint/internal/mem"
+
+// Direct is a direct-mapped shadow table: one flat preallocated array of
+// cells covering a fixed address range. The related-work shadow-memory
+// schemes the paper cites ([5, 21, 23, 31]) trade this way — O(1) lookups
+// with no second-level indirection, paid for with up-front allocation
+// proportional to the covered range whether or not it is touched.
+//
+// Direct exists as a data-structure-level ablation against the two-level
+// Table (see BenchmarkDirectVsTwoLevel): the detector engines use Table,
+// whose lazy pages match the paper's vanilla design.
+type Direct struct {
+	base   mem.Addr
+	writer []int32
+	reader []int32
+}
+
+// NewDirect returns a table covering [base, base+size) bytes; size is
+// rounded up to whole words.
+func NewDirect(base mem.Addr, size uint64) *Direct {
+	words := (size + mem.WordSize - 1) / mem.WordSize
+	d := &Direct{
+		base:   base &^ 3,
+		writer: make([]int32, words),
+		reader: make([]int32, words),
+	}
+	for i := range d.writer {
+		d.writer[i] = None
+		d.reader[i] = None
+	}
+	return d
+}
+
+// Covers reports whether addr falls inside the mapped range.
+func (d *Direct) Covers(addr mem.Addr) bool {
+	off := (addr - d.base) >> 2
+	return addr >= d.base && off < uint64(len(d.writer))
+}
+
+// Cell returns the writer and reader slots for the word containing addr.
+// The address must be covered.
+func (d *Direct) Cell(addr mem.Addr) (writer, reader *int32) {
+	off := (addr - d.base) >> 2
+	return &d.writer[off], &d.reader[off]
+}
+
+// Bytes returns the table's memory footprint.
+func (d *Direct) Bytes() uint64 { return uint64(len(d.writer)) * 8 }

@@ -1,0 +1,83 @@
+package shadow
+
+import (
+	"testing"
+
+	"stint/internal/mem"
+)
+
+func TestDirectRoundTrip(t *testing.T) {
+	d := NewDirect(0x1000, 64)
+	w, r := d.Cell(0x1004)
+	if *w != None || *r != None {
+		t.Fatal("fresh cell not empty")
+	}
+	*w, *r = 5, 7
+	w2, r2 := d.Cell(0x1005) // same word
+	if *w2 != 5 || *r2 != 7 {
+		t.Fatal("same-word addresses disagree")
+	}
+	w3, _ := d.Cell(0x1008)
+	if *w3 != None {
+		t.Fatal("adjacent word aliases")
+	}
+}
+
+func TestDirectCovers(t *testing.T) {
+	d := NewDirect(0x1000, 64)
+	cases := []struct {
+		addr mem.Addr
+		want bool
+	}{
+		{0x1000, true}, {0x103F, true}, {0x1040, false}, {0xFFF, false}, {0, false},
+	}
+	for _, c := range cases {
+		if got := d.Covers(c.addr); got != c.want {
+			t.Errorf("Covers(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestDirectMatchesTwoLevelSemantics(t *testing.T) {
+	d := NewDirect(0, 1<<16)
+	tb := New()
+	for i := 0; i < 2000; i++ {
+		addr := mem.Addr((i * 37) % (1 << 16))
+		dw, dr := d.Cell(addr)
+		tw, tr := tb.Cell(addr)
+		if *dw != *tw || *dr != *tr {
+			t.Fatalf("tables diverge at %#x before write", addr)
+		}
+		*dw, *tw = int32(i), int32(i)
+		*dr, *tr = int32(i+1), int32(i+1)
+	}
+	for addr := mem.Addr(0); addr < 1<<16; addr += 4 {
+		dw, dr := d.Cell(addr)
+		tw, tr := tb.Peek(addr)
+		if *dw != tw || *dr != tr {
+			t.Fatalf("tables diverge at %#x after writes", addr)
+		}
+	}
+}
+
+// BenchmarkDirectVsTwoLevel quantifies the related-work trade-off: the
+// direct map saves the page lookup but must preallocate the whole range.
+func BenchmarkDirectVsTwoLevel(b *testing.B) {
+	const span = 1 << 22
+	b.Run("direct", func(b *testing.B) {
+		d := NewDirect(0, span)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w, _ := d.Cell(mem.Addr(i*68) % span)
+			*w = int32(i)
+		}
+	})
+	b.Run("two-level", func(b *testing.B) {
+		tb := New()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w, _ := tb.Cell(mem.Addr(i*68) % span)
+			*w = int32(i)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+// Package shadow implements the vanilla access history: a two-level
+// page-table-like hashmap from four-byte memory words to the strands that
+// last wrote and leftmost-read them.
+//
+// This is the baseline the paper calls "vanilla": the address's prefix
+// indexes a first-level table (here a Go map plus a one-entry cache, playing
+// the role of the paper's first-level array) and the suffix indexes into a
+// lazily allocated second-level page holding one shadow cell per word.
+package shadow
+
+import "stint/internal/mem"
+
+const (
+	// pageBytesBits makes each second-level page cover 64 KiB of address
+	// space.
+	pageBytesBits = 16
+	wordBits      = 2 // log2(mem.WordSize)
+	pageWordBits  = pageBytesBits - wordBits
+	pageWords     = 1 << pageWordBits
+	pageWordMask  = pageWords - 1
+)
+
+// None marks an empty shadow slot: no strand has accessed the word.
+const None int32 = -1
+
+// page holds the last writer and leftmost reader for every word of one
+// 64 KiB address range.
+type page struct {
+	writer [pageWords]int32
+	reader [pageWords]int32
+}
+
+func newPage() *page {
+	p := &page{}
+	for i := range p.writer {
+		p.writer[i] = None
+		p.reader[i] = None
+	}
+	return p
+}
+
+// Table is a two-level word-granularity shadow memory. The zero value is
+// not usable; call New.
+type Table struct {
+	pages    map[uint64]*page
+	lastIdx  uint64
+	lastPage *page
+}
+
+// New returns an empty shadow table.
+func New() *Table {
+	return &Table{pages: make(map[uint64]*page)}
+}
+
+// Cell returns pointers to the writer and reader slots for the word
+// containing byte address addr, allocating the page on first touch.
+func (t *Table) Cell(addr mem.Addr) (writer, reader *int32) {
+	word := addr >> wordBits
+	idx := word >> pageWordBits
+	p := t.lastPage
+	if p == nil || idx != t.lastIdx {
+		p = t.pages[idx]
+		if p == nil {
+			p = newPage()
+			t.pages[idx] = p
+		}
+		t.lastIdx, t.lastPage = idx, p
+	}
+	off := word & pageWordMask
+	return &p.writer[off], &p.reader[off]
+}
+
+// Peek returns the writer and reader for the word containing addr without
+// allocating; absent pages read as None.
+func (t *Table) Peek(addr mem.Addr) (writer, reader int32) {
+	word := addr >> wordBits
+	p := t.pages[word>>pageWordBits]
+	if p == nil {
+		return None, None
+	}
+	off := word & pageWordMask
+	return p.writer[off], p.reader[off]
+}
+
+// Pages returns the number of second-level pages allocated, a proxy for the
+// shadow-memory footprint.
+func (t *Table) Pages() int { return len(t.pages) }
+
+// Bytes returns the approximate memory footprint of the table in bytes.
+func (t *Table) Bytes() uint64 {
+	return uint64(len(t.pages)) * uint64(pageWords) * 8
+}

@@ -1,0 +1,167 @@
+// Package skiplist implements the related-work access history of Park et
+// al. (SC '11): an interval skiplist that never removes redundant
+// intervals.
+//
+// Unlike the paper's treap (stint/internal/core), inserting an interval x
+// that overlaps stored intervals leaves all of them in place — x simply
+// joins them. Queries therefore cost O(lg n + k′), where k′ counts every
+// stored overlapping interval including duplicates of each other, and k′
+// can grow without bound on re-accessed ranges. The package exists so the
+// detector can run the same pipeline over both stores and measure the
+// difference (the STINTSkiplist mode and its ablation bench).
+//
+// Because stored intervals may overlap, a start-keyed search alone cannot
+// find all overlaps; the list tracks the maximum interval length ever
+// inserted and begins each scan at the first interval starting after
+// x.Start - maxLen, the standard bounded-length trick.
+package skiplist
+
+import "stint/internal/core"
+
+const maxHeight = 32
+
+type node struct {
+	iv   core.Interval
+	next [maxHeight]*node
+}
+
+// List is an interval skiplist access history. The zero value is not
+// usable; call New.
+type List struct {
+	head   *node
+	level  int
+	rng    uint64
+	maxLen uint64
+	size   int
+	stats  core.Stats
+}
+
+// New returns an empty list.
+func New() *List {
+	return &List{head: &node{}, level: 1, rng: 0x853C49E6748FEA9B}
+}
+
+// Size returns the number of stored intervals (duplicates included).
+func (l *List) Size() int { return l.size }
+
+// Stats returns the accumulated operation counters, mirroring
+// core.Tree.Stats.
+func (l *List) Stats() core.Stats { return l.stats }
+
+// ResetStats zeroes the counters.
+func (l *List) ResetStats() { l.stats = core.Stats{} }
+
+func (l *List) randHeight() int {
+	x := l.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	l.rng = x
+	h := 1
+	for v := x * 0x2545F4914F6CDD1D; v&1 == 1 && h < maxHeight; v >>= 1 {
+		h++
+	}
+	return h
+}
+
+// insert adds iv without removing anything.
+func (l *List) insert(iv core.Interval) {
+	var update [maxHeight]*node
+	cur := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for cur.next[i] != nil && cur.next[i].iv.Start < iv.Start {
+			cur = cur.next[i]
+			l.stats.NodesVisited++
+		}
+		update[i] = cur
+	}
+	h := l.randHeight()
+	if h > l.level {
+		for i := l.level; i < h; i++ {
+			update[i] = l.head
+		}
+		l.level = h
+	}
+	n := &node{iv: iv}
+	for i := 0; i < h; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	l.size++
+	if iv.Len() > l.maxLen {
+		l.maxLen = iv.Len()
+	}
+}
+
+// overlaps emits every stored interval overlapping x, duplicates included.
+func (l *List) overlaps(x core.Interval, onOverlap core.OverlapFunc) {
+	var from uint64
+	if x.Start > l.maxLen {
+		from = x.Start - l.maxLen
+	}
+	// Descend to the last node starting before `from`.
+	cur := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for cur.next[i] != nil && cur.next[i].iv.Start < from {
+			cur = cur.next[i]
+			l.stats.NodesVisited++
+		}
+	}
+	// Linear scan of candidates: anything starting in [from, x.End).
+	for n := cur.next[0]; n != nil && n.iv.Start < x.End; n = n.next[0] {
+		l.stats.NodesVisited++
+		if n.iv.Overlaps(x) {
+			l.stats.Overlaps++
+			if onOverlap != nil {
+				lo, hi := n.iv.Start, n.iv.End
+				if x.Start > lo {
+					lo = x.Start
+				}
+				if x.End < hi {
+					hi = x.End
+				}
+				onOverlap(n.iv.Acc, lo, hi)
+			}
+		}
+	}
+}
+
+// InsertWrite reports stored intervals overlapping x and inserts x,
+// leaving the overlapped intervals in place (Park et al. semantics).
+func (l *List) InsertWrite(x core.Interval, onOverlap core.OverlapFunc) {
+	if x.Start >= x.End {
+		panic("skiplist: empty write interval")
+	}
+	l.stats.Ops++
+	l.overlaps(x, onOverlap)
+	l.insert(x)
+}
+
+// InsertRead inserts a read interval. leftOf is unused — no stored interval
+// is ever displaced — but kept for interface compatibility with the treap.
+func (l *List) InsertRead(x core.Interval, leftOf core.LeftOfFunc, onOverlap core.OverlapFunc) {
+	if x.Start >= x.End {
+		panic("skiplist: empty read interval")
+	}
+	_ = leftOf
+	l.stats.Ops++
+	l.overlaps(x, onOverlap)
+	l.insert(x)
+}
+
+// Query reports stored intervals overlapping x without modification.
+func (l *List) Query(x core.Interval, onOverlap core.OverlapFunc) {
+	if x.Start >= x.End {
+		panic("skiplist: empty query interval")
+	}
+	l.stats.Ops++
+	l.overlaps(x, onOverlap)
+}
+
+// Walk calls fn on every stored interval in start order (duplicates
+// included), for tests and dump tools.
+func (l *List) Walk(fn func(core.Interval)) {
+	for n := l.head.next[0]; n != nil; n = n.next[0] {
+		fn(n.iv)
+	}
+}

@@ -1,0 +1,186 @@
+package skiplist
+
+import (
+	"math/rand"
+	"testing"
+
+	"stint/internal/core"
+)
+
+func iv(s, e uint64, acc int32) core.Interval { return core.Interval{Start: s, End: e, Acc: acc} }
+
+// collect gathers overlap callbacks as (acc, lo, hi) triples.
+func collect(fn func(core.OverlapFunc)) [][3]uint64 {
+	var out [][3]uint64
+	fn(func(acc int32, lo, hi uint64) { out = append(out, [3]uint64{uint64(acc), lo, hi}) })
+	return out
+}
+
+func TestEmptyQuery(t *testing.T) {
+	l := New()
+	got := collect(func(f core.OverlapFunc) { l.Query(iv(0, 100, 0), f) })
+	if len(got) != 0 {
+		t.Fatalf("empty list reported overlaps: %v", got)
+	}
+}
+
+func TestInsertAndQuery(t *testing.T) {
+	l := New()
+	l.InsertWrite(iv(10, 20, 1), nil)
+	l.InsertWrite(iv(30, 40, 2), nil)
+	got := collect(func(f core.OverlapFunc) { l.Query(iv(15, 35, 9), f) })
+	if len(got) != 2 {
+		t.Fatalf("got %d overlaps, want 2: %v", len(got), got)
+	}
+	if got[0] != [3]uint64{1, 15, 20} || got[1] != [3]uint64{2, 30, 35} {
+		t.Fatalf("wrong overlap clipping: %v", got)
+	}
+}
+
+func TestRedundantIntervalsAccumulate(t *testing.T) {
+	// The defining difference from the treap: duplicates are kept, so k'
+	// grows with every re-access.
+	l := New()
+	for i := 0; i < 50; i++ {
+		l.InsertWrite(iv(10, 20, int32(i)), nil)
+	}
+	if l.Size() != 50 {
+		t.Fatalf("Size() = %d, want 50 (redundant intervals must be kept)", l.Size())
+	}
+	got := collect(func(f core.OverlapFunc) { l.Query(iv(10, 20, 99), f) })
+	if len(got) != 50 {
+		t.Fatalf("query found %d overlaps, want all 50 duplicates", len(got))
+	}
+}
+
+func TestTreapStaysBoundedSkiplistDoesNot(t *testing.T) {
+	tr := core.NewTree()
+	sl := New()
+	for i := 0; i < 200; i++ {
+		x := iv(0, 100, int32(i))
+		tr.InsertWrite(x, nil)
+		sl.InsertWrite(x, nil)
+	}
+	if tr.Size() != 1 {
+		t.Errorf("treap size = %d, want 1 (redundant intervals removed)", tr.Size())
+	}
+	if sl.Size() != 200 {
+		t.Errorf("skiplist size = %d, want 200", sl.Size())
+	}
+}
+
+func TestMaxLenScanFindsLongInterval(t *testing.T) {
+	// A long early interval must be found by queries far to its right.
+	l := New()
+	l.InsertWrite(iv(0, 1000000, 7), nil)
+	for i := 0; i < 100; i++ {
+		l.InsertWrite(iv(uint64(2000000+i*10), uint64(2000000+i*10+4), int32(i)), nil)
+	}
+	got := collect(func(f core.OverlapFunc) { l.Query(iv(999996, 1000000, 9), f) })
+	if len(got) != 1 || got[0][0] != 7 {
+		t.Fatalf("long interval missed: %v", got)
+	}
+}
+
+func TestInsertReadKeepsEverything(t *testing.T) {
+	l := New()
+	leftOf := func(a, b int32) bool { return a > b }
+	l.InsertRead(iv(0, 10, 1), leftOf, nil)
+	l.InsertRead(iv(0, 10, 2), leftOf, nil)
+	l.InsertRead(iv(5, 15, 3), leftOf, nil)
+	if l.Size() != 3 {
+		t.Fatalf("Size() = %d, want 3", l.Size())
+	}
+}
+
+func TestOverlapSemanticsAgainstNaive(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		l := New()
+		var stored []core.Interval
+		for i := 0; i < 150; i++ {
+			s := rng.Uint64() % 1000
+			e := s + uint64(rng.Intn(100)) + 1
+			x := iv(s, e, int32(i))
+			// Check query overlaps against the naive scan first.
+			got := collect(func(f core.OverlapFunc) { l.Query(x, f) })
+			var want int
+			for _, st := range stored {
+				if st.Overlaps(x) {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("seed %d op %d: %d overlaps, want %d", seed, i, len(got), want)
+			}
+			l.InsertWrite(x, nil)
+			stored = append(stored, x)
+		}
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	l := New()
+	l.InsertWrite(iv(0, 10, 1), nil)
+	l.Query(iv(0, 10, 2), nil)
+	st := l.Stats()
+	if st.Ops != 2 {
+		t.Fatalf("Ops = %d, want 2", st.Ops)
+	}
+	if st.Overlaps != 1 {
+		t.Fatalf("Overlaps = %d, want 1", st.Overlaps)
+	}
+	l.ResetStats()
+	if l.Stats().Ops != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestWalkInStartOrder(t *testing.T) {
+	l := New()
+	starts := []uint64{50, 10, 30, 10, 90, 70}
+	for i, s := range starts {
+		l.InsertWrite(iv(s, s+5, int32(i)), nil)
+	}
+	var prev uint64
+	first := true
+	count := 0
+	l.Walk(func(x core.Interval) {
+		if !first && x.Start < prev {
+			t.Fatal("Walk not in start order")
+		}
+		prev, first = x.Start, false
+		count++
+	})
+	if count != len(starts) {
+		t.Fatalf("walked %d intervals, want %d", count, len(starts))
+	}
+}
+
+func TestPanicsOnEmptyInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().InsertWrite(iv(5, 5, 1), nil)
+}
+
+func BenchmarkSkiplistInsertDisjoint(b *testing.B) {
+	l := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.InsertWrite(iv(uint64(i)*16, uint64(i)*16+8, int32(i)), nil)
+	}
+}
+
+func BenchmarkSkiplistQueryWithDuplicates(b *testing.B) {
+	l := New()
+	for i := 0; i < 1000; i++ {
+		l.InsertWrite(iv(0, 64, int32(i)), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Query(iv(0, 64, 0), nil)
+	}
+}

@@ -1,0 +1,45 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"testing"
+
+	"stint"
+	"stint/pipeline"
+)
+
+// benchPipeline measures a stages×items pipeline with per-item scratch
+// under one detector.
+func benchPipeline(b *testing.B, d stint.Detector, stages, items, chunk int) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r, err := pipeline.NewRunner(pipeline.Options{Detector: d})
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := r.Arena().AllocWords("chunks", items*chunk)
+		b.StartTimer()
+		rep, err := r.Run(stages, items, func(c *pipeline.Cell, stage, item int) {
+			c.LoadRange(buf, item*chunk, chunk)
+			c.StoreRange(buf, item*chunk, chunk)
+		})
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Racy() {
+			b.Fatal("race-free pipeline raced")
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkPipelineDetectors(b *testing.B) {
+	for _, d := range []stint.Detector{
+		stint.DetectorOff, stint.DetectorVanilla, stint.DetectorCompRTS, stint.DetectorSTINT,
+	} {
+		b.Run(fmt.Sprintf("%v", d), func(b *testing.B) {
+			benchPipeline(b, d, 8, 256, 64)
+		})
+	}
+}

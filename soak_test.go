@@ -1,0 +1,112 @@
+package stint
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The soak suite runs larger randomized programs through every detector and
+// checks cross-run determinism and cross-detector agreement on aggregate
+// counters — the guarantees a user relies on when comparing detector
+// configurations on their own programs.
+
+// soakProgram builds a deep, wide random program over several buffers.
+func soakProgram(seed int64) ([]act, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	sizes := []int{128, 64, 256}
+	var grow func(depth int) []act
+	grow = func(depth int) []act {
+		n := rng.Intn(8) + 1
+		acts := make([]act, 0, n)
+		for i := 0; i < n; i++ {
+			switch k := rng.Intn(12); {
+			case k < 4 && depth > 0:
+				acts = append(acts, act{kind: 'S', body: grow(depth - 1)})
+			case k == 4:
+				acts = append(acts, act{kind: 'Y'})
+			default:
+				b := rng.Intn(len(sizes))
+				idx := rng.Intn(sizes[b])
+				a := act{kind: []byte{'l', 's', 'L', 'W'}[rng.Intn(4)], buf: b, idx: idx}
+				if a.kind == 'L' || a.kind == 'W' {
+					a.n = rng.Intn(sizes[b]-idx) + 1
+				}
+				acts = append(acts, a)
+			}
+		}
+		return acts
+	}
+	return grow(6), sizes
+}
+
+func soakRun(t *testing.T, acts []act, sizes []int, d Detector) *Report {
+	t.Helper()
+	r, err := NewRunner(Options{Detector: d, MaxRacesRecorded: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([]*Buffer, len(sizes))
+	for i, s := range sizes {
+		bufs[i] = r.Arena().AllocWords("b", s)
+	}
+	rep, err := r.Run(func(task *Task) { runActs(task, bufs, acts) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestSoakDeterminismAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		acts, sizes := soakProgram(seed)
+		for _, d := range allDetectors {
+			a := soakRun(t, acts, sizes, d)
+			b := soakRun(t, acts, sizes, d)
+			if a.RaceCount != b.RaceCount || a.Strands != b.Strands ||
+				a.Stats.ReadIntervals != b.Stats.ReadIntervals ||
+				a.Stats.TreapNodesVisited != b.Stats.TreapNodesVisited {
+				t.Fatalf("seed %d %v: nondeterministic runs\n%+v\n%+v", seed, d, a.Stats, b.Stats)
+			}
+		}
+	}
+}
+
+func TestSoakAggregateAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	for seed := int64(10); seed < 16; seed++ {
+		acts, sizes := soakProgram(seed)
+		// Access counts are instrumentation-level facts: identical across
+		// all engines. Interval counts are coalescing-level facts:
+		// identical across all runtime-coalescing engines.
+		vanilla := soakRun(t, acts, sizes, DetectorVanilla)
+		var coalesced []*Report
+		for _, d := range []Detector{DetectorCompRTS, DetectorSTINT, DetectorSTINTUnbalanced, DetectorSTINTSkiplist} {
+			coalesced = append(coalesced, soakRun(t, acts, sizes, d))
+		}
+		for i, rep := range coalesced {
+			if rep.Stats.ReadAccesses != vanilla.Stats.ReadAccesses ||
+				rep.Stats.WriteAccesses != vanilla.Stats.WriteAccesses {
+				t.Fatalf("seed %d engine %d: access counts diverge from vanilla", seed, i)
+			}
+			if rep.Strands != vanilla.Strands {
+				t.Fatalf("seed %d engine %d: strand counts diverge", seed, i)
+			}
+			if rep.Stats.ReadIntervals != coalesced[0].Stats.ReadIntervals ||
+				rep.Stats.WriteIntervals != coalesced[0].Stats.WriteIntervals {
+				t.Fatalf("seed %d engine %d: interval counts diverge across coalescing engines", seed, i)
+			}
+		}
+		// Racy verdicts agree everywhere (full equality is covered by the
+		// equivalence suite; this guards it at soak scale).
+		for i, rep := range coalesced {
+			if rep.Racy() != vanilla.Racy() {
+				t.Fatalf("seed %d engine %d: verdict %v vs vanilla %v", seed, i, rep.Racy(), vanilla.Racy())
+			}
+		}
+	}
+}

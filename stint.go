@@ -1,0 +1,439 @@
+// Package stint is a sequential determinacy-race detector for fork-join
+// task-parallel programs, reproducing "Efficient Access History for Race
+// Detection" (SPAA 2021).
+//
+// Programs are written against Task: Spawn runs a subtask that is logically
+// parallel with the caller's continuation, and Sync joins all subtasks
+// spawned since the last sync. Memory accesses are reported through
+// instrumentation hooks — Load/Store for individual accesses and
+// LoadRange/StoreRange where a compiler could statically coalesce a loop's
+// accesses into one contiguous interval (§3.1 of the paper). Addresses come
+// from a virtual Arena so detection is deterministic and portable.
+//
+// The Detector option selects the paper's configurations: Vanilla checks
+// every access against a word-granularity shadow hashmap; Compiler adds
+// compile-time coalescing; CompRTS adds runtime coalescing through a bit
+// hashmap flushed at strand ends; and STINT stores the access history as
+// non-overlapping intervals in treaps, giving amortized-constant-overhead
+// detection when programs access memory in contiguous runs.
+//
+//	r, _ := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT})
+//	buf := r.Arena().AllocWords("data", 1024)
+//	report, _ := r.Run(func(t *stint.Task) {
+//	    t.Spawn(func(c *stint.Task) { c.StoreRange(buf, 0, 512) })
+//	    t.StoreRange(buf, 256, 512) // overlaps the spawned write: a race
+//	    t.Sync()
+//	})
+//	fmt.Println(report.RaceCount)
+package stint
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"stint/internal/detect"
+	"stint/internal/mem"
+	"stint/internal/spord"
+)
+
+// Detector selects a race-detection engine.
+type Detector = detect.Mode
+
+// Detector configurations, mirroring the paper's evaluation matrix.
+const (
+	// DetectorOff runs the program with no detection (the "base" column).
+	DetectorOff = detect.Off
+	// DetectorReachOnly maintains only SP-Order reachability (Figure 1's
+	// "reach." column).
+	DetectorReachOnly = detect.ReachOnly
+	// DetectorVanilla is the per-access word-granularity hashmap detector.
+	DetectorVanilla = detect.Vanilla
+	// DetectorCompiler adds compile-time coalescing to Vanilla.
+	DetectorCompiler = detect.Compiler
+	// DetectorCompRTS adds runtime coalescing, still over the hashmap.
+	DetectorCompRTS = detect.CompRTS
+	// DetectorSTINT is the paper's full system with the interval treap.
+	DetectorSTINT = detect.STINT
+	// DetectorSTINTUnbalanced is STINT over plain (unbalanced) BSTs.
+	DetectorSTINTUnbalanced = detect.STINTUnbalanced
+	// DetectorSTINTSkiplist is STINT over a redundant-interval skiplist
+	// (the Park et al. related-work design).
+	DetectorSTINTSkiplist = detect.STINTSkiplist
+)
+
+// Race is one detected determinacy race.
+type Race = detect.Race
+
+// Stats carries the detector's internal counters; see detect.Stats.
+type Stats = detect.Stats
+
+// Buffer is a virtual allocation whose accesses the detector shadows.
+type Buffer = mem.Buffer
+
+// Arena hands out virtual address ranges for Buffers.
+type Arena = mem.Arena
+
+// Addr is a virtual byte address.
+type Addr = mem.Addr
+
+// Tracer observes the execution events a replay needs: the spawn/sync
+// structure and every instrumented memory access. stint/trace provides the
+// standard implementation; the runner invokes the Tracer inline, so
+// implementations must be fast and must not retain event ordering
+// assumptions beyond "serial program order".
+type Tracer interface {
+	// Spawn is invoked when a child task begins, Restore when it returns
+	// to the parent's continuation, and Sync on strand-creating syncs
+	// (no-op syncs are not reported).
+	Spawn()
+	Restore()
+	Sync()
+	// Read/Write report per-access hooks; ReadRange/WriteRange report
+	// compiler-coalesced hooks.
+	Read(addr Addr, size uint64)
+	Write(addr Addr, size uint64)
+	ReadRange(addr Addr, count int, elemBytes uint64)
+	WriteRange(addr Addr, count int, elemBytes uint64)
+}
+
+// Options configures a Runner.
+type Options struct {
+	// Detector selects the engine; DetectorOff by default.
+	Detector Detector
+	// OnRace, if set, is invoked for every race found, as it is found.
+	OnRace func(Race)
+	// MaxRacesRecorded bounds Report.Races (default 64; counts are exact
+	// regardless).
+	MaxRacesRecorded int
+	// TimeAccessHistory enables the access-history timers used by the
+	// benchmark harness (a few clock reads per strand).
+	TimeAccessHistory bool
+	// Parallel executes spawns on goroutines instead of serially. It is
+	// only valid with DetectorOff: race detection is sequential by design.
+	Parallel bool
+	// Tracer, if set, receives every execution event (see Tracer); use
+	// stint/trace to record replayable traces. Incompatible with Parallel.
+	Tracer Tracer
+}
+
+// Runner executes fork-join programs under one detector configuration. A
+// Runner's Arena must be populated before Run; a Runner may Run multiple
+// programs, but detector state (access history, reachability) is fresh for
+// each Run.
+type Runner struct {
+	opts  Options
+	arena *mem.Arena
+	// newEngine, when non-nil, replaces detect.New; tests use it to run
+	// reference engines (e.g. the brute-force oracle) through the runner.
+	newEngine func(cfg detect.Config, sp *spord.SP) detect.Engine
+}
+
+// NewRunner validates opts and returns a Runner with an empty Arena.
+func NewRunner(opts Options) (*Runner, error) {
+	if opts.Parallel && opts.Detector != DetectorOff {
+		return nil, errors.New("stint: Parallel execution requires DetectorOff; race detection is sequential")
+	}
+	if opts.Parallel && opts.Tracer != nil {
+		return nil, errors.New("stint: tracing requires serial execution")
+	}
+	if opts.MaxRacesRecorded == 0 {
+		opts.MaxRacesRecorded = 64
+	}
+	return &Runner{opts: opts, arena: mem.NewArena()}, nil
+}
+
+// Arena returns the Runner's address arena.
+func (r *Runner) Arena() *mem.Arena { return r.arena }
+
+// Report summarizes one Run.
+type Report struct {
+	// RaceCount is the total number of race reports (one stored access pair
+	// per overlapping range; a racing program typically produces many).
+	RaceCount uint64
+	// Races holds the first MaxRacesRecorded reports.
+	Races []Race
+	// Strands is the number of strands the execution generated.
+	Strands int
+	// WallTime is the end-to-end execution time including detection.
+	WallTime time.Duration
+	// Stats exposes the detector's internal counters.
+	Stats Stats
+}
+
+// Racy reports whether any race was found.
+func (rep *Report) Racy() bool { return rep.RaceCount > 0 }
+
+// TaskFunc is the body of a task. The Task argument is valid only until the
+// function returns and must not be retained or shared.
+type TaskFunc func(t *Task)
+
+// runState is the per-Run shared state.
+type runState struct {
+	sp       *spord.SP
+	engine   detect.Engine
+	hooks    bool // false when memory hooks should not reach the engine
+	tracer   Tracer
+	parallel bool
+}
+
+// Task is a function instance in the fork-join program: the receiver for
+// spawning, syncing, and instrumentation hooks.
+type Task struct {
+	rs    *runState
+	frame spord.Frame
+	// tracePending mirrors frame.Pending for the tracer (and stands in for
+	// it when no detector is attached): true iff a spawn happened since
+	// the last strand-creating sync.
+	tracePending bool
+	wg           *sync.WaitGroup // parallel mode only
+}
+
+// Run executes root to completion (with an implicit final sync) and
+// returns the report.
+func (r *Runner) Run(root TaskFunc) (*Report, error) {
+	rep := &Report{}
+	rs := &runState{parallel: r.opts.Parallel, tracer: r.opts.Tracer}
+	if r.opts.Detector != DetectorOff {
+		rs.sp = spord.New()
+		// ReachOnly isolates the reachability component: SP-Order is
+		// maintained but memory hooks are skipped at the dispatch layer,
+		// matching the paper's near-zero "reach." column.
+		rs.hooks = r.opts.Detector != DetectorReachOnly
+		cfg := detect.Config{
+			Mode:              r.opts.Detector,
+			TimeAccessHistory: r.opts.TimeAccessHistory,
+		}
+		user := r.opts.OnRace
+		maxRec := r.opts.MaxRacesRecorded
+		cfg.OnRace = func(race Race) {
+			if len(rep.Races) < maxRec {
+				rep.Races = append(rep.Races, race)
+			}
+			if user != nil {
+				user(race)
+			}
+		}
+		if r.newEngine != nil {
+			rs.engine = r.newEngine(cfg, rs.sp)
+		} else {
+			rs.engine = detect.New(cfg, rs.sp)
+		}
+	}
+	t := &Task{rs: rs}
+	if rs.parallel {
+		t.wg = &sync.WaitGroup{}
+	}
+	start := time.Now()
+	root(t)
+	t.Sync()
+	if rs.engine != nil {
+		rs.engine.Finish()
+	}
+	rep.WallTime = time.Since(start)
+	if rs.sp != nil {
+		rep.Strands = rs.sp.StrandCount()
+	}
+	if rs.engine != nil {
+		rep.Stats = *rs.engine.Stats()
+		rep.RaceCount = rep.Stats.Races
+	}
+	return rep, nil
+}
+
+// Spawn runs f as a subtask that is logically parallel with the caller's
+// continuation. Under serial detection f executes immediately (depth-first,
+// matching the sequential order race detection requires); with
+// Options.Parallel it runs on its own goroutine. Every task ends with an
+// implicit Sync.
+func (t *Task) Spawn(f TaskFunc) {
+	rs := t.rs
+	if rs.parallel {
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			child := &Task{rs: rs, wg: &sync.WaitGroup{}}
+			f(child)
+			child.Sync()
+		}()
+		return
+	}
+	if rs.tracer != nil {
+		rs.tracer.Spawn()
+	}
+	t.tracePending = true
+	if rs.sp == nil { // DetectorOff, serial
+		child := &Task{rs: rs}
+		f(child)
+		child.Sync()
+		if rs.tracer != nil {
+			rs.tracer.Restore()
+		}
+		return
+	}
+	rs.engine.StrandEnd()
+	_, cont := rs.sp.Spawn(&t.frame)
+	child := &Task{rs: rs}
+	f(child)
+	child.Sync()
+	rs.engine.StrandEnd() // the child's final strand ends here
+	rs.sp.Restore(cont)
+	if rs.tracer != nil {
+		rs.tracer.Restore()
+	}
+}
+
+// Sync joins every subtask spawned by this task since its last Sync. A
+// Sync with no outstanding spawns is a no-op and does not end the strand.
+func (t *Task) Sync() {
+	rs := t.rs
+	if rs.parallel {
+		t.wg.Wait()
+		return
+	}
+	if rs.tracer != nil && t.tracePending {
+		rs.tracer.Sync()
+	}
+	t.tracePending = false
+	if rs.sp == nil {
+		return
+	}
+	if t.frame.Pending() {
+		rs.engine.StrandEnd()
+		rs.sp.Sync(&t.frame)
+	}
+}
+
+// Load reports a read of element i of b (per-access instrumentation, like
+// the paper's __load_hook).
+func (t *Task) Load(b *Buffer, i int) {
+	rs := t.rs
+	if !rs.hooks && rs.tracer == nil {
+		return
+	}
+	addr, size := b.Addr(i), uint64(b.ElemBytes())
+	if rs.hooks {
+		rs.engine.ReadHook(addr, size)
+	}
+	if rs.tracer != nil {
+		rs.tracer.Read(addr, size)
+	}
+}
+
+// Store reports a write of element i of b.
+func (t *Task) Store(b *Buffer, i int) {
+	rs := t.rs
+	if !rs.hooks && rs.tracer == nil {
+		return
+	}
+	addr, size := b.Addr(i), uint64(b.ElemBytes())
+	if rs.hooks {
+		rs.engine.WriteHook(addr, size)
+	}
+	if rs.tracer != nil {
+		rs.tracer.Write(addr, size)
+	}
+}
+
+// LoadRange reports a compiler-coalesced read of elements [i, i+n) of b
+// (the paper's __coalesced_load_hook): use it exactly where a compiler
+// could prove the enclosing loop reads a contiguous range.
+func (t *Task) LoadRange(b *Buffer, i, n int) {
+	rs := t.rs
+	if (!rs.hooks && rs.tracer == nil) || n == 0 {
+		return
+	}
+	addr, _ := b.Range(i, n)
+	if rs.hooks {
+		rs.engine.ReadRangeHook(addr, n, uint64(b.ElemBytes()))
+	}
+	if rs.tracer != nil {
+		rs.tracer.ReadRange(addr, n, uint64(b.ElemBytes()))
+	}
+}
+
+// StoreRange reports a compiler-coalesced write of elements [i, i+n) of b.
+func (t *Task) StoreRange(b *Buffer, i, n int) {
+	rs := t.rs
+	if (!rs.hooks && rs.tracer == nil) || n == 0 {
+		return
+	}
+	addr, _ := b.Range(i, n)
+	if rs.hooks {
+		rs.engine.WriteRangeHook(addr, n, uint64(b.ElemBytes()))
+	}
+	if rs.tracer != nil {
+		rs.tracer.WriteRange(addr, n, uint64(b.ElemBytes()))
+	}
+}
+
+// LoadAt and StoreAt report raw-address accesses for callers managing their
+// own layout on top of the Arena.
+func (t *Task) LoadAt(addr Addr, size uint64) {
+	rs := t.rs
+	if rs.hooks {
+		rs.engine.ReadHook(addr, size)
+	}
+	if rs.tracer != nil {
+		rs.tracer.Read(addr, size)
+	}
+}
+
+// StoreAt reports a raw-address write.
+func (t *Task) StoreAt(addr Addr, size uint64) {
+	rs := t.rs
+	if rs.hooks {
+		rs.engine.WriteHook(addr, size)
+	}
+	if rs.tracer != nil {
+		rs.tracer.Write(addr, size)
+	}
+}
+
+// Detecting reports whether instrumentation is live — a detector is
+// consuming hooks or a Tracer is recording them — letting hot loops skip
+// address computation entirely when it is not.
+func (t *Task) Detecting() bool { return t.rs.hooks || t.rs.tracer != nil }
+
+// DescribeRace renders a race with addresses resolved to buffer names and
+// element ranges via the arena that allocated them, e.g.
+//
+//	race: write by strand 3 and write by strand 5 on mmul.C[128:160]
+//
+// Addresses outside any buffer fall back to the numeric form.
+func DescribeRace(a *Arena, rc Race) string {
+	buf, first := a.Resolve(rc.Addr)
+	if buf == nil {
+		return rc.String()
+	}
+	// The overlap range is half-open; resolve its last byte to keep the
+	// element range within one buffer.
+	lastBuf, last := a.Resolve(rc.Addr + rc.Size - 1)
+	kind := func(w bool) string {
+		if w {
+			return "write"
+		}
+		return "read"
+	}
+	loc := fmt.Sprintf("%s[%d]", buf.Name(), first)
+	if lastBuf == buf && last != first {
+		loc = fmt.Sprintf("%s[%d:%d]", buf.Name(), first, last+1)
+	}
+	return fmt.Sprintf("race: %s by strand %d and %s by strand %d on %s",
+		kind(rc.PrevWrite), rc.Prev, kind(rc.CurWrite), rc.Cur, loc)
+}
+
+// DescribeRace renders a race against this Runner's arena; see the
+// package-level DescribeRace.
+func (r *Runner) DescribeRace(rc Race) string { return DescribeRace(r.arena, rc) }
+
+// ParseDetector converts a detector name ("vanilla", "comp+rts", "stint",
+// ...) to a Detector, for CLI tools.
+func ParseDetector(s string) (Detector, error) {
+	m, err := detect.ParseMode(s)
+	if err != nil {
+		return DetectorOff, fmt.Errorf("stint: %w", err)
+	}
+	return m, nil
+}

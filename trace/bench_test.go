@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"stint"
+)
+
+// buildTrace records a medium fork-join program once.
+func buildTrace(b *testing.B) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	r, err := stint.NewRunner(stint.Options{Tracer: rec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := r.Arena().AllocWords("data", 1<<16)
+	var rec2 func(t *stint.Task, lo, hi int)
+	rec2 = func(t *stint.Task, lo, hi int) {
+		if hi-lo <= 1024 {
+			t.LoadRange(data, lo, hi-lo)
+			for i := lo; i < hi; i += 4 {
+				t.Store(data, i)
+			}
+			return
+		}
+		mid := (lo + hi) / 2
+		t.Spawn(func(c *stint.Task) { rec2(c, lo, mid) })
+		t.Spawn(func(c *stint.Task) { rec2(c, mid, hi) })
+		t.Sync()
+	}
+	if _, err := r.Run(func(t *stint.Task) { rec2(t, 0, 1<<16) }); err != nil {
+		b.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkRecordOverhead(b *testing.B) {
+	r, err := stint.NewRunner(stint.Options{Tracer: NewRecorder(io.Discard)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := r.Arena().AllocWords("data", 1<<16)
+	if _, err := r.Run(func(t *stint.Task) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Load(data, i&(1<<16-1))
+		}
+		b.StopTimer()
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkReplaySTINT(b *testing.B) {
+	raw := buildTrace(b)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Replay(bytes.NewReader(raw), Options{Detector: stint.DetectorSTINT}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplayVanilla(b *testing.B) {
+	raw := buildTrace(b)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Replay(bytes.NewReader(raw), Options{Detector: stint.DetectorVanilla}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"stint"
+	"stint/trace"
+)
+
+// Record an execution once (here with detection off), then analyze the
+// trace under two different detectors without re-running the program.
+func ExampleReplay() {
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf)
+	r, _ := stint.NewRunner(stint.Options{Tracer: rec})
+	data := r.Arena().AllocWords("data", 64)
+	r.Run(func(t *stint.Task) {
+		t.Spawn(func(c *stint.Task) { c.StoreRange(data, 0, 32) })
+		t.StoreRange(data, 16, 32)
+		t.Sync()
+	})
+	rec.Flush()
+
+	for _, d := range []stint.Detector{stint.DetectorVanilla, stint.DetectorSTINT} {
+		rep, _ := trace.Replay(bytes.NewReader(buf.Bytes()), trace.Options{Detector: d})
+		fmt.Printf("%v found races: %v\n", d, rep.Racy())
+	}
+	// Output:
+	// vanilla found races: true
+	// stint found races: true
+}

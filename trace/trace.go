@@ -1,0 +1,304 @@
+// Package trace records instrumented fork-join executions to a compact
+// binary stream and replays them through any detector configuration.
+//
+// A trace captures everything race detection needs — the spawn/sync
+// structure (from which SP-Order reachability is rebuilt) and the memory
+// access events with their coalescing level — but not the computation
+// itself. Recording is cheap enough to run with detection off; the trace
+// can then be analyzed offline under every detector without re-executing
+// the program:
+//
+//	// record once
+//	var buf bytes.Buffer
+//	rec := trace.NewRecorder(&buf)
+//	r, _ := stint.NewRunner(stint.Options{Tracer: rec})
+//	r.Run(program)
+//	rec.Flush()
+//
+//	// replay under any detector
+//	rep, _ := trace.Replay(bytes.NewReader(buf.Bytes()),
+//	    trace.Options{Detector: stint.DetectorSTINT})
+//
+// The format is a magic header followed by one-byte opcodes with uvarint
+// operands. Addresses are delta-encoded against the previous event's
+// address (zig-zag varints), which keeps traces of loop-heavy programs
+// small.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"stint"
+	"stint/internal/detect"
+	"stint/internal/mem"
+	"stint/internal/spord"
+)
+
+// Opcode values. The on-disk format is stable: new opcodes may be added,
+// existing ones never change meaning.
+const (
+	opSpawn      = 0x01 // begin a spawned child task
+	opRestore    = 0x02 // child returned; resume the continuation
+	opSync       = 0x03 // sync with pending spawns (no-op syncs are elided)
+	opRead       = 0x10 // addrDelta, size
+	opWrite      = 0x11 // addrDelta, size
+	opReadRange  = 0x12 // addrDelta, count, elemBytes
+	opWriteRange = 0x13 // addrDelta, count, elemBytes
+	opEnd        = 0x7F // end of trace
+)
+
+var magic = [8]byte{'S', 'T', 'N', 'T', 'T', 'R', 'C', '1'}
+
+// Recorder implements stint.Tracer, serializing events to an io.Writer.
+// Recorders are not safe for concurrent use; record serial executions only.
+type Recorder struct {
+	w        *bufio.Writer
+	lastAddr mem.Addr
+	err      error
+	wroteHdr bool
+	buf      [3 * binary.MaxVarintLen64]byte
+}
+
+// NewRecorder returns a Recorder writing to w. Call Flush when the run
+// completes.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (r *Recorder) header() {
+	if !r.wroteHdr {
+		r.wroteHdr = true
+		_, err := r.w.Write(magic[:])
+		r.setErr(err)
+	}
+}
+
+func (r *Recorder) setErr(err error) {
+	if r.err == nil && err != nil {
+		r.err = err
+	}
+}
+
+func (r *Recorder) op(code byte) {
+	r.header()
+	r.setErr(r.w.WriteByte(code))
+}
+
+// delta zig-zag-encodes the address movement since the last event.
+func (r *Recorder) addrOperand(addr mem.Addr) uint64 {
+	d := int64(addr) - int64(r.lastAddr)
+	r.lastAddr = addr
+	return uint64((d << 1) ^ (d >> 63))
+}
+
+func (r *Recorder) varints(vals ...uint64) {
+	n := 0
+	for _, v := range vals {
+		n += binary.PutUvarint(r.buf[n:], v)
+	}
+	_, err := r.w.Write(r.buf[:n])
+	r.setErr(err)
+}
+
+// Spawn records the start of a spawned child.
+func (r *Recorder) Spawn() { r.op(opSpawn) }
+
+// Restore records a child's return to its parent's continuation.
+func (r *Recorder) Restore() { r.op(opRestore) }
+
+// Sync records a strand-creating sync.
+func (r *Recorder) Sync() { r.op(opSync) }
+
+// Read records a per-access load.
+func (r *Recorder) Read(addr mem.Addr, size uint64) {
+	r.op(opRead)
+	r.varints(r.addrOperand(addr), size)
+}
+
+// Write records a per-access store.
+func (r *Recorder) Write(addr mem.Addr, size uint64) {
+	r.op(opWrite)
+	r.varints(r.addrOperand(addr), size)
+}
+
+// ReadRange records a compiler-coalesced load.
+func (r *Recorder) ReadRange(addr mem.Addr, count int, elemBytes uint64) {
+	r.op(opReadRange)
+	r.varints(r.addrOperand(addr), uint64(count), elemBytes)
+}
+
+// WriteRange records a compiler-coalesced store.
+func (r *Recorder) WriteRange(addr mem.Addr, count int, elemBytes uint64) {
+	r.op(opWriteRange)
+	r.varints(r.addrOperand(addr), uint64(count), elemBytes)
+}
+
+// Flush terminates and flushes the trace. The Recorder must not be used
+// afterwards.
+func (r *Recorder) Flush() error {
+	r.op(opEnd)
+	r.setErr(r.w.Flush())
+	return r.err
+}
+
+// Options configures a replay.
+type Options struct {
+	// Detector selects the engine (DetectorOff is useless here and treated
+	// as an error — a trace exists to be analyzed).
+	Detector stint.Detector
+	// OnRace receives every race found during replay.
+	OnRace func(stint.Race)
+	// MaxRacesRecorded bounds Report.Races (default 64).
+	MaxRacesRecorded int
+	// TimeAccessHistory enables the access-history timers.
+	TimeAccessHistory bool
+}
+
+// replayFrame tracks one function instance during replay.
+type replayFrame struct {
+	frame        spord.Frame
+	continuation *spord.Strand
+}
+
+// Replay reads a trace and runs the selected detector over it, returning
+// the same Report a live run would have produced (modulo wall time).
+func Replay(src io.Reader, opts Options) (*stint.Report, error) {
+	if opts.Detector == stint.DetectorOff {
+		return nil, errors.New("trace: replay needs a detector (got DetectorOff)")
+	}
+	if opts.MaxRacesRecorded == 0 {
+		opts.MaxRacesRecorded = 64
+	}
+	br := bufio.NewReaderSize(src, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:])
+	}
+
+	rep := &stint.Report{}
+	sp := spord.New()
+	cfg := detect.Config{Mode: opts.Detector, TimeAccessHistory: opts.TimeAccessHistory}
+	cfg.OnRace = func(race stint.Race) {
+		if len(rep.Races) < opts.MaxRacesRecorded {
+			rep.Races = append(rep.Races, race)
+		}
+		if opts.OnRace != nil {
+			opts.OnRace(race)
+		}
+	}
+	engine := detect.New(cfg, sp)
+	hooksLive := opts.Detector != stint.DetectorReachOnly
+
+	stack := []*replayFrame{{}} // root function instance
+	var lastAddr mem.Addr
+	readAddr := func() (mem.Addr, error) {
+		raw, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		d := int64(raw>>1) ^ -int64(raw&1)
+		lastAddr = mem.Addr(int64(lastAddr) + d)
+		return lastAddr, nil
+	}
+
+loop:
+	for {
+		code, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated stream: %w", err)
+		}
+		switch code {
+		case opEnd:
+			break loop
+
+		case opSpawn:
+			engine.StrandEnd()
+			top := stack[len(stack)-1]
+			_, cont := sp.Spawn(&top.frame)
+			stack = append(stack, &replayFrame{continuation: cont})
+
+		case opRestore:
+			if len(stack) < 2 {
+				return nil, errors.New("trace: restore without matching spawn")
+			}
+			child := stack[len(stack)-1]
+			if child.frame.Pending() {
+				// The recorder elides nothing here: a pending frame at
+				// restore means the trace was cut mid-task.
+				return nil, errors.New("trace: child returned with pending spawns")
+			}
+			stack = stack[:len(stack)-1]
+			engine.StrandEnd()
+			sp.Restore(child.continuation)
+
+		case opSync:
+			top := stack[len(stack)-1]
+			if !top.frame.Pending() {
+				return nil, errors.New("trace: sync without pending spawns")
+			}
+			engine.StrandEnd()
+			sp.Sync(&top.frame)
+
+		case opRead, opWrite:
+			addr, err := readAddr()
+			if err != nil {
+				return nil, fmt.Errorf("trace: access event: %w", err)
+			}
+			size, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: access event: %w", err)
+			}
+			if hooksLive {
+				if code == opRead {
+					engine.ReadHook(addr, size)
+				} else {
+					engine.WriteHook(addr, size)
+				}
+			}
+
+		case opReadRange, opWriteRange:
+			addr, err := readAddr()
+			if err != nil {
+				return nil, fmt.Errorf("trace: range event: %w", err)
+			}
+			count, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: range event: %w", err)
+			}
+			elem, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: range event: %w", err)
+			}
+			if hooksLive {
+				if code == opReadRange {
+					engine.ReadRangeHook(addr, int(count), elem)
+				} else {
+					engine.WriteRangeHook(addr, int(count), elem)
+				}
+			}
+
+		default:
+			return nil, fmt.Errorf("trace: unknown opcode %#x", code)
+		}
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("trace: %d unterminated tasks at end of trace", len(stack)-1)
+	}
+	if stack[0].frame.Pending() {
+		// The root's implicit sync transitions before Finish in a live run.
+		engine.StrandEnd()
+		sp.Sync(&stack[0].frame)
+	}
+	engine.Finish()
+	rep.Strands = sp.StrandCount()
+	rep.Stats = *engine.Stats()
+	rep.RaceCount = rep.Stats.Races
+	return rep, nil
+}

@@ -1,0 +1,297 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"stint"
+)
+
+// program is a replayable random fork-join program (same scheme as the
+// root package's equivalence tests).
+type action struct {
+	kind byte // 'S' spawn, 'Y' sync, 'l' load, 's' store, 'L' load-range, 'W' store-range
+	idx  int
+	n    int
+	body []action
+}
+
+func genActions(rng *rand.Rand, depth, bufWords int) []action {
+	n := rng.Intn(6)
+	acts := make([]action, 0, n)
+	for i := 0; i < n; i++ {
+		switch k := rng.Intn(10); {
+		case k < 3 && depth > 0:
+			acts = append(acts, action{kind: 'S', body: genActions(rng, depth-1, bufWords)})
+		case k == 3:
+			acts = append(acts, action{kind: 'Y'})
+		default:
+			idx := rng.Intn(bufWords)
+			a := action{kind: []byte{'l', 's', 'L', 'W'}[rng.Intn(4)], idx: idx}
+			if a.kind == 'L' || a.kind == 'W' {
+				a.n = rng.Intn(bufWords-idx) + 1
+			}
+			acts = append(acts, a)
+		}
+	}
+	return acts
+}
+
+func runActions(t *stint.Task, buf *stint.Buffer, acts []action) {
+	for _, a := range acts {
+		switch a.kind {
+		case 'S':
+			body := a.body
+			t.Spawn(func(c *stint.Task) { runActions(c, buf, body) })
+		case 'Y':
+			t.Sync()
+		case 'l':
+			t.Load(buf, a.idx)
+		case 's':
+			t.Store(buf, a.idx)
+		case 'L':
+			t.LoadRange(buf, a.idx, a.n)
+		case 'W':
+			t.StoreRange(buf, a.idx, a.n)
+		}
+	}
+}
+
+const bufWords = 64
+
+// record runs acts with a Recorder attached (and no detector) and returns
+// the trace bytes.
+func record(t *testing.T, acts []action) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	r, err := stint.NewRunner(stint.Options{Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := r.Arena().AllocWords("data", bufWords)
+	if _, err := r.Run(func(task *stint.Task) { runActions(task, data, acts) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// direct runs acts live under the given detector.
+func direct(t *testing.T, acts []action, d stint.Detector) *stint.Report {
+	t.Helper()
+	r, err := stint.NewRunner(stint.Options{Detector: d, MaxRacesRecorded: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := r.Arena().AllocWords("data", bufWords)
+	rep, err := r.Run(func(task *stint.Task) { runActions(task, data, acts) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func raceWords(races []stint.Race) map[uint64]bool {
+	words := make(map[uint64]bool)
+	for _, rc := range races {
+		for a := rc.Addr &^ 3; a < rc.Addr+rc.Size; a += 4 {
+			words[a] = true
+		}
+	}
+	return words
+}
+
+func TestReplayMatchesDirectRun(t *testing.T) {
+	detectors := []stint.Detector{
+		stint.DetectorVanilla, stint.DetectorCompiler,
+		stint.DetectorCompRTS, stint.DetectorSTINT,
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		acts := genActions(rng, 4, bufWords)
+		raw := record(t, acts)
+		for _, d := range detectors {
+			live := direct(t, acts, d)
+			replayed, err := Replay(bytes.NewReader(raw), Options{Detector: d, MaxRacesRecorded: 1 << 20})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, d, err)
+			}
+			if live.RaceCount != replayed.RaceCount {
+				t.Fatalf("seed %d %v: race count %d live vs %d replayed", seed, d, live.RaceCount, replayed.RaceCount)
+			}
+			if live.Strands != replayed.Strands {
+				t.Fatalf("seed %d %v: strands %d live vs %d replayed", seed, d, live.Strands, replayed.Strands)
+			}
+			lw, rw := raceWords(live.Races), raceWords(replayed.Races)
+			if len(lw) != len(rw) {
+				t.Fatalf("seed %d %v: racing word sets differ (%d vs %d)", seed, d, len(lw), len(rw))
+			}
+			for w := range lw {
+				if !rw[w] {
+					t.Fatalf("seed %d %v: replay missed racing word %#x", seed, d, w)
+				}
+			}
+			ls, rs := live.Stats, replayed.Stats
+			if ls.ReadAccesses != rs.ReadAccesses || ls.WriteAccesses != rs.WriteAccesses ||
+				ls.ReadIntervals != rs.ReadIntervals || ls.WriteIntervals != rs.WriteIntervals {
+				t.Fatalf("seed %d %v: stats diverge\nlive:   %+v\nreplay: %+v", seed, d, ls, rs)
+			}
+		}
+	}
+}
+
+func TestRecordingAlongsideDetection(t *testing.T) {
+	// Tracing can run on top of a live detector; the replayed race count
+	// matches what the live detector saw.
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	r, err := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT, Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := r.Arena().AllocWords("data", 32)
+	live, err := r.Run(func(task *stint.Task) {
+		task.Spawn(func(c *stint.Task) { c.StoreRange(data, 0, 16) })
+		task.StoreRange(data, 8, 16)
+		task.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(bytes.NewReader(buf.Bytes()), Options{Detector: stint.DetectorSTINT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !live.Racy() || live.RaceCount != rep.RaceCount {
+		t.Fatalf("live %d races, replay %d", live.RaceCount, rep.RaceCount)
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	acts := genActions(rng, 3, bufWords)
+	a := record(t, acts)
+	b := record(t, acts)
+	if !bytes.Equal(a, b) {
+		t.Fatal("recording the same program twice produced different traces")
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// Sequential word accesses delta-encode to ~3 bytes per event.
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	r, _ := stint.NewRunner(stint.Options{Tracer: rec})
+	data := r.Arena().AllocWords("data", 10000)
+	if _, err := r.Run(func(task *stint.Task) {
+		for i := 0; i < 10000; i++ {
+			task.Load(data, i)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	perEvent := float64(buf.Len()) / 10000
+	if perEvent > 4 {
+		t.Errorf("trace uses %.1f bytes per sequential access, want <= 4", perEvent)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	good := record(t, []action{{kind: 's', idx: 1}})
+	cases := []struct {
+		name string
+		data []byte
+		opts Options
+	}{
+		{"empty", nil, Options{Detector: stint.DetectorSTINT}},
+		{"bad magic", []byte("NOTATRACE!"), Options{Detector: stint.DetectorSTINT}},
+		{"truncated", good[:len(good)-2], Options{Detector: stint.DetectorSTINT}},
+		{"detector off", good, Options{}},
+		{"garbage opcode", append(append([]byte{}, good[:8]...), 0x55), Options{Detector: stint.DetectorSTINT}},
+	}
+	for _, c := range cases {
+		if _, err := Replay(bytes.NewReader(c.data), c.opts); err == nil {
+			t.Errorf("%s: replay accepted invalid input", c.name)
+		}
+	}
+}
+
+func TestReplayStructuralErrors(t *testing.T) {
+	// A restore without a spawn is structurally invalid.
+	raw := append(append([]byte{}, magic[:]...), opRestore, opEnd)
+	if _, err := Replay(bytes.NewReader(raw), Options{Detector: stint.DetectorVanilla}); err == nil {
+		t.Error("replay accepted restore without spawn")
+	}
+	// A sync without pending spawns is invalid too.
+	raw = append(append([]byte{}, magic[:]...), opSync, opEnd)
+	if _, err := Replay(bytes.NewReader(raw), Options{Detector: stint.DetectorVanilla}); err == nil {
+		t.Error("replay accepted sync without spawns")
+	}
+	// An unterminated spawn.
+	raw = append(append([]byte{}, magic[:]...), opSpawn, opEnd)
+	if _, err := Replay(bytes.NewReader(raw), Options{Detector: stint.DetectorVanilla}); err == nil {
+		t.Error("replay accepted unterminated spawn")
+	}
+}
+
+func TestParallelTracingRejected(t *testing.T) {
+	rec := NewRecorder(&bytes.Buffer{})
+	if _, err := stint.NewRunner(stint.Options{Parallel: true, Tracer: rec}); err == nil {
+		t.Fatal("parallel + tracer accepted")
+	}
+}
+
+func TestWorkloadTraceRoundTrip(t *testing.T) {
+	// Record a real benchmark and replay it: interval statistics must be
+	// identical to the live run.
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	r, err := stint.NewRunner(stint.Options{Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := r.Arena().AllocWords("data", 4096)
+	prog := func(task *stint.Task) {
+		var rec2 func(t *stint.Task, lo, hi int)
+		rec2 = func(t *stint.Task, lo, hi int) {
+			if hi-lo <= 256 {
+				t.LoadRange(data, lo, hi-lo)
+				t.StoreRange(data, lo, hi-lo)
+				return
+			}
+			mid := (lo + hi) / 2
+			t.Spawn(func(c *stint.Task) { rec2(c, lo, mid) })
+			t.Spawn(func(c *stint.Task) { rec2(c, mid, hi) })
+			t.Sync()
+		}
+		rec2(task, 0, 4096)
+	}
+	if _, err := r.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+
+	r2, _ := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT})
+	r2.Arena().AllocWords("data", 4096)
+	live, _ := r2.Run(prog)
+	// The second runner's buffer has the same base (deterministic arena),
+	// so the trace replays against identical addresses.
+	rep, err := Replay(bytes.NewReader(buf.Bytes()), Options{Detector: stint.DetectorSTINT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Racy() {
+		t.Fatal("race-free program raced on replay")
+	}
+	if rep.Stats.ReadIntervals != live.Stats.ReadIntervals || rep.Strands != live.Strands {
+		t.Fatalf("replay stats diverge: %+v vs %+v", rep.Stats, live.Stats)
+	}
+}

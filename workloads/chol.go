@@ -1,0 +1,210 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"stint"
+)
+
+// Chol is a dense blocked Cholesky factorization A = L·Lᵀ on a symmetric
+// positive-definite n×n matrix, computed in place on the lower triangle by
+// recursive divide-and-conquer:
+//
+//	chol(A11); then rows of the triangular solve A21 ← A21·L11⁻ᵀ in
+//	parallel; then rows of the symmetric update A22 ← A22 − A21·A21ᵀ in
+//	parallel; then chol(A22).
+//
+// (The Cilk-5 distribution's chol is a sparse quadtree Cholesky; the dense
+// divide-and-conquer version preserves the property the paper exploits —
+// strands reading and writing contiguous row segments — without needing the
+// sparse input files. See DESIGN.md.)
+//
+// Instrumentation: row-segment operands get coalesced load hooks; element
+// stores within the triangular structure are per-access.
+type Chol struct {
+	n, b int
+	a    []float64
+	orig []float64
+	buf  *stint.Buffer
+}
+
+// NewChol returns an n×n factorization with base-case size b.
+func NewChol(n, b int) *Chol {
+	if n <= 0 || b <= 0 {
+		panic("workloads: chol sizes must be positive")
+	}
+	return &Chol{n: n, b: b}
+}
+
+func (w *Chol) Name() string   { return "chol" }
+func (w *Chol) Params() string { return fmt.Sprintf("n=%d b=%d", w.n, w.b) }
+
+func (w *Chol) Setup(r *stint.Runner) {
+	n := w.n
+	w.a = make([]float64, n*n)
+	rng := newRNG(3)
+	// Build SPD: A = M·Mᵀ + n·I over a random M.
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = rng.float() - 0.5
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += m[i*n+k] * m[j*n+k]
+			}
+			if i == j {
+				s += float64(n)
+			}
+			w.a[i*n+j] = s
+			w.a[j*n+i] = s
+		}
+	}
+	w.orig = append([]float64(nil), w.a...)
+	w.buf = r.Arena().AllocFloat64("chol.A", n*n)
+}
+
+func (w *Chol) Run(t *stint.Task) {
+	w.chol(t, 0, w.n)
+}
+
+// chol factors the s×s diagonal block at (off, off).
+func (w *Chol) chol(t *stint.Task, off, s int) {
+	if s <= w.b {
+		w.base(t, off, s)
+		return
+	}
+	h := s / 2
+	w.chol(t, off, h)
+	// A21 ← A21 · L11⁻ᵀ, parallel over row blocks.
+	w.trsmRows(t, off, h, off+h, off+s)
+	t.Sync()
+	// A22 ← A22 − A21·A21ᵀ, parallel over row blocks.
+	w.syrkRows(t, off, h, off+h, off+s)
+	t.Sync()
+	w.chol(t, off+h, s-h)
+}
+
+// trsmRows solves rows [rLo, rHi) of the panel below the factored h×h
+// block at (off, off), recursively splitting the row range.
+func (w *Chol) trsmRows(t *stint.Task, off, h, rLo, rHi int) {
+	if rHi-rLo <= w.b {
+		w.trsmBase(t, off, h, rLo, rHi)
+		return
+	}
+	mid := (rLo + rHi) / 2
+	t.Spawn(func(c *stint.Task) { w.trsmRows(c, off, h, rLo, mid) })
+	w.trsmRows(t, off, h, mid, rHi)
+}
+
+func (w *Chol) trsmBase(t *stint.Task, off, h, rLo, rHi int) {
+	n := w.n
+	det := t.Detecting()
+	for i := rLo; i < rHi; i++ {
+		if det {
+			t.LoadRange(w.buf, i*n+off, h)
+			t.StoreRange(w.buf, i*n+off, h)
+		}
+		for j := 0; j < h; j++ {
+			if det {
+				t.LoadRange(w.buf, (off+j)*n+off, j+1)
+			}
+			s := w.a[i*n+off+j]
+			for k := 0; k < j; k++ {
+				s -= w.a[i*n+off+k] * w.a[(off+j)*n+off+k]
+			}
+			w.a[i*n+off+j] = s / w.a[(off+j)*n+off+j]
+		}
+	}
+}
+
+// syrkRows updates rows [rLo, rHi) of the trailing block with the outer
+// product of the solved panel, recursively splitting the row range.
+func (w *Chol) syrkRows(t *stint.Task, off, h, rLo, rHi int) {
+	if rHi-rLo <= w.b {
+		w.syrkBase(t, off, h, rLo, rHi)
+		return
+	}
+	mid := (rLo + rHi) / 2
+	t.Spawn(func(c *stint.Task) { w.syrkRows(c, off, h, rLo, mid) })
+	w.syrkRows(t, off, h, mid, rHi)
+}
+
+func (w *Chol) syrkBase(t *stint.Task, off, h, rLo, rHi int) {
+	n := w.n
+	tail := off + h // first row/col of A22
+	det := t.Detecting()
+	for i := rLo; i < rHi; i++ {
+		if det {
+			t.LoadRange(w.buf, i*n+off, h)          // row i of A21
+			t.LoadRange(w.buf, i*n+tail, i-tail+1)  // row i of A22 (lower part)
+			t.StoreRange(w.buf, i*n+tail, i-tail+1) // updated in place
+		}
+		for j := tail; j <= i; j++ {
+			if det {
+				t.LoadRange(w.buf, j*n+off, h) // row j of A21
+			}
+			var s float64
+			for k := 0; k < h; k++ {
+				s += w.a[i*n+off+k] * w.a[j*n+off+k]
+			}
+			w.a[i*n+j] -= s
+		}
+	}
+}
+
+// base is the serial Cholesky of an s×s block.
+func (w *Chol) base(t *stint.Task, off, s int) {
+	n := w.n
+	det := t.Detecting()
+	for j := 0; j < s; j++ {
+		row := off + j
+		if det {
+			t.LoadRange(w.buf, row*n+off, j+1)
+		}
+		d := w.a[row*n+off+j]
+		for k := 0; k < j; k++ {
+			d -= w.a[row*n+off+k] * w.a[row*n+off+k]
+		}
+		d = math.Sqrt(d)
+		if det {
+			t.Store(w.buf, row*n+off+j)
+		}
+		w.a[row*n+off+j] = d
+		for i := j + 1; i < s; i++ {
+			ri := off + i
+			if det {
+				t.LoadRange(w.buf, ri*n+off, j+1)
+				t.Store(w.buf, ri*n+off+j)
+			}
+			v := w.a[ri*n+off+j]
+			for k := 0; k < j; k++ {
+				v -= w.a[ri*n+off+k] * w.a[row*n+off+k]
+			}
+			w.a[ri*n+off+j] = v / d
+		}
+	}
+}
+
+func (w *Chol) Verify() error {
+	n := w.n
+	// Check L·Lᵀ == original A on sampled entries of the lower triangle.
+	stride := 1
+	if n > 128 {
+		stride = n / 32
+	}
+	for i := 0; i < n; i += stride {
+		for j := 0; j <= i; j += stride {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += w.a[i*n+k] * w.a[j*n+k]
+			}
+			if !approxEqual(s, w.orig[i*n+j]) {
+				return fmt.Errorf("chol: (L·Lᵀ)[%d,%d] = %g, want %g", i, j, s, w.orig[i*n+j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"stint"
+)
+
+// FFT is a recursive radix-2 decimation-in-time fast Fourier transform on
+// n complex points (n a power of two). Each level shuffles even- and odd-
+// indexed elements into a scratch half, recurses on the two halves in
+// parallel, and combines with twiddle factors.
+//
+// The shuffle reads every other complex element — a strided pattern the
+// compiler cannot coalesce (per-access hooks), and one whose runtime-
+// coalesced intervals stay small (one complex element each). This is what
+// gives fft the paper's characteristic profile: a modest reduction in
+// interval count, small average interval size, and consequently the one
+// benchmark where STINT's treap loses to the comp+rts hashmap.
+type FFT struct {
+	n, b   int
+	data   []complex128
+	scr    []complex128
+	orig   []complex128
+	tw     []complex128 // tw[k] = exp(-2πik/n), k < n/2
+	bufD   *stint.Buffer
+	bufS   *stint.Buffer
+	checks []int // output bins verified against the direct DFT
+}
+
+// NewFFT returns an n-point transform with base-case size b; both must be
+// powers of two with n >= b >= 2.
+func NewFFT(n, b int) *FFT {
+	if n < 2 || n&(n-1) != 0 || b < 2 || b&(b-1) != 0 || b > n {
+		panic("workloads: fft needs power-of-two n >= b >= 2")
+	}
+	return &FFT{n: n, b: b}
+}
+
+func (w *FFT) Name() string   { return "fft" }
+func (w *FFT) Params() string { return fmt.Sprintf("n=%d b=%d", w.n, w.b) }
+
+// complexBytes is the footprint of one complex128 element.
+const complexBytes = 16
+
+func (w *FFT) Setup(r *stint.Runner) {
+	w.data = make([]complex128, w.n)
+	w.scr = make([]complex128, w.n)
+	w.orig = make([]complex128, w.n)
+	rng := newRNG(13)
+	for i := range w.data {
+		w.data[i] = complex(rng.float()-0.5, rng.float()-0.5)
+		w.orig[i] = w.data[i]
+	}
+	w.tw = make([]complex128, w.n/2)
+	for k := range w.tw {
+		ang := -2 * math.Pi * float64(k) / float64(w.n)
+		w.tw[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	w.bufD = r.Arena().Alloc("fft.data", w.n, complexBytes)
+	w.bufS = r.Arena().Alloc("fft.scratch", w.n, complexBytes)
+	w.checks = nil
+	for i := 0; i < 8; i++ {
+		w.checks = append(w.checks, rng.intn(w.n))
+	}
+}
+
+func (w *FFT) Run(t *stint.Task) {
+	w.rec(t, w.data, w.bufD, 0, w.scr, w.bufS, 0, w.n)
+}
+
+// rec transforms x[off:off+n) in place, using scr[soff:soff+n) as scratch.
+func (w *FFT) rec(t *stint.Task, x []complex128, xb *stint.Buffer, off int, scr []complex128, sb *stint.Buffer, soff, n int) {
+	if n <= w.b {
+		w.baseFFT(t, x, xb, off, n)
+		return
+	}
+	det := t.Detecting()
+	half := n / 2
+	// Shuffle: even elements to the low scratch half, odd to the high half,
+	// the two streams in parallel (decimation in time). Each stream's reads
+	// are strided — per-access hooks the compiler cannot coalesce, and
+	// one-element intervals runtime coalescing cannot merge. This is what
+	// gives fft the paper's many-small-intervals profile.
+	t.Spawn(func(c *stint.Task) {
+		cdet := c.Detecting()
+		for i := 0; i < half; i++ {
+			if cdet {
+				c.Load(xb, off+2*i)
+			}
+			scr[soff+i] = x[off+2*i]
+		}
+		if cdet {
+			c.StoreRange(sb, soff, half)
+		}
+	})
+	t.Spawn(func(c *stint.Task) {
+		cdet := c.Detecting()
+		for i := 0; i < half; i++ {
+			if cdet {
+				c.Load(xb, off+2*i+1)
+			}
+			scr[soff+half+i] = x[off+2*i+1]
+		}
+		if cdet {
+			c.StoreRange(sb, soff+half, half)
+		}
+	})
+	t.Sync()
+	t.Spawn(func(c *stint.Task) { w.rec(c, scr, sb, soff, x, xb, off, half) })
+	t.Spawn(func(c *stint.Task) { w.rec(c, scr, sb, soff+half, x, xb, off+half, half) })
+	t.Sync()
+	// Combine with twiddle factors; all four touched ranges are contiguous.
+	if det {
+		t.LoadRange(sb, soff, n)
+		t.StoreRange(xb, off, n)
+	}
+	tstep := w.n / n
+	for k := 0; k < half; k++ {
+		odd := scr[soff+half+k] * w.tw[k*tstep]
+		x[off+k] = scr[soff+k] + odd
+		x[off+half+k] = scr[soff+k] - odd
+	}
+}
+
+// baseFFT computes an in-place iterative radix-2 transform of a contiguous
+// block: a bit-reversal permutation followed by log₂(n) butterfly stages.
+// Every access is instrumented individually — the permutation is scattered
+// and the butterfly strides vary per stage, the patterns the paper reports
+// the compiler cannot coalesce for fft (Figure 6: reads coalesce by ~0.005%
+// at compile time).
+func (w *FFT) baseFFT(t *stint.Task, x []complex128, xb *stint.Buffer, off, n int) {
+	det := t.Detecting()
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			if det {
+				t.Load(xb, off+i)
+				t.Load(xb, off+j)
+				t.Store(xb, off+i)
+				t.Store(xb, off+j)
+			}
+			x[off+i], x[off+j] = x[off+j], x[off+i]
+		}
+		m := n >> 1
+		for ; m >= 1 && j&m != 0; m >>= 1 {
+			j &^= m
+		}
+		j |= m
+	}
+	// Butterfly stages.
+	for m := 2; m <= n; m <<= 1 {
+		half := m >> 1
+		tstep := w.n / m
+		for k := 0; k < n; k += m {
+			for j := 0; j < half; j++ {
+				lo := off + k + j
+				hi := lo + half
+				if det {
+					t.Load(xb, lo)
+					t.Load(xb, hi)
+					t.Store(xb, lo)
+					t.Store(xb, hi)
+				}
+				tv := w.tw[j*tstep] * x[hi]
+				x[hi] = x[lo] - tv
+				x[lo] = x[lo] + tv
+			}
+		}
+	}
+}
+
+func (w *FFT) Verify() error {
+	// Check sampled output bins against the direct DFT of the saved input.
+	for _, k := range w.checks {
+		var want complex128
+		for j := 0; j < w.n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(w.n)
+			want += w.orig[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		got := w.data[k]
+		if !fftClose(got, want, float64(w.n)) {
+			return fmt.Errorf("fft: bin %d = %v, want %v", k, got, want)
+		}
+	}
+	return nil
+}
+
+// fftClose compares transform outputs with a tolerance scaled by the
+// accumulation length.
+func fftClose(a, b complex128, n float64) bool {
+	d := a - b
+	mag := real(d)*real(d) + imag(d)*imag(d)
+	return mag <= 1e-12*n
+}

@@ -1,0 +1,145 @@
+package workloads
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"stint"
+)
+
+// directDFT is the O(n²) reference transform.
+func directDFT(in []complex128) []complex128 {
+	n := len(in)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			out[k] += in[j] * cmplx.Exp(complex(0, ang))
+		}
+	}
+	return out
+}
+
+// runFFT executes an instance and returns it.
+func runFFT(t *testing.T, n, b int, d stint.Detector) *FFT {
+	t.Helper()
+	w := NewFFT(n, b)
+	r, _ := stint.NewRunner(stint.Options{Detector: d})
+	w.Setup(r)
+	if _, err := r.Run(w.Run); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestFFTMatchesDirectDFTExhaustively(t *testing.T) {
+	// Small sizes: compare every output bin, not just the sampled ones.
+	for _, c := range []struct{ n, b int }{
+		{4, 2}, {8, 2}, {8, 8}, {16, 4}, {64, 8}, {128, 32}, {256, 256},
+	} {
+		w := runFFT(t, c.n, c.b, stint.DetectorOff)
+		want := directDFT(w.orig)
+		for k := range want {
+			if !fftClose(w.data[k], want[k], float64(c.n)) {
+				t.Errorf("n=%d b=%d: bin %d = %v, want %v", c.n, c.b, k, w.data[k], want[k])
+			}
+		}
+	}
+}
+
+func TestFFTImpulseGivesFlatSpectrum(t *testing.T) {
+	w := NewFFT(64, 8)
+	r, _ := stint.NewRunner(stint.Options{})
+	w.Setup(r)
+	for i := range w.data {
+		w.data[i] = 0
+	}
+	w.data[0] = 1
+	if _, err := r.Run(w.Run); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range w.data {
+		if !fftClose(v, 1, 64) {
+			t.Fatalf("impulse spectrum bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTConstantGivesImpulse(t *testing.T) {
+	w := NewFFT(32, 4)
+	r, _ := stint.NewRunner(stint.Options{})
+	w.Setup(r)
+	for i := range w.data {
+		w.data[i] = 1
+	}
+	if _, err := r.Run(w.Run); err != nil {
+		t.Fatal(err)
+	}
+	if !fftClose(w.data[0], complex(32, 0), 32) {
+		t.Fatalf("DC bin = %v, want 32", w.data[0])
+	}
+	for k := 1; k < 32; k++ {
+		if !fftClose(w.data[k], 0, 32) {
+			t.Fatalf("bin %d = %v, want 0", k, w.data[k])
+		}
+	}
+}
+
+func TestFFTTwiddleTable(t *testing.T) {
+	w := NewFFT(16, 4)
+	r, _ := stint.NewRunner(stint.Options{})
+	w.Setup(r)
+	for k := 0; k < 8; k++ {
+		want := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/16))
+		if !fftClose(w.tw[k], want, 1) {
+			t.Errorf("tw[%d] = %v, want %v", k, w.tw[k], want)
+		}
+	}
+}
+
+func TestFFTSmallIntervalProfile(t *testing.T) {
+	// The shuffle's strided reads must dominate interval counts with small
+	// intervals — the characteristic that makes fft the treap's worst case.
+	w := NewFFT(2048, 64)
+	r, _ := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT})
+	w.Setup(r)
+	rep, err := r.Run(w.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Racy() {
+		t.Fatal("fft raced")
+	}
+	avgRead := float64(rep.Stats.ReadIntervalBytes) / float64(rep.Stats.ReadIntervals)
+	if avgRead > 64 {
+		t.Errorf("average read interval %.1f bytes; fft should fragment (paper: ~29B)", avgRead)
+	}
+	if rep.Stats.ReadIntervals < uint64(w.n) {
+		t.Errorf("read intervals %d; expected at least n=%d one-element shuffle intervals",
+			rep.Stats.ReadIntervals, w.n)
+	}
+}
+
+func TestFFTRejectsBadSizes(t *testing.T) {
+	for _, c := range []struct{ n, b int }{
+		{0, 2}, {3, 2}, {8, 3}, {4, 8}, {8, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFFT(%d,%d) accepted invalid sizes", c.n, c.b)
+				}
+			}()
+			NewFFT(c.n, c.b)
+		}()
+	}
+}
+
+func TestFFTVerifyCatchesCorruption(t *testing.T) {
+	w := runFFT(t, 256, 16, stint.DetectorOff)
+	w.data[w.checks[0]] += complex(1, 0)
+	if w.Verify() == nil {
+		t.Error("Verify accepted a corrupted bin")
+	}
+}

@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"fmt"
+
+	"stint"
+)
+
+// Heat is a Jacobi heat-diffusion simulation on an nx×ny grid for a fixed
+// number of timesteps, with the row range divided recursively and the
+// leaves computed in parallel (the Cilk-5 heat benchmark's structure).
+//
+// Each base case reads three contiguous rows per output row — coalesced
+// load hooks — while the stencil's output stores are emitted per element
+// (the paper's Figure 6 shows heat's reads coalescing by two orders of
+// magnitude at compile time while its writes do not coalesce at all).
+type Heat struct {
+	nx, ny, steps, b int
+
+	cur, next []float64
+	bufCur    *stint.Buffer
+	bufNext   *stint.Buffer
+	reference []float64
+}
+
+// NewHeat returns an nx×ny grid simulation running the given number of
+// steps with base-case size b rows.
+func NewHeat(nx, ny, steps, b int) *Heat {
+	if nx < 3 || ny < 3 || steps < 1 || b < 1 {
+		panic("workloads: heat needs nx,ny >= 3, steps >= 1, b >= 1")
+	}
+	return &Heat{nx: nx, ny: ny, steps: steps, b: b}
+}
+
+func (w *Heat) Name() string { return "heat" }
+func (w *Heat) Params() string {
+	return fmt.Sprintf("nx=%d ny=%d steps=%d b=%d", w.nx, w.ny, w.steps, w.b)
+}
+
+func (w *Heat) Setup(r *stint.Runner) {
+	n := w.nx * w.ny
+	w.cur = make([]float64, n)
+	w.next = make([]float64, n)
+	rng := newRNG(99)
+	for i := range w.cur {
+		w.cur[i] = rng.float()
+	}
+	// Reference result computed uninstrumented for Verify.
+	w.reference = simulateHeat(w.cur, w.nx, w.ny, w.steps)
+	w.bufCur = r.Arena().AllocFloat64("heat.a", n)
+	w.bufNext = r.Arena().AllocFloat64("heat.b", n)
+}
+
+// simulateHeat runs the stencil serially on a copy and returns the final
+// grid.
+func simulateHeat(init []float64, nx, ny, steps int) []float64 {
+	cur := append([]float64(nil), init...)
+	next := make([]float64, len(init))
+	for s := 0; s < steps; s++ {
+		copy(next, cur) // boundary rows/cols carry over
+		for i := 1; i < nx-1; i++ {
+			for j := 1; j < ny-1; j++ {
+				next[i*ny+j] = cur[i*ny+j] + 0.1*(cur[(i-1)*ny+j]+cur[(i+1)*ny+j]+cur[i*ny+j-1]+cur[i*ny+j+1]-4*cur[i*ny+j])
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+func (w *Heat) Run(t *stint.Task) {
+	cur, next := w.cur, w.next
+	bufCur, bufNext := w.bufCur, w.bufNext
+	for s := 0; s < w.steps; s++ {
+		w.copyBoundary(t, cur, bufCur, next, bufNext)
+		w.rec(t, cur, bufCur, next, bufNext, 1, w.nx-1)
+		t.Sync()
+		cur, next = next, cur
+		bufCur, bufNext = bufNext, bufCur
+	}
+	if &cur[0] != &w.cur[0] {
+		// Ensure the result ends in w.cur for Verify.
+		w.cur, w.next = cur, next
+		w.bufCur, w.bufNext = bufCur, bufNext
+	}
+}
+
+// copyBoundary carries the fixed boundary into the next grid.
+func (w *Heat) copyBoundary(t *stint.Task, cur []float64, bufCur *stint.Buffer, next []float64, bufNext *stint.Buffer) {
+	nx, ny := w.nx, w.ny
+	det := t.Detecting()
+	if det {
+		t.LoadRange(bufCur, 0, ny)
+		t.StoreRange(bufNext, 0, ny)
+		t.LoadRange(bufCur, (nx-1)*ny, ny)
+		t.StoreRange(bufNext, (nx-1)*ny, ny)
+	}
+	copy(next[:ny], cur[:ny])
+	copy(next[(nx-1)*ny:], cur[(nx-1)*ny:])
+	for i := 1; i < nx-1; i++ {
+		if det {
+			t.Load(bufCur, i*ny)
+			t.Store(bufNext, i*ny)
+			t.Load(bufCur, i*ny+ny-1)
+			t.Store(bufNext, i*ny+ny-1)
+		}
+		next[i*ny] = cur[i*ny]
+		next[i*ny+ny-1] = cur[i*ny+ny-1]
+	}
+}
+
+// rec divides the interior rows [lo, hi) until the block is small enough,
+// spawning the halves.
+func (w *Heat) rec(t *stint.Task, cur []float64, bufCur *stint.Buffer, next []float64, bufNext *stint.Buffer, lo, hi int) {
+	if hi-lo <= w.b {
+		w.base(t, cur, bufCur, next, bufNext, lo, hi)
+		return
+	}
+	mid := (lo + hi) / 2
+	t.Spawn(func(c *stint.Task) { w.rec(c, cur, bufCur, next, bufNext, lo, mid) })
+	t.Spawn(func(c *stint.Task) { w.rec(c, cur, bufCur, next, bufNext, mid, hi) })
+	t.Sync()
+}
+
+// base computes the stencil for rows [lo, hi): coalesced loads of the three
+// input rows per output row, per-element output stores.
+func (w *Heat) base(t *stint.Task, cur []float64, bufCur *stint.Buffer, next []float64, bufNext *stint.Buffer, lo, hi int) {
+	ny := w.ny
+	det := t.Detecting()
+	for i := lo; i < hi; i++ {
+		if det {
+			t.LoadRange(bufCur, (i-1)*ny, 3*ny) // rows i-1, i, i+1 are contiguous
+		}
+		for j := 1; j < ny-1; j++ {
+			if det {
+				t.Store(bufNext, i*ny+j)
+			}
+			next[i*ny+j] = cur[i*ny+j] + 0.1*(cur[(i-1)*ny+j]+cur[(i+1)*ny+j]+cur[i*ny+j-1]+cur[i*ny+j+1]-4*cur[i*ny+j])
+		}
+	}
+}
+
+func (w *Heat) Verify() error {
+	for i := range w.reference {
+		if !approxEqual(w.cur[i], w.reference[i]) {
+			return fmt.Errorf("heat: cell %d = %g, want %g", i, w.cur[i], w.reference[i])
+		}
+	}
+	return nil
+}

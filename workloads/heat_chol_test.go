@@ -1,0 +1,159 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"stint"
+)
+
+func runHeatKernel(t *testing.T, nx, ny, steps, b int) *Heat {
+	t.Helper()
+	w := NewHeat(nx, ny, steps, b)
+	r, _ := stint.NewRunner(stint.Options{})
+	w.Setup(r)
+	if _, err := r.Run(w.Run); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestHeatShapes(t *testing.T) {
+	for _, c := range []struct{ nx, ny, steps, b int }{
+		{3, 3, 1, 1}, {4, 7, 3, 2}, {16, 16, 5, 16}, {9, 5, 2, 1}, {32, 8, 7, 3},
+	} {
+		w := runHeatKernel(t, c.nx, c.ny, c.steps, c.b)
+		if err := w.Verify(); err != nil {
+			t.Errorf("%dx%d steps=%d b=%d: %v", c.nx, c.ny, c.steps, c.b, err)
+		}
+	}
+}
+
+func TestHeatUniformGridIsFixedPoint(t *testing.T) {
+	w := NewHeat(8, 8, 4, 2)
+	r, _ := stint.NewRunner(stint.Options{})
+	w.Setup(r)
+	for i := range w.cur {
+		w.cur[i] = 0.5
+	}
+	w.reference = simulateHeat(w.cur, 8, 8, 4)
+	if _, err := r.Run(w.Run); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range w.cur {
+		if !approxEqual(v, 0.5) {
+			t.Fatalf("uniform grid drifted at %d: %g", i, v)
+		}
+	}
+}
+
+func TestHeatDiffusionIsSymmetric(t *testing.T) {
+	w := NewHeat(9, 9, 3, 2)
+	r, _ := stint.NewRunner(stint.Options{})
+	w.Setup(r)
+	for i := range w.cur {
+		w.cur[i] = 0
+	}
+	w.cur[4*9+4] = 1 // hot center
+	w.reference = simulateHeat(w.cur, 9, 9, 3)
+	if _, err := r.Run(w.Run); err != nil {
+		t.Fatal(err)
+	}
+	// The grid must stay symmetric under reflection through the center.
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			a, b := w.cur[i*9+j], w.cur[(8-i)*9+(8-j)]
+			if !approxEqual(a, b) {
+				t.Fatalf("asymmetric diffusion at (%d,%d): %g vs %g", i, j, a, b)
+			}
+		}
+	}
+	if w.cur[4*9+4] >= 1 {
+		t.Fatal("heat did not diffuse away from the center")
+	}
+}
+
+func TestHeatBoundaryHeld(t *testing.T) {
+	w := runHeatKernel(t, 8, 8, 5, 2)
+	// Boundary cells never change from the initial grid.
+	init := make([]float64, 64)
+	rng := newRNG(99)
+	for i := range init {
+		init[i] = rng.float()
+	}
+	for j := 0; j < 8; j++ {
+		if w.cur[j] != init[j] || w.cur[7*8+j] != init[7*8+j] {
+			t.Fatal("top/bottom boundary modified")
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if w.cur[i*8] != init[i*8] || w.cur[i*8+7] != init[i*8+7] {
+			t.Fatal("left/right boundary modified")
+		}
+	}
+}
+
+func runCholKernel(t *testing.T, n, b int) *Chol {
+	t.Helper()
+	w := NewChol(n, b)
+	r, _ := stint.NewRunner(stint.Options{})
+	w.Setup(r)
+	if _, err := r.Run(w.Run); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestCholShapes(t *testing.T) {
+	for _, c := range []struct{ n, b int }{
+		{1, 1}, {2, 1}, {5, 2}, {16, 16}, {17, 4}, {33, 8},
+	} {
+		w := runCholKernel(t, c.n, c.b)
+		if err := w.Verify(); err != nil {
+			t.Errorf("n=%d b=%d: %v", c.n, c.b, err)
+		}
+	}
+}
+
+func TestCholKnownFactorization(t *testing.T) {
+	// A = [[4, 2], [2, 5]] factors to L = [[2, 0], [1, 2]].
+	w := NewChol(2, 2)
+	r, _ := stint.NewRunner(stint.Options{})
+	w.Setup(r)
+	copy(w.a, []float64{4, 2, 2, 5})
+	copy(w.orig, w.a)
+	if _, err := r.Run(w.Run); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 0, 1, 2}
+	for _, idx := range []int{0, 2, 3} { // lower triangle
+		if !approxEqual(w.a[idx], want[idx]) {
+			t.Fatalf("L[%d] = %g, want %g", idx, w.a[idx], want[idx])
+		}
+	}
+}
+
+func TestCholDiagonalIsPositive(t *testing.T) {
+	w := runCholKernel(t, 24, 4)
+	for i := 0; i < 24; i++ {
+		d := w.a[i*24+i]
+		if d <= 0 || math.IsNaN(d) {
+			t.Fatalf("L[%d,%d] = %g, want positive", i, i, d)
+		}
+	}
+}
+
+func TestCholFullReconstructionSmall(t *testing.T) {
+	w := runCholKernel(t, 12, 3)
+	for i := 0; i < 12; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += w.a[i*12+k] * w.a[j*12+k]
+			}
+			if !approxEqual(s, w.orig[i*12+j]) {
+				t.Fatalf("(L·Lᵀ)[%d,%d] = %g, want %g", i, j, s, w.orig[i*12+j])
+			}
+		}
+	}
+}

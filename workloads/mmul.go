@@ -1,0 +1,128 @@
+package workloads
+
+import (
+	"fmt"
+
+	"stint"
+)
+
+// MMul is dense matrix multiplication C += A·B on row-major n×n matrices,
+// using the Cilk-5 recursive divide-and-conquer algorithm: the largest of
+// the three dimensions is halved; splits of the row or column dimension of
+// C run in parallel, splits of the inner dimension run serially (both
+// halves accumulate into C).
+//
+// The base case carries exactly the instrumentation of the paper's
+// Algorithm 1: coalesced load/store hooks for each row of C, a coalesced
+// load hook for each row of A, and a per-access load hook for every element
+// of B — the column-major reads of row-major B are the paper's example of
+// an access pattern the compiler cannot coalesce.
+type MMul struct {
+	n, b    int
+	a, bm   []float64
+	c       []float64
+	bufA    *stint.Buffer
+	bufB    *stint.Buffer
+	bufC    *stint.Buffer
+	scratch []float64 // reference result for Verify (small n only)
+}
+
+// NewMMul returns an n×n multiplication with base-case size b.
+func NewMMul(n, b int) *MMul {
+	if n <= 0 || b <= 0 {
+		panic("workloads: mmul sizes must be positive")
+	}
+	return &MMul{n: n, b: b}
+}
+
+func (w *MMul) Name() string   { return "mmul" }
+func (w *MMul) Params() string { return fmt.Sprintf("n=%d b=%d", w.n, w.b) }
+
+func (w *MMul) Setup(r *stint.Runner) {
+	n := w.n
+	w.a = make([]float64, n*n)
+	w.bm = make([]float64, n*n)
+	w.c = make([]float64, n*n)
+	rng := newRNG(42)
+	for i := range w.a {
+		w.a[i] = rng.float() - 0.5
+		w.bm[i] = rng.float() - 0.5
+	}
+	w.bufA = r.Arena().AllocFloat64("mmul.A", n*n)
+	w.bufB = r.Arena().AllocFloat64("mmul.B", n*n)
+	w.bufC = r.Arena().AllocFloat64("mmul.C", n*n)
+}
+
+func (w *MMul) Run(t *stint.Task) {
+	w.rec(t, 0, 0, 0, 0, 0, 0, w.n, w.n, w.n)
+}
+
+// rec multiplies the m×n block of A at (ar,ac) with the n×p block of B at
+// (br,bc) into the m×p block of C at (cr,cc).
+func (w *MMul) rec(t *stint.Task, ar, ac, br, bc, cr, cc, m, n, p int) {
+	if m <= w.b && n <= w.b && p <= w.b {
+		w.base(t, ar, ac, br, bc, cr, cc, m, n, p)
+		return
+	}
+	switch {
+	case m >= n && m >= p: // split rows of C: disjoint outputs, parallel
+		h := m / 2
+		t.Spawn(func(c *stint.Task) { w.rec(c, ar, ac, br, bc, cr, cc, h, n, p) })
+		t.Spawn(func(c *stint.Task) { w.rec(c, ar+h, ac, br, bc, cr+h, cc, m-h, n, p) })
+		t.Sync()
+	case p >= n: // split columns of C: disjoint outputs, parallel
+		h := p / 2
+		t.Spawn(func(c *stint.Task) { w.rec(c, ar, ac, br, bc, cr, cc, m, n, h) })
+		t.Spawn(func(c *stint.Task) { w.rec(c, ar, ac, br, bc+h, cr, cc+h, m, n, p-h) })
+		t.Sync()
+	default: // split the inner dimension: both halves add into C, serial
+		h := n / 2
+		w.rec(t, ar, ac, br, bc, cr, cc, m, h, p)
+		w.rec(t, ar, ac+h, br+h, bc, cr, cc, m, n-h, p)
+	}
+}
+
+// base is Algorithm 1 of the paper.
+func (w *MMul) base(t *stint.Task, ar, ac, br, bc, cr, cc, m, n, p int) {
+	N := w.n
+	det := t.Detecting()
+	for i := 0; i < m; i++ {
+		if det {
+			t.LoadRange(w.bufC, (cr+i)*N+cc, p)
+			t.StoreRange(w.bufC, (cr+i)*N+cc, p)
+			t.LoadRange(w.bufA, (ar+i)*N+ac, n)
+		}
+		for j := 0; j < p; j++ {
+			sum := w.c[(cr+i)*N+cc+j]
+			for k := 0; k < n; k++ {
+				if det {
+					t.Load(w.bufB, (br+k)*N+bc+j)
+				}
+				sum += w.a[(ar+i)*N+ac+k] * w.bm[(br+k)*N+bc+j]
+			}
+			w.c[(cr+i)*N+cc+j] = sum
+		}
+	}
+}
+
+func (w *MMul) Verify() error {
+	n := w.n
+	// Full reference for small instances, sampled rows for large ones.
+	rows := n
+	stride := 1
+	if n > 160 {
+		stride = n / 16
+	}
+	for i := 0; i < rows; i += stride {
+		for j := 0; j < n; j += stride {
+			var want float64
+			for k := 0; k < n; k++ {
+				want += w.a[i*n+k] * w.bm[k*n+j]
+			}
+			if got := w.c[i*n+j]; !approxEqual(got, want) {
+				return fmt.Errorf("mmul: C[%d,%d] = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"testing"
+
+	"stint"
+)
+
+func runMMulKernel(t *testing.T, n, b int) *MMul {
+	t.Helper()
+	w := NewMMul(n, b)
+	r, _ := stint.NewRunner(stint.Options{})
+	w.Setup(r)
+	if _, err := r.Run(w.Run); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestMMulShapes(t *testing.T) {
+	// Non-power-of-two sizes and extreme base cases exercise every split
+	// direction (row, column, inner) of the recursion.
+	for _, c := range []struct{ n, b int }{
+		{1, 1}, {2, 1}, {7, 2}, {16, 16}, {17, 4}, {33, 8}, {48, 5},
+	} {
+		w := runMMulKernel(t, c.n, c.b)
+		if err := w.Verify(); err != nil {
+			t.Errorf("n=%d b=%d: %v", c.n, c.b, err)
+		}
+	}
+}
+
+func TestMMulIdentity(t *testing.T) {
+	w := NewMMul(16, 4)
+	r, _ := stint.NewRunner(stint.Options{})
+	w.Setup(r)
+	// Overwrite B with the identity; C must equal A.
+	for i := range w.bm {
+		w.bm[i] = 0
+	}
+	for i := 0; i < 16; i++ {
+		w.bm[i*16+i] = 1
+	}
+	if _, err := r.Run(w.Run); err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.a {
+		if !approxEqual(w.c[i], w.a[i]) {
+			t.Fatalf("C[%d] = %g, want A = %g", i, w.c[i], w.a[i])
+		}
+	}
+}
+
+func TestMMulAccumulatesIntoC(t *testing.T) {
+	// The kernel computes C += A·B; a pre-seeded C must be preserved.
+	w := NewMMul(8, 4)
+	r, _ := stint.NewRunner(stint.Options{})
+	w.Setup(r)
+	for i := range w.c {
+		w.c[i] = 100
+	}
+	if _, err := r.Run(w.Run); err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for k := 0; k < 8; k++ {
+		want += w.a[k] * w.bm[k*8]
+	}
+	if !approxEqual(w.c[0], want+100) {
+		t.Fatalf("C[0] = %g, want %g (accumulation lost)", w.c[0], want+100)
+	}
+}
+
+func TestMMulInstrumentationShape(t *testing.T) {
+	// Algorithm 1: B loads stay per-element (uncoalesced at compile time),
+	// A and C rows arrive as ranges. Under Compiler mode, hook calls are
+	// therefore dominated by B's n³ loads.
+	w := NewMMul(32, 8)
+	r, _ := stint.NewRunner(stint.Options{Detector: stint.DetectorCompiler})
+	w.Setup(r)
+	rep, err := r.Run(w.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3 := uint64(32 * 32 * 32)
+	if rep.Stats.ReadHookCalls < n3 {
+		t.Errorf("ReadHookCalls = %d, want >= %d (per-element B loads)", rep.Stats.ReadHookCalls, n3)
+	}
+	// A and C range hooks: 2 per base-case row for C is wrong to count
+	// exactly here; just require far fewer write hooks than read hooks.
+	if rep.Stats.WriteHookCalls*10 > rep.Stats.ReadHookCalls {
+		t.Errorf("write hooks %d not far below read hooks %d", rep.Stats.WriteHookCalls, rep.Stats.ReadHookCalls)
+	}
+}
+
+func TestMMulRejectsBadSizes(t *testing.T) {
+	for _, c := range []struct{ n, b int }{{0, 1}, {4, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMMul(%d,%d) accepted invalid sizes", c.n, c.b)
+				}
+			}()
+			NewMMul(c.n, c.b)
+		}()
+	}
+}

@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"fmt"
+
+	"stint"
+)
+
+// This file provides deliberately buggy variants of the benchmarks. They
+// exist for testing and demonstration: each exhibits one classic
+// task-parallel bug, carries a real race on a known buffer, and still
+// computes (possibly wrong) results deterministically under serial
+// execution — exactly the situation in which a determinacy-race detector
+// earns its keep, since the serial test run would pass.
+
+// RacyMMul is matrix multiplication with the classic inner-dimension
+// mistake: both halves of a k-split are spawned, so two parallel tasks
+// accumulate into the same C block.
+type RacyMMul struct {
+	*MMul
+}
+
+// NewRacyMMul returns the buggy multiplication.
+func NewRacyMMul(n, b int) *RacyMMul { return &RacyMMul{NewMMul(n, b)} }
+
+func (w *RacyMMul) Name() string { return "mmul-racy" }
+
+func (w *RacyMMul) Run(t *stint.Task) {
+	w.racyRec(t, 0, 0, 0, 0, 0, 0, w.n, w.n, w.n)
+}
+
+func (w *RacyMMul) racyRec(t *stint.Task, ar, ac, br, bc, cr, cc, m, n, p int) {
+	if m <= w.b && n <= w.b && p <= w.b {
+		w.base(t, ar, ac, br, bc, cr, cc, m, n, p)
+		return
+	}
+	switch {
+	case m >= n && m >= p:
+		h := m / 2
+		t.Spawn(func(c *stint.Task) { w.racyRec(c, ar, ac, br, bc, cr, cc, h, n, p) })
+		t.Spawn(func(c *stint.Task) { w.racyRec(c, ar+h, ac, br, bc, cr+h, cc, m-h, n, p) })
+		t.Sync()
+	case p >= n:
+		h := p / 2
+		t.Spawn(func(c *stint.Task) { w.racyRec(c, ar, ac, br, bc, cr, cc, m, n, h) })
+		t.Spawn(func(c *stint.Task) { w.racyRec(c, ar, ac, br, bc+h, cr, cc+h, m, n, p-h) })
+		t.Sync()
+	default:
+		h := n / 2
+		// BUG: the inner-dimension halves both accumulate into C and must
+		// run serially; spawning them races on every element of the block.
+		t.Spawn(func(c *stint.Task) { w.racyRec(c, ar, ac, br, bc, cr, cc, m, h, p) })
+		t.Spawn(func(c *stint.Task) { w.racyRec(c, ar, ac+h, br+h, bc, cr, cc, m, n-h, p) })
+		t.Sync()
+	}
+}
+
+// Verify intentionally succeeds under serial execution: the bug is a race,
+// not a serial-semantics error — which is why it slips through ordinary
+// tests.
+func (w *RacyMMul) Verify() error { return w.MMul.Verify() }
+
+// RacyHeat forgets the barrier between timesteps: the next step's stencil
+// is spawned while the previous step's writers are still outstanding.
+type RacyHeat struct {
+	*Heat
+}
+
+// NewRacyHeat returns the buggy simulation.
+func NewRacyHeat(nx, ny, steps, b int) *RacyHeat { return &RacyHeat{NewHeat(nx, ny, steps, b)} }
+
+func (w *RacyHeat) Name() string { return "heat-racy" }
+
+func (w *RacyHeat) Run(t *stint.Task) {
+	cur, next := w.cur, w.next
+	bufCur, bufNext := w.bufCur, w.bufNext
+	for s := 0; s < w.steps; s++ {
+		w.copyBoundary(t, cur, bufCur, next, bufNext)
+		// BUG: spawning the whole step without joining it before the swap.
+		// Step s+1 reads rows step s is still writing.
+		curS, nextS, bufCurS, bufNextS := cur, next, bufCur, bufNext
+		t.Spawn(func(c *stint.Task) { w.rec(c, curS, bufCurS, nextS, bufNextS, 1, w.nx-1) })
+		cur, next = next, cur
+		bufCur, bufNext = bufNext, bufCur
+	}
+	t.Sync()
+	if w.steps%2 == 1 {
+		w.cur, w.next = cur, next
+		w.bufCur, w.bufNext = bufCur, bufNext
+	}
+}
+
+// Verify only checks that the serial execution matched the reference; the
+// serial projection of the racy program happens to compute the right
+// answer, which is the insidious part.
+func (w *RacyHeat) Verify() error { return w.Heat.Verify() }
+
+// RacySort forgets the sync between sorting and merging: the merge is
+// logically parallel with both spawned sorts. The serial execution still
+// happens to run the children first and produces a perfectly sorted array —
+// the bug only exists in the parallel semantics.
+type RacySort struct {
+	*Sort
+}
+
+// NewRacySort returns the buggy sort.
+func NewRacySort(n, b int) *RacySort { return &RacySort{NewSort(n, b)} }
+
+func (w *RacySort) Name() string { return "sort-racy" }
+
+func (w *RacySort) Run(t *stint.Task) {
+	if w.n < 8 {
+		w.insertionSort(t, 0, w.n-1)
+		return
+	}
+	half := w.n / 2
+	t.Spawn(func(c *stint.Task) { w.cilksort(c, 0, half) })
+	t.Spawn(func(c *stint.Task) { w.cilksort(c, half, w.n-half) })
+	// BUG: no t.Sync() here — the merge races with both sorts.
+	w.cilkmerge(t, w.data, w.bufData, 0, half, half, w.n, w.tmp, w.bufTmp, 0)
+	t.Sync()
+	if t.Detecting() {
+		t.LoadRange(w.bufTmp, 0, w.n)
+		t.StoreRange(w.bufData, 0, w.n)
+	}
+	copy(w.data, w.tmp)
+}
+
+// Verify confirms the serially computed result is correct — the insidious
+// property of a determinacy race.
+func (w *RacySort) Verify() error {
+	if !isSorted(w.data) {
+		return fmt.Errorf("sort-racy: output not sorted")
+	}
+	return nil
+}
+
+// RacyFactories returns the buggy kernels at test-friendly sizes, keyed by
+// name, together with the buffer each bug races on.
+func RacyFactories() map[string]struct {
+	Factory Factory
+	Buffer  string
+} {
+	return map[string]struct {
+		Factory Factory
+		Buffer  string
+	}{
+		"mmul-racy": {func() Workload { return NewRacyMMul(32, 8) }, "mmul.C"},
+		"heat-racy": {func() Workload { return NewRacyHeat(16, 16, 4, 4) }, "heat."},
+		"sort-racy": {func() Workload { return NewRacySort(2000, 64) }, "sort."},
+	}
+}

@@ -1,0 +1,65 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"stint"
+)
+
+func TestRacyKernelsAreCaughtByEveryDetector(t *testing.T) {
+	detectors := []stint.Detector{
+		stint.DetectorVanilla, stint.DetectorCompiler,
+		stint.DetectorCompRTS, stint.DetectorSTINT,
+	}
+	for name, rc := range RacyFactories() {
+		name, rc := name, rc
+		t.Run(name, func(t *testing.T) {
+			for _, d := range detectors {
+				w := rc.Factory()
+				r, err := stint.NewRunner(stint.Options{Detector: d})
+				if err != nil {
+					t.Fatal(err)
+				}
+				w.Setup(r)
+				rep, err := r.Run(w.Run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Racy() {
+					t.Errorf("%v missed the %s bug", d, name)
+					continue
+				}
+				// The race must land on the expected buffer.
+				desc := r.DescribeRace(rep.Races[0])
+				if !strings.Contains(desc, rc.Buffer) {
+					t.Errorf("%v: race %q not on expected buffer %q", d, desc, rc.Buffer)
+				}
+			}
+		})
+	}
+}
+
+func TestRacyKernelsPassSerialVerification(t *testing.T) {
+	// The point of determinacy races: the serial execution is correct, so
+	// ordinary testing does not catch the bug.
+	for name, rc := range RacyFactories() {
+		w := rc.Factory()
+		r, _ := stint.NewRunner(stint.Options{})
+		w.Setup(r)
+		if _, err := r.Run(w.Run); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Verify(); err != nil {
+			t.Errorf("%s: serial run failed verification (%v); the bug should be a race, not a serial error", name, err)
+		}
+	}
+}
+
+func TestRacyNamesDistinct(t *testing.T) {
+	for name, rc := range RacyFactories() {
+		if w := rc.Factory(); w.Name() != name {
+			t.Errorf("factory %q builds %q", name, w.Name())
+		}
+	}
+}

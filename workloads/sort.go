@@ -1,0 +1,224 @@
+package workloads
+
+import (
+	"fmt"
+
+	"stint"
+)
+
+// Sort is the Cilk-5 cilksort benchmark: a parallel mergesort that splits
+// the array into quarters, sorts them in parallel, and merges with a
+// recursive divide-and-conquer parallel merge (binary-search split). The
+// base case is the insertion sort of the paper's Algorithm 2, whose stores
+// are predicated on input values — the paper's example of accesses only
+// runtime coalescing can merge.
+//
+// Instrumentation: insertion sort uses per-access hooks throughout
+// (Algorithm 2); the serial merge uses coalesced load hooks for its two
+// input runs (their extents are statically known) but per-element store
+// hooks for the output (matching the paper's Figure 6, where sort's reads
+// partially coalesce at compile time and its writes do not).
+type Sort struct {
+	n, b    int
+	data    []int32
+	tmp     []int32
+	bufData *stint.Buffer
+	bufTmp  *stint.Buffer
+	sum     int64 // input checksum for Verify
+}
+
+// mergeBase is the serial-merge cutoff of the parallel merge. Matching the
+// insertion-sort base-case scale keeps merge strands' intervals large, the
+// property the paper's sort numbers rely on.
+const mergeBase = 512
+
+// NewSort returns a sort of n pseudorandom int32s with insertion-sort
+// base-case size b.
+func NewSort(n, b int) *Sort {
+	if n <= 0 || b <= 1 {
+		panic("workloads: sort needs n > 0 and b > 1")
+	}
+	return &Sort{n: n, b: b}
+}
+
+func (w *Sort) Name() string   { return "sort" }
+func (w *Sort) Params() string { return fmt.Sprintf("n=%d b=%d", w.n, w.b) }
+
+func (w *Sort) Setup(r *stint.Runner) {
+	w.data = make([]int32, w.n)
+	w.tmp = make([]int32, w.n)
+	rng := newRNG(7)
+	for i := range w.data {
+		w.data[i] = int32(rng.next())
+		w.sum += int64(w.data[i])
+	}
+	w.bufData = r.Arena().AllocWords("sort.data", w.n)
+	w.bufTmp = r.Arena().AllocWords("sort.tmp", w.n)
+}
+
+func (w *Sort) Run(t *stint.Task) {
+	w.cilksort(t, 0, w.n)
+}
+
+// cilksort sorts data[lo:lo+n) using tmp[lo:lo+n) as scratch.
+func (w *Sort) cilksort(t *stint.Task, lo, n int) {
+	// Below four elements a quarter would be empty; insertion sort is the
+	// base case regardless of w.b.
+	if n <= w.b || n < 4 {
+		if n > 1 {
+			w.insertionSort(t, lo, lo+n-1)
+		}
+		return
+	}
+	q := n / 4
+	aLo, bLo, cLo, dLo := lo, lo+q, lo+2*q, lo+3*q
+	end := lo + n
+	t.Spawn(func(c *stint.Task) { w.cilksort(c, aLo, q) })
+	t.Spawn(func(c *stint.Task) { w.cilksort(c, bLo, q) })
+	t.Spawn(func(c *stint.Task) { w.cilksort(c, cLo, q) })
+	t.Spawn(func(c *stint.Task) { w.cilksort(c, dLo, end-dLo) })
+	t.Sync()
+	t.Spawn(func(c *stint.Task) { w.cilkmerge(c, w.data, w.bufData, aLo, bLo, bLo, cLo, w.tmp, w.bufTmp, aLo) })
+	t.Spawn(func(c *stint.Task) { w.cilkmerge(c, w.data, w.bufData, cLo, dLo, dLo, end, w.tmp, w.bufTmp, cLo) })
+	t.Sync()
+	w.cilkmerge(t, w.tmp, w.bufTmp, aLo, cLo, cLo, end, w.data, w.bufData, aLo)
+}
+
+// insertionSort is Algorithm 2: sort data[l..h] inclusive, with per-access
+// instrumentation exactly where the pseudocode's load/store operations sit.
+func (w *Sort) insertionSort(t *stint.Task, l, h int) {
+	det := t.Detecting()
+	for q := l + 1; q <= h; q++ {
+		if det {
+			t.Load(w.bufData, q)
+		}
+		a := w.data[q]
+		p := q - 1
+		for p >= l {
+			if det {
+				t.Load(w.bufData, p)
+			}
+			b := w.data[p]
+			if b > a {
+				if det {
+					t.Store(w.bufData, p+1)
+				}
+				w.data[p+1] = b
+			} else {
+				break
+			}
+			p--
+		}
+		if det {
+			t.Store(w.bufData, p+1)
+		}
+		w.data[p+1] = a
+	}
+}
+
+// cilkmerge merges src[lo1:hi1) and src[lo2:hi2) (both sorted) into
+// dst[dlo:...), splitting recursively around the median of the larger run.
+func (w *Sort) cilkmerge(t *stint.Task, src []int32, srcBuf *stint.Buffer, lo1, hi1, lo2, hi2 int, dst []int32, dstBuf *stint.Buffer, dlo int) {
+	n1, n2 := hi1-lo1, hi2-lo2
+	if n1 < n2 { // keep the first run the larger one
+		lo1, hi1, lo2, hi2 = lo2, hi2, lo1, hi1
+		n1, n2 = n2, n1
+	}
+	if n1+n2 <= mergeBase || n1 <= 1 {
+		w.serialMerge(t, src, srcBuf, lo1, hi1, lo2, hi2, dst, dstBuf, dlo)
+		return
+	}
+	split1 := (lo1 + hi1) / 2
+	pivot := src[split1]
+	if t.Detecting() {
+		t.Load(srcBuf, split1)
+	}
+	split2 := w.lowerBound(t, src, srcBuf, lo2, hi2, pivot)
+	pos := dlo + (split1 - lo1) + (split2 - lo2)
+	if t.Detecting() {
+		t.Store(dstBuf, pos)
+	}
+	dst[pos] = pivot
+	t.Spawn(func(c *stint.Task) {
+		w.cilkmerge(c, src, srcBuf, lo1, split1, lo2, split2, dst, dstBuf, dlo)
+	})
+	w.cilkmerge(t, src, srcBuf, split1+1, hi1, split2, hi2, dst, dstBuf, pos+1)
+	t.Sync()
+}
+
+// lowerBound returns the first index in [lo, hi) with src[idx] >= v,
+// instrumenting each probed load (data-dependent, uncoalescible).
+func (w *Sort) lowerBound(t *stint.Task, src []int32, srcBuf *stint.Buffer, lo, hi int, v int32) int {
+	det := t.Detecting()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if det {
+			t.Load(srcBuf, mid)
+		}
+		if src[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// serialMerge merges two runs sequentially. The input extents are
+// statically known (coalesced loads); output positions advance one by one
+// (per-element stores).
+func (w *Sort) serialMerge(t *stint.Task, src []int32, srcBuf *stint.Buffer, lo1, hi1, lo2, hi2 int, dst []int32, dstBuf *stint.Buffer, dlo int) {
+	det := t.Detecting()
+	if det {
+		if hi1 > lo1 {
+			t.LoadRange(srcBuf, lo1, hi1-lo1)
+		}
+		if hi2 > lo2 {
+			t.LoadRange(srcBuf, lo2, hi2-lo2)
+		}
+	}
+	i, j, k := lo1, lo2, dlo
+	for i < hi1 && j < hi2 {
+		if det {
+			t.Store(dstBuf, k)
+		}
+		if src[i] <= src[j] {
+			dst[k] = src[i]
+			i++
+		} else {
+			dst[k] = src[j]
+			j++
+		}
+		k++
+	}
+	for i < hi1 {
+		if det {
+			t.Store(dstBuf, k)
+		}
+		dst[k] = src[i]
+		i++
+		k++
+	}
+	for j < hi2 {
+		if det {
+			t.Store(dstBuf, k)
+		}
+		dst[k] = src[j]
+		j++
+		k++
+	}
+}
+
+func (w *Sort) Verify() error {
+	if !isSorted(w.data) {
+		return fmt.Errorf("sort: output not sorted")
+	}
+	var sum int64
+	for _, v := range w.data {
+		sum += int64(v)
+	}
+	if sum != w.sum {
+		return fmt.Errorf("sort: checksum changed: %d -> %d (elements lost or duplicated)", w.sum, sum)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"stint"
+)
+
+// runSortKernel executes one Sort instance detection-off and returns it.
+func runSortKernel(t *testing.T, n, b int) *Sort {
+	t.Helper()
+	w := NewSort(n, b)
+	r, _ := stint.NewRunner(stint.Options{})
+	w.Setup(r)
+	if _, err := r.Run(w.Run); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSortSizesAndBases(t *testing.T) {
+	for _, c := range []struct{ n, b int }{
+		{2, 2}, {3, 2}, {10, 4}, {100, 8}, {1000, 16}, {4097, 64}, {10000, 2048},
+	} {
+		w := runSortKernel(t, c.n, c.b)
+		if err := w.Verify(); err != nil {
+			t.Errorf("n=%d b=%d: %v", c.n, c.b, err)
+		}
+	}
+}
+
+func TestInsertionSortUnit(t *testing.T) {
+	patterns := [][]int32{
+		{5, 4, 3, 2, 1},
+		{1, 2, 3, 4, 5},
+		{2, 2, 2, 2},
+		{1},
+		{3, 1, 3, 1, 3, 1},
+		{-5, 10, -5, 0, 7},
+	}
+	for _, p := range patterns {
+		w := &Sort{n: len(p), b: 64}
+		r, _ := stint.NewRunner(stint.Options{})
+		w.data = append([]int32(nil), p...)
+		w.tmp = make([]int32, len(p))
+		w.bufData = r.Arena().AllocWords("d", len(p))
+		w.bufTmp = r.Arena().AllocWords("t", len(p))
+		if _, err := r.Run(func(task *stint.Task) {
+			w.insertionSort(task, 0, len(p)-1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !isSorted(w.data) {
+			t.Errorf("insertionSort(%v) = %v", p, w.data)
+		}
+	}
+}
+
+func TestCilkmergeUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n1 := rng.Intn(300) + 1
+		n2 := rng.Intn(300) + 1
+		src := make([]int32, n1+n2)
+		for i := range src {
+			src[i] = int32(rng.Intn(100))
+		}
+		sort.Slice(src[:n1], func(i, j int) bool { return src[i] < src[j] })
+		sort.Slice(src[n1:], func(i, j int) bool { return src[n1+i] < src[n1+j] })
+		want := append([]int32(nil), src...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+		w := &Sort{n: n1 + n2, b: 16}
+		r, _ := stint.NewRunner(stint.Options{})
+		w.data = src
+		w.tmp = make([]int32, n1+n2)
+		w.bufData = r.Arena().AllocWords("d", n1+n2)
+		w.bufTmp = r.Arena().AllocWords("t", n1+n2)
+		if _, err := r.Run(func(task *stint.Task) {
+			w.cilkmerge(task, w.data, w.bufData, 0, n1, n1, n1+n2, w.tmp, w.bufTmp, 0)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if w.tmp[i] != want[i] {
+				t.Fatalf("trial %d: merge[%d] = %d, want %d", trial, i, w.tmp[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLowerBoundUnit(t *testing.T) {
+	w := &Sort{}
+	r, _ := stint.NewRunner(stint.Options{})
+	data := []int32{1, 3, 3, 5, 9}
+	buf := r.Arena().AllocWords("d", len(data))
+	if _, err := r.Run(func(task *stint.Task) {
+		cases := []struct {
+			v    int32
+			want int
+		}{
+			{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 3}, {9, 4}, {10, 5},
+		}
+		for _, c := range cases {
+			if got := w.lowerBound(task, data, buf, 0, len(data), c.v); got != c.want {
+				t.Errorf("lowerBound(%d) = %d, want %d", c.v, got, c.want)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortMergeBaseKeepsIntervalsLarge(t *testing.T) {
+	// The paper's sort story needs large intervals; guard the average.
+	w := NewSort(20000, 512)
+	r, _ := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT})
+	w.Setup(r)
+	rep, err := r.Run(w.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(rep.Stats.ReadIntervalBytes+rep.Stats.WriteIntervalBytes) /
+		float64(rep.Stats.ReadIntervals+rep.Stats.WriteIntervals)
+	if avg < 64 {
+		t.Errorf("average interval %f bytes; sort should produce large intervals", avg)
+	}
+}
+
+func TestSortChecksumDetectsLoss(t *testing.T) {
+	w := runSortKernel(t, 500, 16)
+	w.data[100] = w.data[100] + 1
+	if w.Verify() == nil {
+		t.Error("Verify missed a corrupted element")
+	}
+}

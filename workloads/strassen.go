@@ -1,0 +1,307 @@
+package workloads
+
+import (
+	"fmt"
+
+	"stint"
+)
+
+// Strassen multiplies two n×n matrices with Strassen's seven-multiplication
+// recursion, the paper's stra and straz benchmarks. The two variants differ
+// only in memory layout:
+//
+//   - stra (morton=false): matrices are stored row-major, so a quadrant is
+//     a strided set of row segments and every block operation produces one
+//     interval per row;
+//   - straz (morton=true): matrices are stored in Morton-Z order with
+//     row-major tiles of the base-case size, so every quadrant (and every
+//     temporary) is one contiguous block and block operations produce a
+//     single large interval.
+//
+// The seven sub-multiplications are spawned in parallel, as are the four
+// quadrant combinations; the quadrant sums feeding them are computed in the
+// parent strand. Temporaries live in one scratch slab carved up
+// deterministically per recursion level.
+type Strassen struct {
+	n, b    int
+	z       bool
+	a, bm   []float64
+	c       []float64
+	scratch []float64
+	bufA    *stint.Buffer
+	bufB    *stint.Buffer
+	bufC    *stint.Buffer
+	bufS    *stint.Buffer
+	la, lb  []float64 // logical row-major copies for Verify
+}
+
+// NewStrassen returns an n×n Strassen multiplication with base-case size b;
+// morton selects the straz layout. n and b must be powers of two, n >= b.
+func NewStrassen(n, b int, morton bool) *Strassen {
+	if n < 2 || n&(n-1) != 0 || b < 2 || b&(b-1) != 0 || b > n {
+		panic("workloads: strassen needs power-of-two n >= b >= 2")
+	}
+	return &Strassen{n: n, b: b, z: morton}
+}
+
+func (w *Strassen) Name() string {
+	if w.z {
+		return "straz"
+	}
+	return "stra"
+}
+
+func (w *Strassen) Params() string { return fmt.Sprintf("n=%d b=%d", w.n, w.b) }
+
+// need returns the scratch floats required by one multiplication of size n:
+// ten quadrant sums plus seven products per level, with all seven children
+// live concurrently.
+func (w *Strassen) need(n int) int {
+	if n <= w.b {
+		return 0
+	}
+	q := n / 2
+	return 17*q*q + 7*w.need(q)
+}
+
+// physIdx maps logical (i, j) to the physical index under the layout.
+func (w *Strassen) physIdx(i, j int) int {
+	if !w.z {
+		return i*w.n + j
+	}
+	off, n := 0, w.n
+	for n > w.b {
+		q := n / 2
+		k := 0
+		if i >= q {
+			k += 2
+			i -= q
+		}
+		if j >= q {
+			k++
+			j -= q
+		}
+		off += k * q * q
+		n = q
+	}
+	return off + i*n + j
+}
+
+func (w *Strassen) Setup(r *stint.Runner) {
+	n := w.n
+	w.la = make([]float64, n*n)
+	w.lb = make([]float64, n*n)
+	rng := newRNG(21)
+	for i := range w.la {
+		w.la[i] = rng.float() - 0.5
+		w.lb[i] = rng.float() - 0.5
+	}
+	w.a = make([]float64, n*n)
+	w.bm = make([]float64, n*n)
+	w.c = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := w.physIdx(i, j)
+			w.a[p] = w.la[i*n+j]
+			w.bm[p] = w.lb[i*n+j]
+		}
+	}
+	w.scratch = make([]float64, w.need(n))
+	w.bufA = r.Arena().AllocFloat64(w.Name()+".A", n*n)
+	w.bufB = r.Arena().AllocFloat64(w.Name()+".B", n*n)
+	w.bufC = r.Arena().AllocFloat64(w.Name()+".C", n*n)
+	if len(w.scratch) > 0 {
+		w.bufS = r.Arena().AllocFloat64(w.Name()+".scratch", len(w.scratch))
+	}
+}
+
+// view is one square block of a matrix.
+type view struct {
+	data   []float64
+	buf    *stint.Buffer
+	off    int
+	stride int // row stride; for contiguous blocks stride == n
+	n      int
+	z      bool // Morton block: the whole n×n region is contiguous
+}
+
+// quad returns the (qi, qj) quadrant of v.
+func (v view) quad(qi, qj int) view {
+	q := v.n / 2
+	if v.z {
+		return view{data: v.data, buf: v.buf, off: v.off + (qi*2+qj)*q*q, stride: q, n: q, z: true}
+	}
+	return view{data: v.data, buf: v.buf, off: v.off + qi*q*v.stride + qj*q, stride: v.stride, n: q, z: false}
+}
+
+// rowSpans reports the view as spans of contiguous elements: one span of
+// n*n for Morton blocks, n spans of n for row-major views.
+func (v view) rowSpans() (count, length int) {
+	if v.z {
+		return 1, v.n * v.n
+	}
+	return v.n, v.n
+}
+
+// spanBase returns the flat index of span i.
+func (v view) spanBase(i int) int {
+	if v.z {
+		return v.off
+	}
+	return v.off + i*v.stride
+}
+
+// idx addresses element (i, j); valid for row-major views and for Morton
+// views at tile level (n <= base), where tiles are stored row-major.
+func (v view) idx(i, j int) int {
+	if v.z {
+		return v.off + i*v.n + j
+	}
+	return v.off + i*v.stride + j
+}
+
+func (w *Strassen) Run(t *stint.Task) {
+	full := func(data []float64, buf *stint.Buffer) view {
+		return view{data: data, buf: buf, off: 0, stride: w.n, n: w.n, z: w.z}
+	}
+	w.mul(t, full(w.a, w.bufA), full(w.bm, w.bufB), full(w.c, w.bufC), 0)
+}
+
+// tempView carves block i (of q² floats) out of the scratch slab at so.
+func (w *Strassen) tempView(so, i, q int) view {
+	off := so + i*q*q
+	return view{data: w.scratch, buf: w.bufS, off: off, stride: q, n: q, z: w.z}
+}
+
+// mul computes c = a·b.
+func (w *Strassen) mul(t *stint.Task, a, b, c view, so int) {
+	if a.n <= w.b {
+		w.mulBase(t, a, b, c)
+		return
+	}
+	q := a.n / 2
+	a11, a12, a21, a22 := a.quad(0, 0), a.quad(0, 1), a.quad(1, 0), a.quad(1, 1)
+	b11, b12, b21, b22 := b.quad(0, 0), b.quad(0, 1), b.quad(1, 0), b.quad(1, 1)
+	tv := func(i int) view { return w.tempView(so, i, q) }
+	s1, s2, s3, s4, s5 := tv(0), tv(1), tv(2), tv(3), tv(4)
+	s6, s7, s8, s9, s10 := tv(5), tv(6), tv(7), tv(8), tv(9)
+	m1, m2, m3, m4, m5, m6, m7 := tv(10), tv(11), tv(12), tv(13), tv(14), tv(15), tv(16)
+
+	// Quadrant sums in the parent strand.
+	w.ewise2(t, s1, a11, a22, false)  // S1 = A11 + A22
+	w.ewise2(t, s2, b11, b22, false)  // S2 = B11 + B22
+	w.ewise2(t, s3, a21, a22, false)  // S3 = A21 + A22
+	w.ewise2(t, s4, b12, b22, true)   // S4 = B12 − B22
+	w.ewise2(t, s5, b21, b11, true)   // S5 = B21 − B11
+	w.ewise2(t, s6, a11, a12, false)  // S6 = A11 + A12
+	w.ewise2(t, s7, a21, a11, true)   // S7 = A21 − A11
+	w.ewise2(t, s8, b11, b12, false)  // S8 = B11 + B12
+	w.ewise2(t, s9, a12, a22, true)   // S9 = A12 − A22
+	w.ewise2(t, s10, b21, b22, false) // S10 = B21 + B22
+
+	cso := so + 17*q*q
+	cn := w.need(q)
+	t.Spawn(func(ct *stint.Task) { w.mul(ct, s1, s2, m1, cso+0*cn) })
+	t.Spawn(func(ct *stint.Task) { w.mul(ct, s3, b11, m2, cso+1*cn) })
+	t.Spawn(func(ct *stint.Task) { w.mul(ct, a11, s4, m3, cso+2*cn) })
+	t.Spawn(func(ct *stint.Task) { w.mul(ct, a22, s5, m4, cso+3*cn) })
+	t.Spawn(func(ct *stint.Task) { w.mul(ct, s6, b22, m5, cso+4*cn) })
+	t.Spawn(func(ct *stint.Task) { w.mul(ct, s7, s8, m6, cso+5*cn) })
+	t.Spawn(func(ct *stint.Task) { w.mul(ct, s9, s10, m7, cso+6*cn) })
+	t.Sync()
+
+	c11, c12, c21, c22 := c.quad(0, 0), c.quad(0, 1), c.quad(1, 0), c.quad(1, 1)
+	t.Spawn(func(ct *stint.Task) { w.ewise4(ct, c11, m1, m4, m5, m7, 1, -1, 1) }) // C11 = M1+M4−M5+M7
+	t.Spawn(func(ct *stint.Task) { w.ewise2(ct, c12, m3, m5, false) })            // C12 = M3+M5
+	t.Spawn(func(ct *stint.Task) { w.ewise2(ct, c21, m2, m4, false) })            // C21 = M2+M4
+	t.Spawn(func(ct *stint.Task) { w.ewise4(ct, c22, m1, m2, m3, m6, -1, 1, 1) }) // C22 = M1−M2+M3+M6
+	t.Sync()
+}
+
+// ewise2 computes dst = x + y (or x − y). Contiguous operands produce one
+// interval; row-major quadrants produce one per row.
+func (w *Strassen) ewise2(t *stint.Task, dst, x, y view, sub bool) {
+	det := t.Detecting()
+	spans, length := dst.rowSpans()
+	for s := 0; s < spans; s++ {
+		db, xb, yb := dst.spanBase(s), x.spanBase(s), y.spanBase(s)
+		if det {
+			t.LoadRange(x.buf, xb, length)
+			t.LoadRange(y.buf, yb, length)
+			t.StoreRange(dst.buf, db, length)
+		}
+		if sub {
+			for k := 0; k < length; k++ {
+				dst.data[db+k] = x.data[xb+k] - y.data[yb+k]
+			}
+		} else {
+			for k := 0; k < length; k++ {
+				dst.data[db+k] = x.data[xb+k] + y.data[yb+k]
+			}
+		}
+	}
+}
+
+// ewise4 computes dst = p + sq·q + sr·r + ss·s.
+func (w *Strassen) ewise4(t *stint.Task, dst, p, q, r, s view, sq, sr, ss float64) {
+	det := t.Detecting()
+	spans, length := dst.rowSpans()
+	for i := 0; i < spans; i++ {
+		db, pb, qb, rb, sb := dst.spanBase(i), p.spanBase(i), q.spanBase(i), r.spanBase(i), s.spanBase(i)
+		if det {
+			t.LoadRange(p.buf, pb, length)
+			t.LoadRange(q.buf, qb, length)
+			t.LoadRange(r.buf, rb, length)
+			t.LoadRange(s.buf, sb, length)
+			t.StoreRange(dst.buf, db, length)
+		}
+		for k := 0; k < length; k++ {
+			dst.data[db+k] = p.data[pb+k] + sq*q.data[qb+k] + sr*r.data[rb+k] + ss*s.data[sb+k]
+		}
+	}
+}
+
+// mulBase computes c = a·b directly on base-case tiles with Algorithm 1
+// instrumentation: coalesced row hooks for a and c, per-element loads of b
+// (column-major reads of a row-major tile).
+func (w *Strassen) mulBase(t *stint.Task, a, b, c view) {
+	n := a.n
+	det := t.Detecting()
+	for i := 0; i < n; i++ {
+		if det {
+			t.StoreRange(c.buf, c.idx(i, 0), n)
+			t.LoadRange(a.buf, a.idx(i, 0), n)
+		}
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k < n; k++ {
+				if det {
+					t.Load(b.buf, b.idx(k, j))
+				}
+				sum += a.data[a.idx(i, k)] * b.data[b.idx(k, j)]
+			}
+			c.data[c.idx(i, j)] = sum
+		}
+	}
+}
+
+func (w *Strassen) Verify() error {
+	n := w.n
+	stride := 1
+	if n > 128 {
+		stride = n / 16
+	}
+	for i := 0; i < n; i += stride {
+		for j := 0; j < n; j += stride {
+			var want float64
+			for k := 0; k < n; k++ {
+				want += w.la[i*n+k] * w.lb[k*n+j]
+			}
+			got := w.c[w.physIdx(i, j)]
+			if !approxEqual(got, want) {
+				return fmt.Errorf("%s: C[%d,%d] = %g, want %g", w.Name(), i, j, got, want)
+			}
+		}
+	}
+	return nil
+}

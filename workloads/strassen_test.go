@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"testing"
+
+	"stint"
+)
+
+func TestMortonIndexIsBijective(t *testing.T) {
+	w := NewStrassen(64, 8, true)
+	seen := make(map[int]bool, 64*64)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			p := w.physIdx(i, j)
+			if p < 0 || p >= 64*64 {
+				t.Fatalf("physIdx(%d,%d) = %d out of range", i, j, p)
+			}
+			if seen[p] {
+				t.Fatalf("physIdx(%d,%d) = %d collides", i, j, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestMortonQuadrantsAreContiguous(t *testing.T) {
+	// Every element of the top-left quadrant must map below q², etc.
+	w := NewStrassen(32, 8, true)
+	q := 16
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			if p := w.physIdx(i, j); p >= q*q {
+				t.Fatalf("A11 element (%d,%d) at %d, outside [0,%d)", i, j, p, q*q)
+			}
+			if p := w.physIdx(i, j+q); p < q*q || p >= 2*q*q {
+				t.Fatalf("A12 element out of its block: %d", p)
+			}
+			if p := w.physIdx(i+q, j); p < 2*q*q || p >= 3*q*q {
+				t.Fatalf("A21 element out of its block: %d", p)
+			}
+			if p := w.physIdx(i+q, j+q); p < 3*q*q {
+				t.Fatalf("A22 element out of its block: %d", p)
+			}
+		}
+	}
+}
+
+func TestMortonTilesAreRowMajor(t *testing.T) {
+	w := NewStrassen(32, 8, true)
+	// Within one tile, consecutive columns are adjacent.
+	base := w.physIdx(0, 0)
+	for j := 1; j < 8; j++ {
+		if w.physIdx(0, j) != base+j {
+			t.Fatalf("tile row not contiguous at column %d", j)
+		}
+	}
+	if w.physIdx(1, 0) != base+8 {
+		t.Fatal("tile rows not stride-b apart")
+	}
+}
+
+func TestRowMajorIndexIsIdentityLayout(t *testing.T) {
+	w := NewStrassen(16, 4, false)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if w.physIdx(i, j) != i*16+j {
+				t.Fatalf("row-major physIdx(%d,%d) = %d", i, j, w.physIdx(i, j))
+			}
+		}
+	}
+}
+
+func TestScratchRecurrence(t *testing.T) {
+	w := NewStrassen(64, 16, false)
+	if got := w.need(16); got != 0 {
+		t.Errorf("need(base) = %d, want 0", got)
+	}
+	if got, want := w.need(32), 17*16*16; got != want {
+		t.Errorf("need(32) = %d, want %d", got, want)
+	}
+	if got, want := w.need(64), 17*32*32+7*17*16*16; got != want {
+		t.Errorf("need(64) = %d, want %d", got, want)
+	}
+}
+
+func TestStrassenMatchesDirectProduct(t *testing.T) {
+	for _, morton := range []bool{false, true} {
+		for _, c := range []struct{ n, b int }{
+			{8, 8},   // single base case
+			{16, 8},  // one recursion level
+			{64, 16}, // two levels
+		} {
+			w := NewStrassen(c.n, c.b, morton)
+			r, _ := stint.NewRunner(stint.Options{})
+			w.Setup(r)
+			if _, err := r.Run(w.Run); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Verify(); err != nil {
+				t.Errorf("morton=%v n=%d b=%d: %v", morton, c.n, c.b, err)
+			}
+		}
+	}
+}
+
+func TestStrassenVariantsAgreeElementwise(t *testing.T) {
+	// stra and straz share data seeds, so their logical results must match.
+	build := func(morton bool) *Strassen {
+		w := NewStrassen(32, 8, morton)
+		r, _ := stint.NewRunner(stint.Options{})
+		w.Setup(r)
+		if _, err := r.Run(w.Run); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	a, b := build(false), build(true)
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			va := a.c[a.physIdx(i, j)]
+			vb := b.c[b.physIdx(i, j)]
+			if !approxEqual(va, vb) {
+				t.Fatalf("layouts disagree at (%d,%d): %g vs %g", i, j, va, vb)
+			}
+		}
+	}
+}
+
+func TestStrassenIntervalCountsByLayout(t *testing.T) {
+	run := func(morton bool) *stint.Report {
+		w := NewStrassen(64, 16, morton)
+		r, _ := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT})
+		w.Setup(r)
+		rep, err := r.Run(w.Run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Racy() {
+			t.Fatal("strassen raced")
+		}
+		return rep
+	}
+	rm, mz := run(false), run(true)
+	rmIvs := rm.Stats.ReadIntervals + rm.Stats.WriteIntervals
+	mzIvs := mz.Stats.ReadIntervals + mz.Stats.WriteIntervals
+	if mzIvs >= rmIvs {
+		t.Errorf("Morton layout should produce fewer intervals: straz %d >= stra %d", mzIvs, rmIvs)
+	}
+}
+
+func TestStrassenRejectsBadSizes(t *testing.T) {
+	for _, c := range []struct{ n, b int }{{0, 2}, {12, 4}, {16, 3}, {8, 16}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewStrassen(%d,%d) accepted invalid sizes", c.n, c.b)
+				}
+			}()
+			NewStrassen(c.n, c.b, false)
+		}()
+	}
+}
