@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench tables fuzz vet fmt examples
+.PHONY: all build test test-short bench bench-hot bench-json tables fuzz vet fmt examples
 
 all: vet test build
 
@@ -17,6 +17,17 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot-path microbenchmarks only: the open-addressed page directory vs the
+# seed's Go map, and slab-pooled vs heap-allocated treap nodes.
+bench-hot:
+	$(GO) test -run '^$$' -bench 'BenchmarkTreapInsert|BenchmarkShadowDirectory' -benchmem ./internal/core ./internal/shadow
+
+# Machine-readable benchmark snapshot: one JSON line per benchmark, written
+# to BENCH_<date>.json. Compare two snapshots with scripts/benchdiff.sh diff.
+bench-json:
+	./scripts/benchdiff.sh emit 'BenchmarkFig5' . > BENCH_$$(date +%Y%m%d).json
+	@echo wrote BENCH_$$(date +%Y%m%d).json
 
 # Regenerate every table of the paper's evaluation (see EXPERIMENTS.md).
 tables:

@@ -6,8 +6,12 @@
 //
 // Usage:
 //
-//	stint-tables [-scale 1] [-reps 3] fig1 fig5 fig6 fig7 fig8 ablation
+//	stint-tables [-scale 1] [-reps 3] fig1 fig5 fig6 fig7 fig8 ablation allocs
 //	stint-tables all
+//
+// The extra "allocs" table (not part of the paper, and not included in
+// "all") reports heap objects and bytes allocated during each detection
+// run, backing the allocation-free hot-path work in EXPERIMENTS.md.
 package main
 
 import (
@@ -44,10 +48,12 @@ func main() {
 			err = suite.Fig8()
 		case "ablation":
 			err = suite.Ablation()
+		case "allocs":
+			err = suite.Allocs()
 		case "all":
 			err = suite.All()
 		default:
-			err = fmt.Errorf("unknown table %q (want fig1|fig5|fig6|fig7|fig8|ablation|all)", a)
+			err = fmt.Errorf("unknown table %q (want fig1|fig5|fig6|fig7|fig8|ablation|allocs|all)", a)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stint-tables:", err)

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,18 +25,49 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "mmul", "benchmark: "+strings.Join(workloads.Names(), ", "))
-		detector = flag.String("detector", "stint", "detector mode (off, reach, vanilla, compiler, comp+rts, stint, stint-unbalanced, stint-skiplist)")
-		scale    = flag.Int("scale", 1, "problem-size multiplier")
-		races    = flag.Int("races", 10, "max races to print")
-		timing   = flag.Bool("timing", false, "measure access-history time separately")
-		traceOut = flag.String("trace-out", "", "record the execution to this trace file (replay with stint-replay)")
+		workload   = flag.String("workload", "mmul", "benchmark: "+strings.Join(workloads.Names(), ", "))
+		detector   = flag.String("detector", "stint", "detector mode (off, reach, vanilla, compiler, comp+rts, stint, stint-unbalanced, stint-skiplist)")
+		scale      = flag.Int("scale", 1, "problem-size multiplier")
+		races      = flag.Int("races", 10, "max races to print")
+		timing     = flag.Bool("timing", false, "measure access-history time separately")
+		traceOut   = flag.String("trace-out", "", "record the execution to this trace file (replay with stint-replay)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the detection run to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
 	flag.Parse()
-	if err := run(*workload, *detector, *scale, *races, *timing, *traceOut); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stint:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "stint:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run(*workload, *detector, *scale, *races, *timing, *traceOut)
+	if *memProfile != "" {
+		if perr := writeMemProfile(*memProfile); perr != nil {
+			fmt.Fprintln(os.Stderr, "stint: memprofile:", perr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "stint:", err)
 		os.Exit(1)
 	}
+}
+
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // flush accounting so the profile reflects the run
+	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
 func run(workload, detector string, scale, maxRaces int, timing bool, traceOut string) error {
@@ -109,6 +142,8 @@ func run(workload, detector string, scale, maxRaces int, timing bool, traceOut s
 	if timing {
 		fmt.Printf("access-history time %v\n", st.AccessHistoryTime.Round(time.Microsecond))
 	}
+	fmt.Printf("heap allocs %d objects, %.1f KiB during the run\n",
+		st.AllocObjects, float64(st.AllocBytes)/1024)
 	if rep.Racy() {
 		fmt.Printf("RACES: %d found\n", rep.RaceCount)
 		for _, rc := range rep.Races {
@@ -135,7 +170,7 @@ func runAll(factory workloads.Factory, timing bool) error {
 		stint.DetectorSTINTUnbalanced, stint.DetectorSTINTSkiplist,
 	}
 	var base time.Duration
-	fmt.Printf("%-18s %12s %9s %12s %12s %8s\n", "detector", "time", "overhead", "intervals", "ah-time", "races")
+	fmt.Printf("%-18s %12s %9s %12s %12s %10s %8s\n", "detector", "time", "overhead", "intervals", "ah-time", "allocs", "races")
 	for _, mode := range modes {
 		w := factory()
 		r, err := stint.NewRunner(stint.Options{Detector: mode, TimeAccessHistory: timing})
@@ -166,8 +201,8 @@ func runAll(factory workloads.Factory, timing bool) error {
 		if timing && rep.Stats.AccessHistoryTime > 0 {
 			ahCol = rep.Stats.AccessHistoryTime.Round(time.Microsecond).String()
 		}
-		fmt.Printf("%-18v %12v %9s %12s %12s %8d\n",
-			mode, rep.WallTime.Round(time.Microsecond), oh, ivCol, ahCol, rep.RaceCount)
+		fmt.Printf("%-18v %12v %9s %12s %12s %10d %8d\n",
+			mode, rep.WallTime.Round(time.Microsecond), oh, ivCol, ahCol, rep.Stats.AllocObjects, rep.RaceCount)
 	}
 	return nil
 }

@@ -10,14 +10,20 @@
 // slot and page boundaries), report them, and clear the bits for the next
 // strand — all in time proportional to the strand's own footprint.
 //
+// The first level is an open-addressed page directory (internal/pagedir)
+// rather than a Go map, and Flush retires every page to a per-BitSet
+// freelist: in steady state a strand's accesses allocate nothing, because
+// the next strand pops the same zeroed pages back off the freelist.
+//
 // A detector uses two BitSets per strand: one for reads, one for writes.
 package coalesce
 
 import (
 	"math/bits"
-	"sort"
+	"slices"
 
 	"stint/internal/mem"
+	"stint/internal/pagedir"
 )
 
 const (
@@ -40,26 +46,36 @@ type page struct {
 
 // BitSet tracks the set of words accessed by the current strand.
 type BitSet struct {
-	pages    map[uint64]*page
-	touched  []uint64 // page indices touched this strand
+	dir      pagedir.Dir[page]
+	free     []*page // retired zeroed pages, reused by pageFor
+	allocs   int     // pages ever allocated (live + free)
+	touched  []uint64
 	lastIdx  uint64
 	lastPage *page
 }
 
 // New returns an empty BitSet.
 func New() *BitSet {
-	return &BitSet{pages: make(map[uint64]*page)}
+	return &BitSet{}
 }
 
-// page returns the page for the given page index, allocating lazily.
+// pageFor returns the page for the given page index, reusing a retired page
+// or allocating lazily.
 func (b *BitSet) pageFor(idx uint64) *page {
 	if b.lastPage != nil && idx == b.lastIdx {
 		return b.lastPage
 	}
-	p := b.pages[idx]
+	p := b.dir.Get(idx)
 	if p == nil {
-		p = &page{}
-		b.pages[idx] = p
+		if n := len(b.free); n > 0 {
+			p = b.free[n-1]
+			b.free[n-1] = nil
+			b.free = b.free[:n-1]
+		} else {
+			p = &page{}
+			b.allocs++
+		}
+		b.dir.Put(idx, p)
 	}
 	b.lastIdx, b.lastPage = idx, p
 	return p
@@ -160,21 +176,44 @@ func (b *BitSet) Set(addr mem.Addr) {
 	p.bits[slot] |= 1 << (lo & slotWordMask)
 }
 
+// sortOrdered sorts the per-strand dedup lists. Strands commonly touch a
+// handful of pages/slots, so the ≤8-element case uses a branchy insertion
+// sort; larger lists fall through to the non-reflective slices.Sort (the
+// seed's sort.Slice paid an interface conversion and a closure allocation
+// per call, on the per-strand path).
+func sortOrdered[T uint64 | int32](s []T) {
+	if len(s) <= 8 {
+		for i := 1; i < len(s); i++ {
+			v := s[i]
+			j := i - 1
+			for j >= 0 && s[j] > v {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = v
+		}
+		return
+	}
+	slices.Sort(s)
+}
+
 // Flush reports every maximal interval of set words in address order as
 // (startByteAddr, byteLen) and clears the structure for the next strand.
 // It returns the total number of distinct words that were set, i.e. the
-// strand's deduplicated footprint.
+// strand's deduplicated footprint. All pages are retired to the freelist on
+// the way out: their bits are zero again, so the next strand can reuse them
+// for any page index without reinitialization.
 func (b *BitSet) Flush(emit func(start mem.Addr, size uint64)) (words uint64) {
 	if len(b.touched) == 0 {
 		return 0
 	}
-	sort.Slice(b.touched, func(i, j int) bool { return b.touched[i] < b.touched[j] })
+	sortOrdered(b.touched)
 	var pendStart, pendEnd uint64 // pending interval in word units
 	havePending := false
 	for _, pageIdx := range b.touched {
-		p := b.pages[pageIdx]
+		p := b.dir.Get(pageIdx)
 		slots := p.touched
-		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+		sortOrdered(slots)
 		base := pageIdx << pageWordBits
 		for _, slot := range slots {
 			v := p.bits[slot]
@@ -207,8 +246,18 @@ func (b *BitSet) Flush(emit func(start mem.Addr, size uint64)) (words uint64) {
 		emit(pendStart<<wordBits, (pendEnd-pendStart)<<wordBits)
 	}
 	b.touched = b.touched[:0]
+	// Every page is zeroed now; retire them all so the next strand reuses
+	// them instead of allocating, and drop the cache that pointed into the
+	// directory.
+	b.dir.Reset(func(p *page) { b.free = append(b.free, p) })
+	b.lastIdx, b.lastPage = 0, nil
 	return words
 }
 
-// Pages returns the number of second-level pages allocated.
-func (b *BitSet) Pages() int { return len(b.pages) }
+// Pages returns the number of second-level pages ever allocated (live plus
+// retired), a proxy for the structure's footprint.
+func (b *BitSet) Pages() int { return b.allocs }
+
+// LivePages returns the number of pages currently in the directory (i.e.
+// touched since the last Flush).
+func (b *BitSet) LivePages() int { return b.dir.Len() }

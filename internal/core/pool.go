@@ -1,0 +1,84 @@
+package core
+
+import "unsafe"
+
+// chunkNodes is the slab granularity: one heap allocation amortized over
+// this many treap nodes. 512 nodes ≈ 28 KiB per chunk — big enough to make
+// node allocation disappear from profiles, small enough that tiny trees
+// don't overcommit.
+const chunkNodes = 512
+
+// nodePool is a slab allocator for treap nodes. Nodes are carved out of
+// chunked arrays (restoring the locality a per-insert new(node) destroys)
+// and recycled through an intrusive free list threaded over the `right`
+// pointers of retired nodes. InsertWrite's RemoveOverlap cases feed the
+// free list; in steady state — where the paper's Lemma 4.1 bounds the live
+// interval count — insertion allocates nothing.
+type nodePool struct {
+	chunks   [][]node
+	used     int   // nodes handed out from the newest chunk
+	free     *node // intrusive free list (linked via right)
+	nfree    int
+	served   uint64 // total get() calls
+	recycled uint64 // get() calls satisfied by the free list
+	heapOnly bool   // benchmark ablation: fall back to one heap object per node
+}
+
+// get returns a zero-linked node ready for attach.
+func (p *nodePool) get() *node {
+	p.served++
+	if p.heapOnly {
+		return &node{}
+	}
+	if n := p.free; n != nil {
+		p.free = n.right
+		p.nfree--
+		p.recycled++
+		n.right = nil
+		return n
+	}
+	if len(p.chunks) == 0 || p.used == chunkNodes {
+		p.chunks = append(p.chunks, make([]node, chunkNodes))
+		p.used = 0
+	}
+	n := &p.chunks[len(p.chunks)-1][p.used]
+	p.used++
+	return n
+}
+
+// put retires a node that has been unlinked from the tree. Links are
+// cleared so a pooled node can never lead back into live structure.
+func (p *nodePool) put(n *node) {
+	if p.heapOnly {
+		return // dropped for the garbage collector, like the seed code
+	}
+	n.left, n.parent = nil, nil
+	n.right = p.free
+	p.free = n
+	p.nfree++
+}
+
+// PoolStats describes the state of a Tree's slab allocator.
+type PoolStats struct {
+	Chunks   int    // slab chunks allocated from the Go heap
+	Live     int    // nodes currently linked in the tree
+	Free     int    // nodes parked on the free list
+	Served   uint64 // total node requests
+	Recycled uint64 // requests satisfied without touching the heap
+}
+
+// Bytes returns the pool's total heap footprint.
+func (ps PoolStats) Bytes() uint64 {
+	return uint64(ps.Chunks) * chunkNodes * uint64(unsafe.Sizeof(node{}))
+}
+
+// PoolStats returns the tree's slab-allocator counters.
+func (t *Tree) PoolStats() PoolStats {
+	return PoolStats{
+		Chunks:   len(t.pool.chunks),
+		Live:     t.size,
+		Free:     t.pool.nfree,
+		Served:   t.pool.served,
+		Recycled: t.pool.recycled,
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchIntervals builds a deterministic churn-heavy workload: overlapping
+// writes over a bounded space so RemoveOverlap constantly retires nodes.
+func benchIntervals(n int) []Interval {
+	rng := rand.New(rand.NewSource(42))
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		start := rng.Uint64() % (1 << 16)
+		length := uint64(rng.Intn(256)) + 4
+		ivs[i] = Interval{Start: start, End: start + length, Acc: int32(i)}
+	}
+	return ivs
+}
+
+// BenchmarkTreapInsert isolates the node-allocation cost of treap
+// insertion: the slab pool (production path) vs one heap object per node
+// (the seed's new(node) path), on an identical interval stream.
+func BenchmarkTreapInsert(b *testing.B) {
+	ivs := benchIntervals(4096)
+	for _, mode := range []struct {
+		name     string
+		heapOnly bool
+	}{{"pooled", false}, {"unpooled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr := NewTree()
+				tr.pool.heapOnly = mode.heapOnly
+				for _, iv := range ivs {
+					tr.InsertWrite(iv, nil)
+				}
+			}
+		})
+	}
+}

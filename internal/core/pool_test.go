@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// reachableNodes collects the pointer identity of every node linked under
+// the root.
+func (t *Tree) reachableNodes() map[*node]bool {
+	seen := make(map[*node]bool)
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		if seen[n] {
+			panic("core: node reachable twice")
+		}
+		seen[n] = true
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(t.root)
+	return seen
+}
+
+// freeNodes collects the pointer identity of every node on the free list.
+func (t *Tree) freeNodes() map[*node]bool {
+	seen := make(map[*node]bool)
+	for n := t.pool.free; n != nil; n = n.right {
+		if seen[n] {
+			panic("core: free list cycle")
+		}
+		seen[n] = true
+	}
+	return seen
+}
+
+// TestPoolNeverAliasesLiveNodes drives randomized write/read insertions —
+// writes are what feed the free list via RemoveOverlap — and checks after
+// every operation that the free list and the live tree are disjoint, that
+// free-list accounting matches, and that every node came from a slab chunk.
+func TestPoolNeverAliasesLiveNodes(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTree()
+		leftOf := func(a, b int32) bool { return a < b }
+		for op := 0; op < 400; op++ {
+			iv := randomInterval(rng, 1<<12, int32(op))
+			if rng.Intn(2) == 0 {
+				tr.InsertWrite(iv, nil)
+			} else {
+				tr.InsertRead(iv, leftOf, nil)
+			}
+			tr.checkInvariants()
+			live := tr.reachableNodes()
+			free := tr.freeNodes()
+			for n := range free {
+				if live[n] {
+					t.Fatalf("seed %d op %d: node %p is both live and on the free list", seed, op, n)
+				}
+			}
+			ps := tr.PoolStats()
+			if len(free) != ps.Free {
+				t.Fatalf("seed %d op %d: free list has %d nodes, PoolStats.Free = %d", seed, op, len(free), ps.Free)
+			}
+			if len(live) != ps.Live {
+				t.Fatalf("seed %d op %d: %d reachable nodes, PoolStats.Live = %d", seed, op, len(live), ps.Live)
+			}
+			if got, want := ps.Live+ps.Free, int(ps.Served-ps.Recycled); got != want {
+				t.Fatalf("seed %d op %d: live+free = %d, slab draws = %d", seed, op, got, want)
+			}
+			if slabCap := ps.Chunks * chunkNodes; ps.Live+ps.Free > slabCap {
+				t.Fatalf("seed %d op %d: %d nodes exceed slab capacity %d", seed, op, ps.Live+ps.Free, slabCap)
+			}
+		}
+	}
+}
+
+// TestPoolRecyclesUnderChurn checks that steady-state insert/remove churn is
+// served by the free list rather than new slab chunks: overwriting the same
+// address range forever must not grow the pool.
+func TestPoolRecyclesUnderChurn(t *testing.T) {
+	tr := NewTree()
+	for i := 0; i < 10000; i++ {
+		base := uint64(i%64) * 8
+		tr.InsertWrite(Interval{Start: base, End: base + 16, Acc: int32(i)}, nil)
+	}
+	ps := tr.PoolStats()
+	if ps.Chunks > 1 {
+		t.Fatalf("steady-state churn grew the pool to %d chunks (stats %+v)", ps.Chunks, ps)
+	}
+	if ps.Recycled == 0 {
+		t.Fatal("churn never recycled a node")
+	}
+	tr.checkInvariants()
+}
+
+// TestPoolStatsBytes sanity-checks the footprint accounting.
+func TestPoolStatsBytes(t *testing.T) {
+	tr := NewTree()
+	if tr.PoolStats().Bytes() != 0 {
+		t.Fatal("empty tree reports nonzero pool bytes")
+	}
+	tr.InsertWrite(Interval{Start: 0, End: 4, Acc: 1}, nil)
+	ps := tr.PoolStats()
+	if ps.Chunks != 1 || ps.Bytes() == 0 {
+		t.Fatalf("after one insert: %+v (bytes %d)", ps, ps.Bytes())
+	}
+}

@@ -33,6 +33,7 @@ type Tree struct {
 	unbal bool // when true, skip rotations (plain BST ablation)
 	fresh []*node
 	work  []slot // reusable InsertRead worklist
+	pool  nodePool
 	stats Stats
 }
 
@@ -65,12 +66,14 @@ func (t *Tree) nextPrio() uint64 {
 
 func (t *Tree) visit(*node) { t.stats.NodesVisited++ }
 
-// newNode allocates a node for iv with a fresh priority.
+// newNode draws a node from the slab pool for iv with a fresh priority.
 func (t *Tree) newNode(iv Interval) *node {
 	if iv.Start >= iv.End {
 		panic("core: empty interval")
 	}
-	return &node{start: iv.Start, end: iv.End, acc: iv.Acc, prio: t.nextPrio()}
+	n := t.pool.get()
+	n.start, n.end, n.acc, n.prio = iv.Start, iv.End, iv.Acc, t.nextPrio()
+	return n
 }
 
 // attach links child into the given child slot of parent (parent nil means
@@ -133,8 +136,10 @@ func (t *Tree) dropSubtree(n *node, x Interval, onOverlap OverlapFunc) {
 		onOverlap(n.acc, lo, hi)
 	}
 	t.size--
-	t.dropSubtree(n.left, x, onOverlap)
-	t.dropSubtree(n.right, x, onOverlap)
+	l, r := n.left, n.right
+	t.pool.put(n)
+	t.dropSubtree(l, x, onOverlap)
+	t.dropSubtree(r, x, onOverlap)
 }
 
 // rotateLeft rotates the edge between n and its right child, raising the

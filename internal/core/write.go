@@ -123,6 +123,7 @@ func (t *Tree) removeOverlapLeft(y *node, x Interval, onOverlap OverlapFunc) {
 			repl := z.left
 			t.replaceChild(z, repl)
 			t.size--
+			t.pool.put(z)
 			z = repl
 		}
 	}
@@ -155,6 +156,7 @@ func (t *Tree) removeOverlapRight(y *node, x Interval, onOverlap OverlapFunc) {
 			repl := z.right
 			t.replaceChild(z, repl)
 			t.size--
+			t.pool.put(z)
 			z = repl
 		}
 	}

@@ -153,6 +153,13 @@ type Stats struct {
 	Races uint64
 	// AccessHistoryBytes approximates the access-history footprint.
 	AccessHistoryBytes uint64
+	// AllocObjects and AllocBytes are the heap-allocation deltas measured
+	// around the instrumented run (runtime.ReadMemStats before and after):
+	// the detector's GC pressure, including the program under test. They
+	// are populated by the stint runner, not by the engines, and back the
+	// allocation-regression numbers in EXPERIMENTS.md.
+	AllocObjects uint64
+	AllocBytes   uint64
 }
 
 // Config configures an engine.

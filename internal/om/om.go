@@ -52,12 +52,42 @@ const (
 	groupStride = 1 << 32
 )
 
+// omChunk is the slab granularity for nodes and groups: lists allocate
+// backing arrays this many elements at a time instead of one heap object
+// per insert, keeping per-spawn costs allocation-free in steady state.
+const omChunk = 128
+
 // List is an order-maintenance list. The zero value is an empty list ready
 // for use.
 type List struct {
 	head *group // first group, nil when empty
 	tail *group
 	len  int
+	// nodeSlab and groupSlab are the unused tails of the newest slab chunks;
+	// allocNode/allocGroup slice elements off the front. Elements stay valid
+	// forever because the backing arrays are never reused.
+	nodeSlab  []Node
+	groupSlab []group
+}
+
+// allocNode carves a zero node out of the slab.
+func (l *List) allocNode() *Node {
+	if len(l.nodeSlab) == 0 {
+		l.nodeSlab = make([]Node, omChunk)
+	}
+	n := &l.nodeSlab[0]
+	l.nodeSlab = l.nodeSlab[1:]
+	return n
+}
+
+// allocGroup carves a zero group out of the slab.
+func (l *List) allocGroup() *group {
+	if len(l.groupSlab) == 0 {
+		l.groupSlab = make([]group, omChunk)
+	}
+	g := &l.groupSlab[0]
+	l.groupSlab = l.groupSlab[1:]
+	return g
 }
 
 // NewList returns an empty order-maintenance list.
@@ -82,7 +112,8 @@ func (l *List) InsertAfter(x *Node) *Node {
 		return l.pushFront()
 	}
 	g := x.group
-	n := &Node{group: g, prev: x, next: x.next}
+	n := l.allocNode()
+	n.group, n.prev, n.next = g, x, x.next
 	if x.next != nil {
 		x.next.prev = n
 	}
@@ -100,9 +131,10 @@ func (l *List) InsertAfter(x *Node) *Node {
 
 // pushFront handles insertion at the head of the list.
 func (l *List) pushFront() *Node {
-	n := &Node{}
+	n := l.allocNode()
 	if l.head == nil {
-		g := &group{label: math.MaxUint64 / 2, size: 1, first: n, last: n, list: l}
+		g := l.allocGroup()
+		g.label, g.size, g.first, g.last, g.list = math.MaxUint64/2, 1, n, n, l
 		n.group = g
 		n.label = math.MaxUint64 / 2
 		l.head = g
@@ -164,14 +196,9 @@ func (g *group) split() {
 	for i := 1; i < half; i++ {
 		mid = mid.next
 	}
-	ng := &group{
-		size:  g.size - half,
-		first: mid.next,
-		last:  g.last,
-		prev:  g,
-		next:  g.next,
-		list:  g.list,
-	}
+	ng := g.list.allocGroup()
+	ng.size, ng.first, ng.last = g.size-half, mid.next, g.last
+	ng.prev, ng.next, ng.list = g, g.next, g.list
 	for n := ng.first; ; n = n.next {
 		n.group = ng
 		if n == ng.last {

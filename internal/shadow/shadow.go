@@ -1,14 +1,20 @@
 // Package shadow implements the vanilla access history: a two-level
-// page-table-like hashmap from four-byte memory words to the strands that
+// page-table-like structure from four-byte memory words to the strands that
 // last wrote and leftmost-read them.
 //
 // This is the baseline the paper calls "vanilla": the address's prefix
-// indexes a first-level table (here a Go map plus a one-entry cache, playing
-// the role of the paper's first-level array) and the suffix indexes into a
-// lazily allocated second-level page holding one shadow cell per word.
+// indexes a first-level table (an open-addressed page directory plus a
+// one-entry cache, playing the role of the paper's first-level array) and
+// the suffix indexes into a lazily allocated second-level page holding one
+// shadow cell per word. Pages retired through Reset park on a per-Table
+// freelist and are reinitialized on reuse, so repeated runs over the same
+// Table allocate no new pages in steady state.
 package shadow
 
-import "stint/internal/mem"
+import (
+	"stint/internal/mem"
+	"stint/internal/pagedir"
+)
 
 const (
 	// pageBytesBits makes each second-level page cover 64 KiB of address
@@ -30,26 +36,39 @@ type page struct {
 	reader [pageWords]int32
 }
 
-func newPage() *page {
-	p := &page{}
+func (p *page) init() {
 	for i := range p.writer {
 		p.writer[i] = None
 		p.reader[i] = None
 	}
-	return p
 }
 
 // Table is a two-level word-granularity shadow memory. The zero value is
 // not usable; call New.
 type Table struct {
-	pages    map[uint64]*page
+	dir      pagedir.Dir[page]
+	free     []*page
 	lastIdx  uint64
 	lastPage *page
 }
 
 // New returns an empty shadow table.
 func New() *Table {
-	return &Table{pages: make(map[uint64]*page)}
+	return &Table{}
+}
+
+// newPage returns an initialized page, reusing a retired one when possible.
+func (t *Table) newPage() *page {
+	var p *page
+	if n := len(t.free); n > 0 {
+		p = t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+	} else {
+		p = &page{}
+	}
+	p.init()
+	return p
 }
 
 // Cell returns pointers to the writer and reader slots for the word
@@ -59,10 +78,10 @@ func (t *Table) Cell(addr mem.Addr) (writer, reader *int32) {
 	idx := word >> pageWordBits
 	p := t.lastPage
 	if p == nil || idx != t.lastIdx {
-		p = t.pages[idx]
+		p = t.dir.Get(idx)
 		if p == nil {
-			p = newPage()
-			t.pages[idx] = p
+			p = t.newPage()
+			t.dir.Put(idx, p)
 		}
 		t.lastIdx, t.lastPage = idx, p
 	}
@@ -74,7 +93,7 @@ func (t *Table) Cell(addr mem.Addr) (writer, reader *int32) {
 // allocating; absent pages read as None.
 func (t *Table) Peek(addr mem.Addr) (writer, reader int32) {
 	word := addr >> wordBits
-	p := t.pages[word>>pageWordBits]
+	p := t.dir.Get(word >> pageWordBits)
 	if p == nil {
 		return None, None
 	}
@@ -82,11 +101,22 @@ func (t *Table) Peek(addr mem.Addr) (writer, reader int32) {
 	return p.writer[off], p.reader[off]
 }
 
+// Reset clears the table for a fresh detection run, retiring every page to
+// the freelist so the next run's Cell calls reuse them instead of
+// allocating.
+func (t *Table) Reset() {
+	t.dir.Reset(func(p *page) { t.free = append(t.free, p) })
+	t.lastIdx, t.lastPage = 0, nil
+}
+
 // Pages returns the number of second-level pages allocated, a proxy for the
 // shadow-memory footprint.
-func (t *Table) Pages() int { return len(t.pages) }
+func (t *Table) Pages() int { return t.dir.Len() }
+
+// FreePages returns the number of retired pages parked on the freelist.
+func (t *Table) FreePages() int { return len(t.free) }
 
 // Bytes returns the approximate memory footprint of the table in bytes.
 func (t *Table) Bytes() uint64 {
-	return uint64(len(t.pages)) * uint64(pageWords) * 8
+	return uint64(t.dir.Len()) * uint64(pageWords) * 8
 }

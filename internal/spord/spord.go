@@ -43,11 +43,17 @@ type Frame struct {
 // spawns (i.e. a sync strand has been reserved but not yet entered).
 func (f *Frame) Pending() bool { return f.sync != nil }
 
+// strandChunk is the slab granularity for Strand records: SP allocates
+// backing arrays this many strands at a time rather than one heap object
+// per strand.
+const strandChunk = 256
+
 // SP maintains SP-Order for one serial execution of a fork-join program.
 type SP struct {
 	eng     *om.List
 	heb     *om.List
 	strands []*Strand
+	slab    []Strand // unused tail of the newest slab chunk
 	cur     *Strand
 }
 
@@ -61,7 +67,12 @@ func New() *SP {
 }
 
 func (sp *SP) newStrand(eng, heb *om.Node) *Strand {
-	s := &Strand{id: int32(len(sp.strands)), eng: eng, heb: heb}
+	if len(sp.slab) == 0 {
+		sp.slab = make([]Strand, strandChunk)
+	}
+	s := &sp.slab[0]
+	sp.slab = sp.slab[1:]
+	s.id, s.eng, s.heb = int32(len(sp.strands)), eng, heb
 	sp.strands = append(sp.strands, s)
 	return s
 }

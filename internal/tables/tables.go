@@ -383,6 +383,40 @@ func (s *Suite) Fig8() error {
 	return nil
 }
 
+// Allocs prints the heap-allocation profile of a detection run per detector
+// version: objects and bytes allocated while the instrumented program ran
+// (runtime.ReadMemStats deltas around Run). It backs the allocation-free-
+// hot-path claims in EXPERIMENTS.md; it is not one of the paper's figures,
+// so Suite.All leaves it out to keep the reference table output stable.
+func (s *Suite) Allocs() error {
+	modes := []stint.Detector{
+		stint.DetectorOff, stint.DetectorVanilla, stint.DetectorCompiler,
+		stint.DetectorCompRTS, stint.DetectorSTINT,
+	}
+	s.printf("== Allocation profile: heap objects (KiB) allocated during the run ==\n")
+	s.printf("%-6s |", "")
+	for _, m := range modes {
+		s.printf(" %20s |", m)
+	}
+	s.printf("\n")
+	for _, name := range workloads.Names() {
+		f, err := workloads.ByName(name, s.scale())
+		if err != nil {
+			return err
+		}
+		s.printf("%-6s |", name)
+		for _, m := range modes {
+			res, err := Measure(f, m, 1, false)
+			if err != nil {
+				return err
+			}
+			s.printf(" %9d (%7.0f) |", res.Stats.AllocObjects, float64(res.Stats.AllocBytes)/1024)
+		}
+		s.printf("\n")
+	}
+	return nil
+}
+
 // Ablation runs the backing-store comparison the paper motivates in related
 // work: the treap vs an unbalanced BST vs the Park-et-al skiplist that
 // keeps redundant intervals.

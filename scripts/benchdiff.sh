@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# benchdiff.sh — machine-readable benchmark emission and comparison.
+#
+# Usage:
+#   scripts/benchdiff.sh emit [BENCH_REGEX] [PKG...]
+#       Run the matching benchmarks (default: BenchmarkFig5 in the root
+#       package) with -benchmem and print one JSON object per benchmark to
+#       stdout, tagged with the commit and date. `make bench-json` redirects
+#       this into BENCH_<date>.json, seeding the repo's perf trajectory.
+#
+#   scripts/benchdiff.sh diff OLD.json NEW.json
+#       Join two emitted files by benchmark name and print per-benchmark
+#       deltas for ns/op and allocs/op.
+set -euo pipefail
+
+mode="${1:-emit}"
+
+emit() {
+    local regex="${1:-BenchmarkFig5}"
+    shift || true
+    local pkgs=("${@:-.}")
+    local commit date goos goarch
+    commit="$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    go test -run '^$' -bench "$regex" -benchmem -benchtime "${BENCHTIME:-3x}" "${pkgs[@]}" 2>&1 |
+        awk -v commit="$commit" -v date="$date" '
+        /^goos:/   { goos = $2 }
+        /^goarch:/ { goarch = $2 }
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+            iters = $2
+            ns = ""; bytes = ""; allocs = ""; extra = ""
+            for (i = 3; i < NF; i++) {
+                v = $i; unit = $(i + 1)
+                if (unit == "ns/op") ns = v
+                else if (unit == "B/op") bytes = v
+                else if (unit == "allocs/op") allocs = v
+                else if (unit ~ /\//) {
+                    gsub(/"/, "", unit)
+                    extra = extra sprintf(",\"%s\":%s", unit, v)
+                }
+            }
+            if (ns == "") next
+            printf "{\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", name, iters, ns
+            if (bytes != "")  printf ",\"bytes_per_op\":%s", bytes
+            if (allocs != "") printf ",\"allocs_per_op\":%s", allocs
+            printf "%s,\"goos\":\"%s\",\"goarch\":\"%s\",\"commit\":\"%s\",\"date\":\"%s\"}\n", extra, goos, goarch, commit, date
+        }'
+}
+
+diff_files() {
+    local old="$1" new="$2"
+    awk '
+    function get(line, key,   re, s) {
+        re = "\"" key "\":[^,}]*"
+        if (match(line, re)) {
+            s = substr(line, RSTART, RLENGTH)
+            sub("\"" key "\":", "", s)
+            gsub(/"/, "", s)
+            return s
+        }
+        return ""
+    }
+    FNR == NR {
+        n = get($0, "name")
+        if (n != "") { ons[n] = get($0, "ns_per_op"); oal[n] = get($0, "allocs_per_op") }
+        next
+    }
+    {
+        n = get($0, "name")
+        if (n == "" || !(n in ons)) next
+        ns = get($0, "ns_per_op"); al = get($0, "allocs_per_op")
+        dns = (ons[n] > 0) ? (ns - ons[n]) * 100.0 / ons[n] : 0
+        dal = (oal[n] > 0) ? (al - oal[n]) * 100.0 / oal[n] : 0
+        printf "%-50s ns/op %12.0f -> %12.0f (%+7.1f%%)   allocs/op %8d -> %8d (%+7.1f%%)\n", \
+            n, ons[n], ns, dns, oal[n], al, dal
+    }' "$old" "$new"
+}
+
+case "$mode" in
+emit)
+    shift || true
+    emit "$@"
+    ;;
+diff)
+    [ $# -eq 3 ] || { echo "usage: $0 diff OLD.json NEW.json" >&2; exit 2; }
+    diff_files "$2" "$3"
+    ;;
+*)
+    echo "usage: $0 emit [BENCH_REGEX] [PKG...] | $0 diff OLD.json NEW.json" >&2
+    exit 2
+    ;;
+esac

@@ -30,6 +30,7 @@ package stint
 import (
 	"errors"
 	"fmt"
+	"runtime/metrics"
 	"sync"
 	"time"
 
@@ -176,7 +177,26 @@ type runState struct {
 	hooks    bool // false when memory hooks should not reach the engine
 	tracer   Tracer
 	parallel bool
+	// taskFree recycles Task frames for the serial spawn path. Tasks are
+	// documented as invalid once their TaskFunc returns, so a completed
+	// child's frame can serve the next spawn without heap traffic.
+	taskFree []*Task
 }
+
+// getTask returns a reset Task, reusing a retired frame when possible.
+// Serial execution only; parallel mode allocates per goroutine.
+func (rs *runState) getTask() *Task {
+	if n := len(rs.taskFree); n > 0 {
+		t := rs.taskFree[n-1]
+		rs.taskFree[n-1] = nil
+		rs.taskFree = rs.taskFree[:n-1]
+		*t = Task{rs: rs}
+		return t
+	}
+	return &Task{rs: rs}
+}
+
+func (rs *runState) putTask(t *Task) { rs.taskFree = append(rs.taskFree, t) }
 
 // Task is a function instance in the fork-join program: the receiver for
 // spawning, syncing, and instrumentation hooks.
@@ -225,6 +245,13 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 	if rs.parallel {
 		t.wg = &sync.WaitGroup{}
 	}
+	// runtime/metrics instead of runtime.ReadMemStats: reading these two
+	// counters does not stop the world, so the probe stays invisible even on
+	// sub-millisecond runs. Both sample slices are allocated up front so the
+	// delta only covers the user's program.
+	before := [2]metrics.Sample{{Name: "/gc/heap/allocs:objects"}, {Name: "/gc/heap/allocs:bytes"}}
+	after := before
+	metrics.Read(before[:])
 	start := time.Now()
 	root(t)
 	t.Sync()
@@ -232,6 +259,7 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 		rs.engine.Finish()
 	}
 	rep.WallTime = time.Since(start)
+	metrics.Read(after[:])
 	if rs.sp != nil {
 		rep.Strands = rs.sp.StrandCount()
 	}
@@ -239,6 +267,8 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 		rep.Stats = *rs.engine.Stats()
 		rep.RaceCount = rep.Stats.Races
 	}
+	rep.Stats.AllocObjects = after[0].Value.Uint64() - before[0].Value.Uint64()
+	rep.Stats.AllocBytes = after[1].Value.Uint64() - before[1].Value.Uint64()
 	return rep, nil
 }
 
@@ -264,9 +294,10 @@ func (t *Task) Spawn(f TaskFunc) {
 	}
 	t.tracePending = true
 	if rs.sp == nil { // DetectorOff, serial
-		child := &Task{rs: rs}
+		child := rs.getTask()
 		f(child)
 		child.Sync()
+		rs.putTask(child)
 		if rs.tracer != nil {
 			rs.tracer.Restore()
 		}
@@ -274,9 +305,10 @@ func (t *Task) Spawn(f TaskFunc) {
 	}
 	rs.engine.StrandEnd()
 	_, cont := rs.sp.Spawn(&t.frame)
-	child := &Task{rs: rs}
+	child := rs.getTask()
 	f(child)
 	child.Sync()
+	rs.putTask(child)
 	rs.engine.StrandEnd() // the child's final strand ends here
 	rs.sp.Restore(cont)
 	if rs.tracer != nil {
