@@ -19,9 +19,12 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Hot-path microbenchmarks only: the open-addressed page directory vs the
-# seed's Go map, and slab-pooled vs heap-allocated treap nodes.
+# seed's Go map, slab-pooled vs heap-allocated treap nodes, the async event
+# ring, and the sync-vs-async per-access hook cost.
 bench-hot:
 	$(GO) test -run '^$$' -bench 'BenchmarkTreapInsert|BenchmarkShadowDirectory' -benchmem ./internal/core ./internal/shadow
+	$(GO) test -run '^$$' -bench 'BenchmarkRing' -benchmem ./internal/evstream
+	$(GO) test -run '^$$' -bench 'BenchmarkHookOverhead' -benchmem .
 
 # Machine-readable benchmark snapshot: one JSON line per benchmark, written
 # to BENCH_<date>.json. Compare two snapshots with scripts/benchdiff.sh diff.
@@ -33,11 +36,12 @@ bench-json:
 tables:
 	$(GO) run ./cmd/stint-tables -reps 3 all
 
-# Short fuzz sessions over the three fuzz targets.
+# Short fuzz sessions over the four fuzz targets.
 fuzz:
 	$(GO) test -fuzz=FuzzTreeAgainstOracle -fuzztime=30s ./internal/core
 	$(GO) test -fuzz=FuzzSetRangeFlush -fuzztime=30s ./internal/coalesce
 	$(GO) test -fuzz=FuzzReplay -fuzztime=30s ./trace
+	$(GO) test -fuzz=FuzzAsyncAgainstSync -fuzztime=30s .
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,139 @@
+// Asynchronous pipelined detection (Options.Async): the mutator executes
+// the serial projection and publishes its instrumentation events into
+// batches over a bounded SPSC ring (internal/evstream), while a dedicated
+// detector goroutine consumes the batches in order and drives SP-Order and
+// the access history exactly as the inline path does.
+//
+// Sequential semantics are preserved because the stream *is* the serial
+// order: the producer emits spawn/restore/sync and access events in the
+// depth-first execution order, and the consumer replays them one at a time
+// against its own SP structure — the same reconstruction stint/trace uses
+// for offline replay, minus the byte encoding. The only concurrency is the
+// producer/consumer handoff inside the ring; the detector itself remains a
+// sequential algorithm and reports byte-identical races and stats.
+
+package stint
+
+import (
+	"time"
+
+	"stint/internal/detect"
+	"stint/internal/evstream"
+	"stint/internal/spord"
+)
+
+// Default pipeline geometry: batches amortize the per-batch ring
+// synchronization over ~4k events, and the ring bounds the pipeline at 8
+// in-flight batches before backpressure blocks the mutator.
+const (
+	defaultAsyncBatchEvents = 4096
+	defaultAsyncRingDepth   = 8
+)
+
+// asyncState is the per-Run pipeline: the producer's working batch and
+// ring on the mutator side, and the consumer's results, published before
+// done closes and read only after drain returns.
+type asyncState struct {
+	ring  *evstream.Ring
+	batch []evstream.Event
+	done  chan struct{}
+	// Written by the consumer goroutine, read after <-done.
+	strands int
+	stats   Stats
+}
+
+func newAsyncState(ringDepth, batchEvents int) *asyncState {
+	ring := evstream.NewRing(ringDepth, batchEvents)
+	return &asyncState{ring: ring, batch: ring.Get(), done: make(chan struct{})}
+}
+
+// emit appends one event to the working batch, publishing it when full.
+// This is the producer's entire hot path: an append, and one ring handoff
+// per batch. The full-batch slow path lives in flush so emit stays under
+// the inlining budget and disappears into the access hooks.
+func (as *asyncState) emit(ev evstream.Event) {
+	if len(as.batch) == cap(as.batch) {
+		as.flush()
+	}
+	as.batch = append(as.batch, ev)
+}
+
+// flush publishes the working batch and takes a fresh one from the ring's
+// free list. Kept out of emit so the latter inlines.
+func (as *asyncState) flush() {
+	as.ring.Publish(as.batch)
+	as.batch = as.ring.Get()
+}
+
+// drain flushes the final (possibly partial, possibly empty) batch,
+// signals end-of-stream, and waits for the detector goroutine to finish
+// consuming. After drain returns, strands and stats are exact.
+func (as *asyncState) drain() {
+	as.ring.Publish(as.batch)
+	as.batch = nil
+	as.ring.Close()
+	<-as.done
+}
+
+// consumeFrame tracks one in-flight function instance on the consumer's
+// replay stack, mirroring trace.replayFrame.
+type consumeFrame struct {
+	frame spord.Frame
+	cont  *spord.Strand
+}
+
+// consume runs on the detector goroutine: it rebuilds SP-Order from the
+// structure events and feeds the access events to the engine, in stream
+// order, exactly as the inline path interleaves them. newEngine is the
+// Runner's test seam (nil outside tests).
+func (as *asyncState) consume(cfg detect.Config, newEngine func(detect.Config, *spord.SP) detect.Engine) {
+	defer close(as.done)
+	sp := spord.New()
+	var engine detect.Engine
+	if newEngine != nil {
+		engine = newEngine(cfg, sp)
+	} else {
+		engine = detect.New(cfg, sp)
+	}
+	stack := make([]consumeFrame, 1, 16) // stack[0] is the root instance
+	var busy time.Duration
+	for {
+		batch, ok := as.ring.Next()
+		if !ok {
+			break
+		}
+		t0 := time.Now()
+		for _, ev := range batch {
+			switch ev.EvOp() {
+			case evstream.OpSpawn:
+				engine.StrandEnd()
+				_, cont := sp.Spawn(&stack[len(stack)-1].frame)
+				stack = append(stack, consumeFrame{cont: cont})
+			case evstream.OpRestore:
+				cont := stack[len(stack)-1].cont
+				stack = stack[:len(stack)-1]
+				engine.StrandEnd() // the child's final strand ends here
+				sp.Restore(cont)
+			case evstream.OpSync:
+				engine.StrandEnd()
+				sp.Sync(&stack[len(stack)-1].frame)
+			case evstream.OpRead:
+				engine.ReadHook(ev.Addr(), ev.Size())
+			case evstream.OpWrite:
+				engine.WriteHook(ev.Addr(), ev.Size())
+			case evstream.OpReadRange:
+				engine.ReadRangeHook(ev.Addr(), ev.Count(), ev.Elem())
+			case evstream.OpWriteRange:
+				engine.WriteRangeHook(ev.Addr(), ev.Count(), ev.Elem())
+			}
+		}
+		busy += time.Since(t0)
+		as.ring.Recycle(batch)
+	}
+	t0 := time.Now()
+	engine.Finish()
+	busy += time.Since(t0)
+	as.strands = sp.StrandCount()
+	as.stats = *engine.Stats()
+	as.stats.PipelineDetectTime = busy
+}

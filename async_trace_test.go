@@ -1,0 +1,49 @@
+package stint_test
+
+import (
+	"bytes"
+	"testing"
+
+	"stint"
+	"stint/trace"
+)
+
+func TestAsyncWithTracerRecordsReplayableTrace(t *testing.T) {
+	// The tracer stays inline on the mutator; an async run must record the
+	// same trace a sync run does, and replaying it must agree with the
+	// async run's own detection.
+	record := func(async bool) ([]byte, *stint.Report) {
+		var out bytes.Buffer
+		rec := trace.NewRecorder(&out)
+		r, err := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT, Async: async, Tracer: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := r.Arena().AllocWords("buf", 64)
+		rep, err := r.Run(func(task *stint.Task) {
+			task.Spawn(func(c *stint.Task) { c.StoreRange(buf, 0, 32) })
+			task.LoadRange(buf, 16, 32)
+			task.Sync()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes(), rep
+	}
+	asyncTrace, asyncRep := record(true)
+	syncTrace, _ := record(false)
+	if !bytes.Equal(asyncTrace, syncTrace) {
+		t.Error("async and sync runs recorded different traces")
+	}
+	replayed, err := trace.Replay(bytes.NewReader(asyncTrace), trace.Options{Detector: stint.DetectorSTINT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.RaceCount != asyncRep.RaceCount || replayed.Strands != asyncRep.Strands {
+		t.Errorf("replay disagrees with async run: %d/%d vs %d/%d",
+			replayed.RaceCount, replayed.Strands, asyncRep.RaceCount, asyncRep.Strands)
+	}
+}

@@ -36,12 +36,19 @@ func benchFactories() []struct {
 // instrumented run (setup and verification are excluded).
 func runDetection(b *testing.B, f workloads.Factory, mode stint.Detector, timeAH bool) *stint.Report {
 	b.Helper()
+	return runDetectionOpts(b, f, stint.Options{Detector: mode, TimeAccessHistory: timeAH})
+}
+
+// runDetectionOpts is runDetection with full Options control (async mode).
+func runDetectionOpts(b *testing.B, f workloads.Factory, opts stint.Options) *stint.Report {
+	b.Helper()
+	mode := opts.Detector
 	var last *stint.Report
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		w := f()
-		r, err := stint.NewRunner(stint.Options{Detector: mode, TimeAccessHistory: timeAH})
+		r, err := stint.NewRunner(opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,6 +100,26 @@ func BenchmarkFig5(b *testing.B) {
 		for _, mode := range modes {
 			b.Run(fmt.Sprintf("%s/%v", wl.name, mode), func(b *testing.B) {
 				runDetection(b, wl.f, mode, false)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5Async repeats the Figure 5 measurement for the two runtime
+// detectors with Options.Async on, pipelining detection behind the batched
+// event stream. Each run also reports detect-busy-ms — the detector
+// goroutine's processing time — because the headline ns/op only shows the
+// overlap win when GOMAXPROCS >= 2: on a single core the producer and the
+// detector timeshare, so wall clock is the sum of the two sides plus the
+// stream transport, not their max. Compare against the matching
+// BenchmarkFig5 cases for the sync baseline.
+func BenchmarkFig5Async(b *testing.B) {
+	modes := []stint.Detector{stint.DetectorCompRTS, stint.DetectorSTINT}
+	for _, wl := range benchFactories() {
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("%s/%v", wl.name, mode), func(b *testing.B) {
+				rep := runDetectionOpts(b, wl.f, stint.Options{Detector: mode, Async: true})
+				b.ReportMetric(float64(rep.Stats.PipelineDetectTime.Nanoseconds())/1e6, "detect-busy-ms")
 			})
 		}
 	}
@@ -199,7 +226,19 @@ func BenchmarkAblationStores(b *testing.B) {
 // BenchmarkHookOverhead isolates the per-access instrumentation cost that
 // every detector configuration pays: a word hook into the bit hashmap.
 func BenchmarkHookOverhead(b *testing.B) {
-	r, err := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT})
+	benchHookOverhead(b, false)
+}
+
+// BenchmarkHookOverheadAsync is the same hook loop with Options.Async: the
+// hook becomes an event append plus a ring handoff every batch, and the
+// hashmap work moves to the detector goroutine. The sync/async pair is the
+// per-access price of the pipeline transport.
+func BenchmarkHookOverheadAsync(b *testing.B) {
+	benchHookOverhead(b, true)
+}
+
+func benchHookOverhead(b *testing.B, async bool) {
+	r, err := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT, Async: async})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -209,8 +248,11 @@ func BenchmarkHookOverhead(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			t.Load(buf, i&(1<<16-1))
 		}
-		b.StopTimer()
+		// Timer left running: Run's return drains the pipeline, so the
+		// async variant pays for detecting every event it emitted —
+		// excluding the drain would make async look artificially free.
 	}); err != nil {
 		b.Fatal(err)
 	}
+	b.StopTimer()
 }

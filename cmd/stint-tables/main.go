@@ -6,12 +6,14 @@
 //
 // Usage:
 //
-//	stint-tables [-scale 1] [-reps 3] fig1 fig5 fig6 fig7 fig8 ablation allocs
+//	stint-tables [-scale 1] [-reps 3] fig1 fig5 fig6 fig7 fig8 ablation allocs async
 //	stint-tables all
 //
 // The extra "allocs" table (not part of the paper, and not included in
 // "all") reports heap objects and bytes allocated during each detection
-// run, backing the allocation-free hot-path work in EXPERIMENTS.md.
+// run, backing the allocation-free hot-path work in EXPERIMENTS.md. The
+// extra "async" table (also outside the paper, whose detector is strictly
+// inline) compares synchronous vs pipelined detection wall clock.
 package main
 
 import (
@@ -50,10 +52,12 @@ func main() {
 			err = suite.Ablation()
 		case "allocs":
 			err = suite.Allocs()
+		case "async":
+			err = suite.Async()
 		case "all":
 			err = suite.All()
 		default:
-			err = fmt.Errorf("unknown table %q (want fig1|fig5|fig6|fig7|fig8|ablation|allocs|all)", a)
+			err = fmt.Errorf("unknown table %q (want fig1|fig5|fig6|fig7|fig8|ablation|allocs|async|all)", a)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stint-tables:", err)

@@ -30,6 +30,7 @@ func main() {
 		scale      = flag.Int("scale", 1, "problem-size multiplier")
 		races      = flag.Int("races", 10, "max races to print")
 		timing     = flag.Bool("timing", false, "measure access-history time separately")
+		async      = flag.Bool("async", false, "pipeline detection on a dedicated goroutine (overlaps compute with the access history)")
 		traceOut   = flag.String("trace-out", "", "record the execution to this trace file (replay with stint-replay)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the detection run to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
@@ -48,7 +49,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(*workload, *detector, *scale, *races, *timing, *traceOut)
+	err := run(*workload, *detector, *scale, *races, *timing, *async, *traceOut)
 	if *memProfile != "" {
 		if perr := writeMemProfile(*memProfile); perr != nil {
 			fmt.Fprintln(os.Stderr, "stint: memprofile:", perr)
@@ -70,13 +71,13 @@ func writeMemProfile(path string) error {
 	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
-func run(workload, detector string, scale, maxRaces int, timing bool, traceOut string) error {
+func run(workload, detector string, scale, maxRaces int, timing, async bool, traceOut string) error {
 	factory, err := workloads.ByName(workload, scale)
 	if err != nil {
 		return err
 	}
 	if detector == "all" {
-		return runAll(factory, timing)
+		return runAll(factory, timing, async)
 	}
 	mode, err := stint.ParseDetector(detector)
 	if err != nil {
@@ -87,6 +88,7 @@ func run(workload, detector string, scale, maxRaces int, timing bool, traceOut s
 		Detector:          mode,
 		MaxRacesRecorded:  maxRaces,
 		TimeAccessHistory: timing,
+		Async:             async,
 	}
 	var rec *trace.Recorder
 	if traceOut != "" {
@@ -104,7 +106,11 @@ func run(workload, detector string, scale, maxRaces int, timing bool, traceOut s
 	}
 	setupStart := time.Now()
 	w.Setup(r)
-	fmt.Printf("%s (%s) under %v  [setup %v]\n", w.Name(), w.Params(), mode, time.Since(setupStart).Round(time.Millisecond))
+	pipe := ""
+	if async && mode != stint.DetectorOff {
+		pipe = ", async pipeline"
+	}
+	fmt.Printf("%s (%s) under %v%s  [setup %v]\n", w.Name(), w.Params(), mode, pipe, time.Since(setupStart).Round(time.Millisecond))
 
 	rep, err := r.Run(w.Run)
 	if err != nil {
@@ -142,6 +148,10 @@ func run(workload, detector string, scale, maxRaces int, timing bool, traceOut s
 	if timing {
 		fmt.Printf("access-history time %v\n", st.AccessHistoryTime.Round(time.Microsecond))
 	}
+	if st.PipelineDetectTime > 0 {
+		fmt.Printf("detector-goroutine busy %v (of %v wall; multi-core floor is max of the two sides)\n",
+			st.PipelineDetectTime.Round(time.Microsecond), rep.WallTime.Round(time.Microsecond))
+	}
 	fmt.Printf("heap allocs %d objects, %.1f KiB during the run\n",
 		st.AllocObjects, float64(st.AllocBytes)/1024)
 	if rep.Racy() {
@@ -163,7 +173,7 @@ func avg(total, n uint64) float64 {
 }
 
 // runAll compares every detector configuration on one workload.
-func runAll(factory workloads.Factory, timing bool) error {
+func runAll(factory workloads.Factory, timing, async bool) error {
 	modes := []stint.Detector{
 		stint.DetectorOff, stint.DetectorReachOnly, stint.DetectorVanilla,
 		stint.DetectorCompiler, stint.DetectorCompRTS, stint.DetectorSTINT,
@@ -173,7 +183,7 @@ func runAll(factory workloads.Factory, timing bool) error {
 	fmt.Printf("%-18s %12s %9s %12s %12s %10s %8s\n", "detector", "time", "overhead", "intervals", "ah-time", "allocs", "races")
 	for _, mode := range modes {
 		w := factory()
-		r, err := stint.NewRunner(stint.Options{Detector: mode, TimeAccessHistory: timing})
+		r, err := stint.NewRunner(stint.Options{Detector: mode, TimeAccessHistory: timing, Async: async})
 		if err != nil {
 			return err
 		}

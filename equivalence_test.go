@@ -94,18 +94,23 @@ func allocBufs(r *Runner) ([]*Buffer, []int) {
 	return bufs, sizes
 }
 
-// racingWordsFor runs the program under one detector and flattens its race
-// reports to a word set.
-func racingWordsFor(t *testing.T, d Detector, acts []act) map[Addr]bool {
+// racingWordsFor runs the program under one detector — synchronously or
+// through the async pipeline — and flattens its race reports to a word set.
+// Async runs use a deliberately small batch size so even the small random
+// programs split events across batch boundaries.
+func racingWordsFor(t *testing.T, d Detector, async bool, acts []act) map[Addr]bool {
 	t.Helper()
 	words := make(map[Addr]bool)
-	r, err := NewRunner(Options{Detector: d, OnRace: func(rc Race) {
+	r, err := NewRunner(Options{Detector: d, Async: async, OnRace: func(rc Race) {
 		for a := rc.Addr &^ 3; a < rc.Addr+rc.Size; a += 4 {
 			words[a] = true
 		}
 	}})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if async {
+		r.asyncBatchEvents, r.asyncRingDepth = 8, 2
 	}
 	bufs, _ := allocBufs(r)
 	if _, err := r.Run(func(task *Task) { runActs(task, bufs, acts) }); err != nil {
@@ -154,7 +159,7 @@ func checkEquivalence(t *testing.T, seed int64, acts []act) {
 	t.Helper()
 	want := oracleWordsFor(t, acts)
 	for _, d := range allDetectors {
-		got := racingWordsFor(t, d, acts)
+		got := racingWordsFor(t, d, false, acts)
 		if len(got) != len(want) {
 			t.Fatalf("seed %d: %v reports %d racing words, oracle %d (%s)\nprogram: %+v",
 				seed, d, len(got), len(want), wordSetDiff(got, want), acts)
@@ -162,6 +167,19 @@ func checkEquivalence(t *testing.T, seed int64, acts []act) {
 		for w := range want {
 			if !got[w] {
 				t.Fatalf("seed %d: %v missed racing word %#x\nprogram: %+v", seed, d, w, acts)
+			}
+		}
+		// The async pipeline must agree with both the oracle and the
+		// synchronous path it mirrors.
+		async := racingWordsFor(t, d, true, acts)
+		if len(async) != len(want) {
+			t.Fatalf("seed %d: async %v reports %d racing words, oracle %d (%s)\nprogram: %+v",
+				seed, d, len(async), len(want), wordSetDiff(async, want), acts)
+		}
+		for w := range got {
+			if !async[w] {
+				t.Fatalf("seed %d: async %v missed racing word %#x found synchronously\nprogram: %+v",
+					seed, d, w, acts)
 			}
 		}
 	}
@@ -236,8 +254,11 @@ func TestDetectorEquivalenceRaceFreePrograms(t *testing.T) {
 		t.Fatalf("oracle found races in a race-free program: %v", want)
 	}
 	for _, d := range allDetectors {
-		if got := racingWordsFor(t, d, acts); len(got) != 0 {
+		if got := racingWordsFor(t, d, false, acts); len(got) != 0 {
 			t.Errorf("%v: false positives in race-free program: %d words", d, len(got))
+		}
+		if got := racingWordsFor(t, d, true, acts); len(got) != 0 {
+			t.Errorf("async %v: false positives in race-free program: %d words", d, len(got))
 		}
 	}
 }

@@ -1,0 +1,151 @@
+package stint
+
+import (
+	"testing"
+)
+
+// FuzzAsyncAgainstSync decodes arbitrary bytes into a fork-join program
+// and pipeline geometry, runs it once synchronously and once through the
+// async pipeline, and requires identical racing-word sets, strand counts,
+// and (timing-normalized) stats. Tiny batch capacities and ring depths
+// force the batch-boundary edge cases: events split across batches, empty
+// final batches, backpressure stalls, and drain while a strand's accesses
+// are still buffered.
+func FuzzAsyncAgainstSync(f *testing.F) {
+	f.Add([]byte{})
+	// Geometry 1x1 (max handoffs), racy spawn/store/store/sync.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x03, 0x00, 0x05, 0x01, 0x04, 0x00, 0x05, 0x02})
+	// Range accesses split across 2-event batches.
+	f.Add([]byte{0x01, 0x01, 0x00, 0x05, 0x01, 0x00, 0x20, 0x01, 0x06, 0x01, 0x10, 0x30, 0x02})
+	// Drain mid-strand: spawn body never terminated, accesses buffered at
+	// stream end.
+	f.Add([]byte{0x02, 0x00, 0x00, 0x04, 0x02, 0x07, 0x03, 0x00, 0x01})
+	// Deep nesting with interleaved syncs.
+	f.Add([]byte{0x03, 0x01, 0x00, 0x00, 0x00, 0x04, 0x01, 0x02, 0x01, 0x02, 0x01, 0x04, 0x02, 0x08, 0x02})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return // keep individual executions fast
+		}
+		prog, batchEvents, ringDepth := decodeFuzzProgram(data)
+
+		type result struct {
+			words   map[Addr]bool
+			strands int
+			stats   Stats
+		}
+		run := func(async bool) result {
+			words := make(map[Addr]bool)
+			r, err := NewRunner(Options{Detector: DetectorSTINT, Async: async, OnRace: func(rc Race) {
+				for a := rc.Addr &^ 3; a < rc.Addr+rc.Size; a += 4 {
+					words[a] = true
+				}
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if async {
+				r.asyncBatchEvents, r.asyncRingDepth = batchEvents, ringDepth
+			}
+			bufs, _ := allocBufs(r)
+			rep, err := r.Run(func(task *Task) { runActs(task, bufs, prog) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := rep.Stats
+			st.AccessHistoryTime, st.AllocObjects, st.AllocBytes, st.PipelineDetectTime = 0, 0, 0, 0
+			return result{words: words, strands: rep.Strands, stats: st}
+		}
+
+		sync := run(false)
+		async := run(true)
+		if async.strands != sync.strands {
+			t.Fatalf("strands: async %d, sync %d (batch=%d depth=%d)\nprogram: %+v",
+				async.strands, sync.strands, batchEvents, ringDepth, prog)
+		}
+		if async.stats != sync.stats {
+			t.Fatalf("stats diverge (batch=%d depth=%d)\nasync: %+v\nsync:  %+v\nprogram: %+v",
+				batchEvents, ringDepth, async.stats, sync.stats, prog)
+		}
+		if len(async.words) != len(sync.words) {
+			t.Fatalf("racing words: async %d, sync %d\nprogram: %+v", len(async.words), len(sync.words), prog)
+		}
+		for w := range sync.words {
+			if !async.words[w] {
+				t.Fatalf("async missed racing word %#x\nprogram: %+v", w, prog)
+			}
+		}
+	})
+}
+
+// decodeFuzzProgram turns raw bytes into (program, batchEvents, ringDepth).
+// The first two bytes pick a tiny pipeline geometry; the rest is a
+// byte-code for act programs. Every input decodes to a valid program — the
+// fuzzer explores program shapes, not parser rejections.
+func decodeFuzzProgram(data []byte) ([]act, int, int) {
+	batchEvents, ringDepth := 1, 1
+	if len(data) > 0 {
+		batchEvents = int(data[0]%16) + 1
+		data = data[1:]
+	}
+	if len(data) > 0 {
+		ringDepth = int(data[0]%4) + 1
+		data = data[1:]
+	}
+	pos := 0
+	next := func() (byte, bool) {
+		if pos >= len(data) {
+			return 0, false
+		}
+		b := data[pos]
+		pos++
+		return b, true
+	}
+	// sizes must match bufSpecs (shared with the equivalence suite).
+	sizes := make([]int, len(bufSpecs))
+	for i, s := range bufSpecs {
+		sizes[i] = s.elems
+	}
+	var parse func(depth int) []act
+	parse = func(depth int) []act {
+		var acts []act
+		for len(acts) < 64 {
+			b, ok := next()
+			if !ok {
+				return acts // unterminated bodies auto-close: drain mid-strand
+			}
+			switch b % 8 {
+			case 0: // spawn with nested body
+				if depth >= 6 {
+					continue
+				}
+				acts = append(acts, act{kind: 'S', body: parse(depth + 1)})
+			case 1: // end of this body
+				return acts
+			case 2: // sync
+				acts = append(acts, act{kind: 'Y'})
+			case 3, 4: // word load/store
+				bi, _ := next()
+				ii, _ := next()
+				buf := int(bi) % len(sizes)
+				acts = append(acts, act{
+					kind: map[byte]byte{3: 'l', 4: 's'}[b%8],
+					buf:  buf, idx: int(ii) % sizes[buf],
+				})
+			case 5, 6: // range load/store
+				bi, _ := next()
+				ii, _ := next()
+				ni, _ := next()
+				buf := int(bi) % len(sizes)
+				idx := int(ii) % sizes[buf]
+				acts = append(acts, act{
+					kind: map[byte]byte{5: 'L', 6: 'W'}[b%8],
+					buf:  buf, idx: idx, n: int(ni)%(sizes[buf]-idx) + 1,
+				})
+			case 7: // no-op (reserved)
+			}
+		}
+		return acts
+	}
+	return parse(0), batchEvents, ringDepth
+}

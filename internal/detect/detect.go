@@ -160,6 +160,13 @@ type Stats struct {
 	// allocation-regression numbers in EXPERIMENTS.md.
 	AllocObjects uint64
 	AllocBytes   uint64
+	// PipelineDetectTime is the detector goroutine's busy time under
+	// Options.Async: the wall clock it spent processing event batches,
+	// excluding waits for the producer. Zero in synchronous mode. On a
+	// machine with >=2 cores the pipelined wall clock approaches
+	// max(compute, PipelineDetectTime) instead of their sum. Populated by
+	// the stint runner's consumer, not by the engines.
+	PipelineDetectTime time.Duration
 }
 
 // Config configures an engine.

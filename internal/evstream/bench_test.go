@@ -1,0 +1,69 @@
+package evstream
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRingThroughput streams b.N events through the ring with a
+// draining consumer goroutine: the pipeline's per-event transport cost.
+func BenchmarkRingThroughput(b *testing.B) {
+	for _, batchCap := range []int{64, 1024, 4096} {
+		b.Run(fmt.Sprintf("batch%d", batchCap), func(b *testing.B) {
+			r := NewRing(8, batchCap)
+			done := make(chan uint64)
+			go func() {
+				var n uint64
+				for {
+					batch, ok := r.Next()
+					if !ok {
+						break
+					}
+					n += uint64(len(batch))
+					r.Recycle(batch)
+				}
+				done <- n
+			}()
+			b.ResetTimer()
+			batch := r.Get()
+			for i := 0; i < b.N; i++ {
+				if len(batch) == cap(batch) {
+					r.Publish(batch)
+					batch = r.Get()
+				}
+				batch = append(batch, Access(OpRead, uint64(i), 4))
+			}
+			r.Publish(batch)
+			r.Close()
+			if n := <-done; n != uint64(b.N) {
+				b.Fatalf("consumer saw %d events, want %d", n, b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkRingUncontended measures the producer-side cost alone: the
+// consumer drains eagerly so Publish never blocks.
+func BenchmarkRingUncontended(b *testing.B) {
+	r := NewRing(64, 4096)
+	go func() {
+		for {
+			batch, ok := r.Next()
+			if !ok {
+				return
+			}
+			r.Recycle(batch)
+		}
+	}()
+	b.ResetTimer()
+	batch := r.Get()
+	for i := 0; i < b.N; i++ {
+		if len(batch) == cap(batch) {
+			r.Publish(batch)
+			batch = r.Get()
+		}
+		batch = append(batch, Access(OpWrite, uint64(i), 4))
+	}
+	r.Publish(batch)
+	r.Close()
+}

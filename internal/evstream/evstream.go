@@ -1,0 +1,233 @@
+// Package evstream carries instrumentation events from an executing
+// fork-join program (the producer) to a detector goroutine (the consumer)
+// through a bounded single-producer/single-consumer ring of fixed-size
+// event batches.
+//
+// The design goals mirror the runner's hot-path discipline:
+//
+//   - Events are appended to a batch with a plain slice append — no lock,
+//     no channel, no allocation on the access hook path.
+//   - Synchronization happens once per batch, not once per event: Publish
+//     and Next take one mutex acquisition each, amortized over the batch
+//     size (4096 events by default at the stint layer).
+//   - Consumed batches return to a free list and are reused, so a
+//     steady-state pipeline allocates a fixed set of batches regardless of
+//     how many events flow through it.
+//   - The ring is bounded: when the consumer falls behind, Publish blocks
+//     (backpressure) instead of queueing unbounded memory.
+//
+// Because there is exactly one producer and one consumer, batches hand
+// over cleanly: the producer never touches a batch after Publish, the
+// consumer never touches one after Recycle.
+package evstream
+
+import "sync"
+
+// Op identifies an event kind. The vocabulary is the runner's Tracer
+// interface: the spawn/restore/sync structure plus the four access hooks.
+// Strand boundaries are not represented explicitly — the consumer derives
+// them from the structure events exactly as the inline detector derives
+// them from the runner's call sites.
+type Op uint8
+
+const (
+	// OpSpawn marks the start of a spawned child task.
+	OpSpawn Op = 1 + iota
+	// OpRestore marks a child's return to its parent's continuation.
+	OpRestore
+	// OpSync marks a strand-creating sync (no-op syncs are elided by the
+	// producer, matching the Tracer contract).
+	OpSync
+	// OpRead and OpWrite are per-access hooks: Addr is the address, A the
+	// access size in bytes.
+	OpRead
+	OpWrite
+	// OpReadRange and OpWriteRange are compiler-coalesced hooks: Addr is
+	// the base address, A the element count, B the element size in bytes.
+	OpReadRange
+	OpWriteRange
+)
+
+// Event is one instrumentation event, packed into 16 bytes so the stream
+// moves half the memory a naive struct would: word holds the op in its low
+// byte and the op-specific operands above it, addr the address (unused by
+// structure events). Producers build Events with Access, Range, and Ctl;
+// consumers read them back through the typed accessors.
+type Event struct {
+	word uint64
+	addr uint64
+}
+
+// Access builds a per-access event (OpRead/OpWrite): size is the access
+// size in bytes (fits comfortably above the op byte).
+func Access(op Op, addr, size uint64) Event {
+	return Event{word: uint64(op) | size<<8, addr: addr}
+}
+
+// Range builds a compiler-coalesced range event (OpReadRange/OpWriteRange):
+// elem is the element size in bytes (low 24 bits above the op byte), count
+// the element count (high 32 bits).
+func Range(op Op, addr uint64, count int, elem uint64) Event {
+	return Event{word: uint64(op) | elem<<8 | uint64(count)<<32, addr: addr}
+}
+
+// Ctl builds a structure event (OpSpawn/OpRestore/OpSync).
+func Ctl(op Op) Event { return Event{word: uint64(op)} }
+
+// EvOp returns the event's op.
+func (e Event) EvOp() Op { return Op(e.word) }
+
+// Addr returns the address of an access or range event.
+func (e Event) Addr() uint64 { return e.addr }
+
+// Size returns the access size of an OpRead/OpWrite event.
+func (e Event) Size() uint64 { return e.word >> 8 }
+
+// Count returns the element count of a range event.
+func (e Event) Count() int { return int(e.word >> 32) }
+
+// Elem returns the element size of a range event.
+func (e Event) Elem() uint64 { return (e.word >> 8) & 0xffffff }
+
+// Stats counts ring activity, for observability and backpressure tuning.
+// Read it only after the pipeline has drained (Close + final Next).
+type Stats struct {
+	// EventsPublished and BatchesPublished count producer traffic.
+	EventsPublished  uint64
+	BatchesPublished uint64
+	// BatchesReused counts Get calls served from the free list rather than
+	// a fresh allocation; at steady state it tracks BatchesPublished.
+	BatchesReused uint64
+	// ProducerWaits and ConsumerWaits count blocking episodes: the
+	// producer waiting on a full ring (detection is the bottleneck) and
+	// the consumer waiting on an empty ring (execution is the bottleneck).
+	ProducerWaits uint64
+	ConsumerWaits uint64
+}
+
+// Ring is a bounded SPSC queue of event batches with an integrated batch
+// free list. All methods are safe for the one-producer/one-consumer
+// pattern; none may be called concurrently from two producers or two
+// consumers.
+type Ring struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	buf      [][]Event // circular queue of published batches
+	head     int       // index of the oldest published batch
+	count    int       // published batches currently in the ring
+	closed   bool
+	free     [][]Event // recycled batches awaiting reuse
+	batchCap int
+	stats    Stats
+}
+
+// NewRing returns a ring holding at most depth in-flight batches of
+// batchCap events each. Both are clamped to at least 1.
+func NewRing(depth, batchCap int) *Ring {
+	if depth < 1 {
+		depth = 1
+	}
+	if batchCap < 1 {
+		batchCap = 1
+	}
+	r := &Ring{buf: make([][]Event, depth), batchCap: batchCap}
+	r.notEmpty.L = &r.mu
+	r.notFull.L = &r.mu
+	return r
+}
+
+// BatchCap returns the per-batch event capacity.
+func (r *Ring) BatchCap() int { return r.batchCap }
+
+// Get returns an empty batch with BatchCap capacity for the producer to
+// fill, reusing a recycled batch when one is available.
+func (r *Ring) Get() []Event {
+	r.mu.Lock()
+	if n := len(r.free); n > 0 {
+		b := r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		r.stats.BatchesReused++
+		r.mu.Unlock()
+		return b[:0]
+	}
+	r.mu.Unlock()
+	return make([]Event, 0, r.batchCap)
+}
+
+// Publish hands a filled batch to the consumer, blocking while the ring is
+// full (backpressure). Empty batches are legal and flow through like any
+// other. Publishing on a closed ring panics: it means the producer kept
+// running after signalling end-of-stream.
+func (r *Ring) Publish(b []Event) {
+	r.mu.Lock()
+	for r.count == len(r.buf) && !r.closed {
+		r.stats.ProducerWaits++
+		r.notFull.Wait()
+	}
+	if r.closed {
+		r.mu.Unlock()
+		panic("evstream: Publish on closed ring")
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = b
+	r.count++
+	r.stats.BatchesPublished++
+	r.stats.EventsPublished += uint64(len(b))
+	r.notEmpty.Signal()
+	r.mu.Unlock()
+}
+
+// Close signals end-of-stream. The consumer drains the batches already
+// published, then Next reports done.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.notEmpty.Broadcast()
+	r.notFull.Broadcast()
+	r.mu.Unlock()
+}
+
+// Next returns the oldest published batch, blocking while the ring is
+// empty. It returns ok=false once the ring is closed and fully drained.
+func (r *Ring) Next() (b []Event, ok bool) {
+	r.mu.Lock()
+	for r.count == 0 && !r.closed {
+		r.stats.ConsumerWaits++
+		r.notEmpty.Wait()
+	}
+	if r.count == 0 { // closed and drained
+		r.mu.Unlock()
+		return nil, false
+	}
+	b = r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	r.notFull.Signal()
+	r.mu.Unlock()
+	return b, true
+}
+
+// Recycle returns a consumed batch to the free list. The free list is
+// bounded by the ring depth plus the producer's working batch, so a
+// misbehaving caller cannot grow it without bound.
+func (r *Ring) Recycle(b []Event) {
+	if cap(b) == 0 {
+		return
+	}
+	r.mu.Lock()
+	if len(r.free) < len(r.buf)+1 {
+		r.free = append(r.free, b[:0])
+	}
+	r.mu.Unlock()
+}
+
+// Stats returns a snapshot of the ring counters. Call it after the
+// pipeline has drained for exact values.
+func (r *Ring) Stats() Stats {
+	r.mu.Lock()
+	s := r.stats
+	r.mu.Unlock()
+	return s
+}

@@ -1,0 +1,156 @@
+package evstream
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRingDeliversInOrder(t *testing.T) {
+	r := NewRing(4, 8)
+	const n = 1000
+	done := make(chan []uint64)
+	go func() {
+		var got []uint64
+		for {
+			b, ok := r.Next()
+			if !ok {
+				break
+			}
+			for _, ev := range b {
+				got = append(got, ev.Addr())
+			}
+			r.Recycle(b)
+		}
+		done <- got
+	}()
+	b := r.Get()
+	for i := uint64(0); i < n; i++ {
+		if len(b) == cap(b) {
+			r.Publish(b)
+			b = r.Get()
+		}
+		b = append(b, Access(OpRead, i, 4))
+	}
+	r.Publish(b)
+	r.Close()
+	got := <-done
+	if len(got) != n {
+		t.Fatalf("received %d events, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("event %d has addr %d: order not preserved", i, v)
+		}
+	}
+}
+
+func TestRingBackpressureBlocksProducer(t *testing.T) {
+	r := NewRing(1, 1)
+	r.Publish([]Event{Ctl(OpRead)}) // fills the ring
+	published := make(chan struct{})
+	go func() {
+		r.Publish([]Event{Ctl(OpWrite)}) // must block until Next drains a slot
+		close(published)
+	}()
+	select {
+	case <-published:
+		t.Fatal("second Publish did not block on a full ring")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, ok := r.Next(); !ok {
+		t.Fatal("Next on a full ring reported done")
+	}
+	select {
+	case <-published:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Publish still blocked after Next freed a slot")
+	}
+	if s := r.Stats(); s.ProducerWaits == 0 {
+		t.Error("ProducerWaits not counted")
+	}
+	r.Close()
+}
+
+func TestRingEmptyBatchesFlow(t *testing.T) {
+	r := NewRing(2, 4)
+	r.Publish(r.Get()) // empty batch
+	r.Publish(nil)     // nil batch is also legal
+	r.Close()
+	for i := 0; i < 2; i++ {
+		b, ok := r.Next()
+		if !ok {
+			t.Fatalf("batch %d: premature done", i)
+		}
+		if len(b) != 0 {
+			t.Fatalf("batch %d has %d events, want 0", i, len(b))
+		}
+		r.Recycle(b)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("Next after close+drain reported a batch")
+	}
+}
+
+func TestRingCloseUnblocksConsumer(t *testing.T) {
+	r := NewRing(2, 4)
+	done := make(chan bool)
+	go func() {
+		_, ok := r.Next()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Next returned a batch from an empty closed ring")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock the consumer")
+	}
+}
+
+func TestRingReusesBatches(t *testing.T) {
+	r := NewRing(2, 16)
+	for i := 0; i < 50; i++ {
+		b := r.Get()
+		b = append(b, Access(OpRead, uint64(i), 4))
+		r.Publish(b)
+		got, ok := r.Next()
+		if !ok || len(got) != 1 {
+			t.Fatalf("round %d: bad batch", i)
+		}
+		r.Recycle(got)
+	}
+	s := r.Stats()
+	if s.BatchesReused < 45 {
+		t.Errorf("BatchesReused = %d over 50 rounds: free list not working", s.BatchesReused)
+	}
+	if s.EventsPublished != 50 || s.BatchesPublished != 50 {
+		t.Errorf("stats = %+v, want 50 events in 50 batches", s)
+	}
+	r.Close()
+}
+
+func TestPublishAfterClosePanics(t *testing.T) {
+	r := NewRing(2, 4)
+	r.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Publish after Close did not panic")
+		}
+	}()
+	r.Publish([]Event{Ctl(OpRead)})
+}
+
+func TestNewRingClampsArguments(t *testing.T) {
+	r := NewRing(0, -3)
+	if r.BatchCap() != 1 {
+		t.Errorf("BatchCap = %d, want clamp to 1", r.BatchCap())
+	}
+	r.Publish([]Event{Ctl(OpRead)})
+	if b, ok := r.Next(); !ok || len(b) != 1 {
+		t.Error("clamped ring does not deliver")
+	}
+	r.Close()
+}

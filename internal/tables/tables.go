@@ -34,17 +34,22 @@ type Result struct {
 // Measure runs one fresh instance of f under mode, averaged over reps runs,
 // verifying every run's computed result.
 func Measure(f workloads.Factory, mode stint.Detector, reps int, timeAH bool) (*Result, error) {
+	return MeasureWith(f, stint.Options{Detector: mode, TimeAccessHistory: timeAH}, reps)
+}
+
+// MeasureWith is Measure with full control over the runner options (the
+// async table uses it to toggle Options.Async); opts.MaxRacesRecorded is
+// forced to a small bound.
+func MeasureWith(f workloads.Factory, opts stint.Options, reps int) (*Result, error) {
 	if reps < 1 {
 		reps = 1
 	}
+	mode := opts.Detector
 	var agg Result
 	for rep := 0; rep < reps; rep++ {
 		w := f()
-		r, err := stint.NewRunner(stint.Options{
-			Detector:          mode,
-			TimeAccessHistory: timeAH,
-			MaxRacesRecorded:  4,
-		})
+		opts.MaxRacesRecorded = 4
+		r, err := stint.NewRunner(opts)
 		if err != nil {
 			return nil, err
 		}
@@ -411,6 +416,47 @@ func (s *Suite) Allocs() error {
 				return err
 			}
 			s.printf(" %9d (%7.0f) |", res.Stats.AllocObjects, float64(res.Stats.AllocBytes)/1024)
+		}
+		s.printf("\n")
+	}
+	return nil
+}
+
+// Async compares synchronous and pipelined detection wall clock per
+// detector on every workload: the sync column pays compute + detection on
+// one thread, the async column overlaps them across the event-stream ring,
+// so its ideal is max(compute, detect). Not one of the paper's figures —
+// the paper's detector is strictly inline — so Suite.All leaves it out.
+func (s *Suite) Async() error {
+	modes := []stint.Detector{stint.DetectorCompRTS, stint.DetectorSTINT}
+	s.printf("== Async pipeline: sync vs async wall clock (speedup = sync/async) ==\n")
+	s.printf("%-6s %10s |", "", "base")
+	for _, m := range modes {
+		s.printf(" %-9s %10s %10s %8s |", m, "sync", "async", "speedup")
+	}
+	s.printf("\n")
+	for _, name := range workloads.Names() {
+		f, err := workloads.ByName(name, s.scale())
+		if err != nil {
+			return err
+		}
+		base, err := Measure(f, stint.DetectorOff, s.reps(), false)
+		if err != nil {
+			return err
+		}
+		s.printf("%-6s %10v |", name, base.Wall.Round(time.Millisecond))
+		for _, m := range modes {
+			sync, err := MeasureWith(f, stint.Options{Detector: m}, s.reps())
+			if err != nil {
+				return err
+			}
+			async, err := MeasureWith(f, stint.Options{Detector: m, Async: true}, s.reps())
+			if err != nil {
+				return err
+			}
+			s.printf(" %-9s %10v %10v %7.2fx |", "",
+				sync.Wall.Round(time.Millisecond), async.Wall.Round(time.Millisecond),
+				float64(sync.Wall)/float64(async.Wall))
 		}
 		s.printf("\n")
 	}

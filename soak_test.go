@@ -40,8 +40,12 @@ func soakProgram(seed int64) ([]act, []int) {
 }
 
 func soakRun(t *testing.T, acts []act, sizes []int, d Detector) *Report {
+	return soakRunMode(t, acts, sizes, d, false)
+}
+
+func soakRunMode(t *testing.T, acts []act, sizes []int, d Detector, async bool) *Report {
 	t.Helper()
-	r, err := NewRunner(Options{Detector: d, MaxRacesRecorded: 1})
+	r, err := NewRunner(Options{Detector: d, MaxRacesRecorded: 1, Async: async})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,6 +73,34 @@ func TestSoakDeterminismAcrossRuns(t *testing.T) {
 				a.Stats.ReadIntervals != b.Stats.ReadIntervals ||
 				a.Stats.TreapNodesVisited != b.Stats.TreapNodesVisited {
 				t.Fatalf("seed %d %v: nondeterministic runs\n%+v\n%+v", seed, d, a.Stats, b.Stats)
+			}
+		}
+	}
+}
+
+func TestSoakAsyncDeterminismAndSyncAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	// Async runs must be deterministic across runs (the ring hands over
+	// batches, it never reorders) and must match the synchronous path on
+	// every counter that is not timing- or allocation-dependent.
+	norm := func(s Stats) Stats {
+		s.AccessHistoryTime, s.AllocObjects, s.AllocBytes, s.PipelineDetectTime = 0, 0, 0, 0
+		return s
+	}
+	for seed := int64(20); seed < 26; seed++ {
+		acts, sizes := soakProgram(seed)
+		for _, d := range allDetectors {
+			a := soakRunMode(t, acts, sizes, d, true)
+			b := soakRunMode(t, acts, sizes, d, true)
+			if norm(a.Stats) != norm(b.Stats) || a.Strands != b.Strands {
+				t.Fatalf("seed %d %v: nondeterministic async runs\n%+v\n%+v", seed, d, a.Stats, b.Stats)
+			}
+			s := soakRunMode(t, acts, sizes, d, false)
+			if norm(a.Stats) != norm(s.Stats) || a.Strands != s.Strands {
+				t.Fatalf("seed %d %v: async diverges from sync\nasync: %+v\nsync:  %+v",
+					seed, d, norm(a.Stats), norm(s.Stats))
 			}
 		}
 	}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"stint/internal/detect"
+	"stint/internal/evstream"
 	"stint/internal/mem"
 	"stint/internal/spord"
 )
@@ -114,6 +115,17 @@ type Options struct {
 	// Parallel executes spawns on goroutines instead of serially. It is
 	// only valid with DetectorOff: race detection is sequential by design.
 	Parallel bool
+	// Async pipelines detection: the program executes the serial
+	// projection while a dedicated detector goroutine consumes its event
+	// stream from a bounded ring, overlapping compute with the access
+	// history. Race reports and Stats are identical to the synchronous
+	// path (the stream is the serial order); wall clock approaches
+	// max(compute, detect) instead of their sum. OnRace is invoked from
+	// the detector goroutine while the program is still running; Run does
+	// not return until the stream has fully drained. Async is ignored
+	// under DetectorOff (there is nothing to pipeline) and is incompatible
+	// with Parallel.
+	Async bool
 	// Tracer, if set, receives every execution event (see Tracer); use
 	// stint/trace to record replayable traces. Incompatible with Parallel.
 	Tracer Tracer
@@ -129,6 +141,11 @@ type Runner struct {
 	// newEngine, when non-nil, replaces detect.New; tests use it to run
 	// reference engines (e.g. the brute-force oracle) through the runner.
 	newEngine func(cfg detect.Config, sp *spord.SP) detect.Engine
+	// asyncBatchEvents and asyncRingDepth override the async pipeline
+	// geometry when nonzero; tests use tiny values to force batch-boundary
+	// and backpressure edge cases.
+	asyncBatchEvents int
+	asyncRingDepth   int
 }
 
 // NewRunner validates opts and returns a Runner with an empty Arena.
@@ -138,6 +155,12 @@ func NewRunner(opts Options) (*Runner, error) {
 	}
 	if opts.Parallel && opts.Tracer != nil {
 		return nil, errors.New("stint: tracing requires serial execution")
+	}
+	if opts.Async && opts.Parallel {
+		return nil, errors.New("stint: Async and Parallel are incompatible; Async pipelines the serial projection, Parallel abandons it")
+	}
+	if opts.MaxRacesRecorded < 0 {
+		return nil, fmt.Errorf("stint: MaxRacesRecorded must be non-negative, got %d", opts.MaxRacesRecorded)
 	}
 	if opts.MaxRacesRecorded == 0 {
 		opts.MaxRacesRecorded = 64
@@ -175,6 +198,7 @@ type runState struct {
 	sp       *spord.SP
 	engine   detect.Engine
 	hooks    bool // false when memory hooks should not reach the engine
+	async    *asyncState
 	tracer   Tracer
 	parallel bool
 	// taskFree recycles Task frames for the serial spawn path. Tasks are
@@ -216,7 +240,6 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 	rep := &Report{}
 	rs := &runState{parallel: r.opts.Parallel, tracer: r.opts.Tracer}
 	if r.opts.Detector != DetectorOff {
-		rs.sp = spord.New()
 		// ReachOnly isolates the reachability component: SP-Order is
 		// maintained but memory hooks are skipped at the dispatch layer,
 		// matching the paper's near-zero "reach." column.
@@ -235,10 +258,27 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 				user(race)
 			}
 		}
-		if r.newEngine != nil {
-			rs.engine = r.newEngine(cfg, rs.sp)
+		if r.opts.Async {
+			// Pipelined detection: SP-Order and the engine live on the
+			// detector goroutine, fed by the event stream. The OnRace
+			// closure above runs there too; rep is safe to read once
+			// drain() has joined the goroutine.
+			depth, bcap := r.asyncRingDepth, r.asyncBatchEvents
+			if depth == 0 {
+				depth = defaultAsyncRingDepth
+			}
+			if bcap == 0 {
+				bcap = defaultAsyncBatchEvents
+			}
+			rs.async = newAsyncState(depth, bcap)
+			go rs.async.consume(cfg, r.newEngine)
 		} else {
-			rs.engine = detect.New(cfg, rs.sp)
+			rs.sp = spord.New()
+			if r.newEngine != nil {
+				rs.engine = r.newEngine(cfg, rs.sp)
+			} else {
+				rs.engine = detect.New(cfg, rs.sp)
+			}
 		}
 	}
 	t := &Task{rs: rs}
@@ -255,17 +295,28 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 	start := time.Now()
 	root(t)
 	t.Sync()
-	if rs.engine != nil {
+	if rs.async != nil {
+		// Flush the stream and join the detector goroutine: WallTime then
+		// covers max(compute, detect) plus the residual drain, and Stats
+		// are exact.
+		rs.async.drain()
+	} else if rs.engine != nil {
 		rs.engine.Finish()
 	}
 	rep.WallTime = time.Since(start)
 	metrics.Read(after[:])
-	if rs.sp != nil {
-		rep.Strands = rs.sp.StrandCount()
-	}
-	if rs.engine != nil {
-		rep.Stats = *rs.engine.Stats()
+	if rs.async != nil {
+		rep.Strands = rs.async.strands
+		rep.Stats = rs.async.stats
 		rep.RaceCount = rep.Stats.Races
+	} else {
+		if rs.sp != nil {
+			rep.Strands = rs.sp.StrandCount()
+		}
+		if rs.engine != nil {
+			rep.Stats = *rs.engine.Stats()
+			rep.RaceCount = rep.Stats.Races
+		}
 	}
 	rep.Stats.AllocObjects = after[0].Value.Uint64() - before[0].Value.Uint64()
 	rep.Stats.AllocBytes = after[1].Value.Uint64() - before[1].Value.Uint64()
@@ -293,6 +344,20 @@ func (t *Task) Spawn(f TaskFunc) {
 		rs.tracer.Spawn()
 	}
 	t.tracePending = true
+	if as := rs.async; as != nil {
+		// Pipelined: the structure events travel the stream; SP-Order is
+		// maintained by the consumer. Execution stays depth-first serial.
+		as.emit(evstream.Ctl(evstream.OpSpawn))
+		child := rs.getTask()
+		f(child)
+		child.Sync()
+		rs.putTask(child)
+		as.emit(evstream.Ctl(evstream.OpRestore))
+		if rs.tracer != nil {
+			rs.tracer.Restore()
+		}
+		return
+	}
 	if rs.sp == nil { // DetectorOff, serial
 		child := rs.getTask()
 		f(child)
@@ -327,6 +392,15 @@ func (t *Task) Sync() {
 	if rs.tracer != nil && t.tracePending {
 		rs.tracer.Sync()
 	}
+	if as := rs.async; as != nil {
+		// Only strand-creating syncs travel the stream; tracePending
+		// mirrors frame.Pending for exactly this purpose.
+		if t.tracePending {
+			as.emit(evstream.Ctl(evstream.OpSync))
+		}
+		t.tracePending = false
+		return
+	}
 	t.tracePending = false
 	if rs.sp == nil {
 		return
@@ -346,7 +420,11 @@ func (t *Task) Load(b *Buffer, i int) {
 	}
 	addr, size := b.Addr(i), uint64(b.ElemBytes())
 	if rs.hooks {
-		rs.engine.ReadHook(addr, size)
+		if as := rs.async; as != nil {
+			as.emit(evstream.Access(evstream.OpRead, addr, size))
+		} else {
+			rs.engine.ReadHook(addr, size)
+		}
 	}
 	if rs.tracer != nil {
 		rs.tracer.Read(addr, size)
@@ -361,7 +439,11 @@ func (t *Task) Store(b *Buffer, i int) {
 	}
 	addr, size := b.Addr(i), uint64(b.ElemBytes())
 	if rs.hooks {
-		rs.engine.WriteHook(addr, size)
+		if as := rs.async; as != nil {
+			as.emit(evstream.Access(evstream.OpWrite, addr, size))
+		} else {
+			rs.engine.WriteHook(addr, size)
+		}
 	}
 	if rs.tracer != nil {
 		rs.tracer.Write(addr, size)
@@ -378,7 +460,11 @@ func (t *Task) LoadRange(b *Buffer, i, n int) {
 	}
 	addr, _ := b.Range(i, n)
 	if rs.hooks {
-		rs.engine.ReadRangeHook(addr, n, uint64(b.ElemBytes()))
+		if as := rs.async; as != nil {
+			as.emit(evstream.Range(evstream.OpReadRange, addr, n, uint64(b.ElemBytes())))
+		} else {
+			rs.engine.ReadRangeHook(addr, n, uint64(b.ElemBytes()))
+		}
 	}
 	if rs.tracer != nil {
 		rs.tracer.ReadRange(addr, n, uint64(b.ElemBytes()))
@@ -393,7 +479,11 @@ func (t *Task) StoreRange(b *Buffer, i, n int) {
 	}
 	addr, _ := b.Range(i, n)
 	if rs.hooks {
-		rs.engine.WriteRangeHook(addr, n, uint64(b.ElemBytes()))
+		if as := rs.async; as != nil {
+			as.emit(evstream.Range(evstream.OpWriteRange, addr, n, uint64(b.ElemBytes())))
+		} else {
+			rs.engine.WriteRangeHook(addr, n, uint64(b.ElemBytes()))
+		}
 	}
 	if rs.tracer != nil {
 		rs.tracer.WriteRange(addr, n, uint64(b.ElemBytes()))
@@ -405,7 +495,11 @@ func (t *Task) StoreRange(b *Buffer, i, n int) {
 func (t *Task) LoadAt(addr Addr, size uint64) {
 	rs := t.rs
 	if rs.hooks {
-		rs.engine.ReadHook(addr, size)
+		if as := rs.async; as != nil {
+			as.emit(evstream.Access(evstream.OpRead, addr, size))
+		} else {
+			rs.engine.ReadHook(addr, size)
+		}
 	}
 	if rs.tracer != nil {
 		rs.tracer.Read(addr, size)
@@ -416,7 +510,11 @@ func (t *Task) LoadAt(addr Addr, size uint64) {
 func (t *Task) StoreAt(addr Addr, size uint64) {
 	rs := t.rs
 	if rs.hooks {
-		rs.engine.WriteHook(addr, size)
+		if as := rs.async; as != nil {
+			as.emit(evstream.Access(evstream.OpWrite, addr, size))
+		} else {
+			rs.engine.WriteHook(addr, size)
+		}
 	}
 	if rs.tracer != nil {
 		rs.tracer.Write(addr, size)
