@@ -20,11 +20,13 @@ bench:
 
 # Hot-path microbenchmarks only: the open-addressed page directory vs the
 # seed's Go map, slab-pooled vs heap-allocated treap nodes, the async event
-# ring, and the sync-vs-async per-access hook cost.
+# ring plus the shard router's page-split/fan-out path, the sync-vs-async
+# per-access hook cost, and the sharded main-table measurement.
 bench-hot:
 	$(GO) test -run '^$$' -bench 'BenchmarkTreapInsert|BenchmarkShadowDirectory' -benchmem ./internal/core ./internal/shadow
-	$(GO) test -run '^$$' -bench 'BenchmarkRing' -benchmem ./internal/evstream
+	$(GO) test -run '^$$' -bench 'BenchmarkRing|BenchmarkMsgRing|BenchmarkShardRouter' -benchmem ./internal/evstream
 	$(GO) test -run '^$$' -bench 'BenchmarkHookOverhead' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkFig5Sharded' -benchtime 10x -benchmem .
 
 # Machine-readable benchmark snapshot: one JSON line per benchmark, written
 # to BENCH_<date>.json. Compare two snapshots with scripts/benchdiff.sh diff.

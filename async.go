@@ -34,17 +34,22 @@ const (
 // ring on the mutator side, and the consumer's results, published before
 // done closes and read only after drain returns.
 type asyncState struct {
-	ring  *evstream.Ring
-	batch []evstream.Event
-	done  chan struct{}
+	ring     *evstream.Ring
+	batch    []evstream.Event
+	batchCap int // immutable copy of the batch capacity for the consumer side
+	done     chan struct{}
 	// Written by the consumer goroutine, read after <-done.
 	strands int
 	stats   Stats
+	races   []Race
+	// Sharded-pipeline utilization split (consumeSharded only).
+	seqBusy   time.Duration
+	shardBusy []time.Duration
 }
 
 func newAsyncState(ringDepth, batchEvents int) *asyncState {
 	ring := evstream.NewRing(ringDepth, batchEvents)
-	return &asyncState{ring: ring, batch: ring.Get(), done: make(chan struct{})}
+	return &asyncState{ring: ring, batch: ring.Get(), batchCap: batchEvents, done: make(chan struct{})}
 }
 
 // emit appends one event to the working batch, publishing it when full.
@@ -85,10 +90,19 @@ type consumeFrame struct {
 // consume runs on the detector goroutine: it rebuilds SP-Order from the
 // structure events and feeds the access events to the engine, in stream
 // order, exactly as the inline path interleaves them. newEngine is the
-// Runner's test seam (nil outside tests).
-func (as *asyncState) consume(cfg detect.Config, newEngine func(detect.Config, *spord.SP) detect.Engine) {
+// Runner's test seam (nil outside tests). maxRec and user mirror the
+// Options fields; the consumer owns the canonical race collector because
+// the sequential ranks live on its SP structure.
+func (as *asyncState) consume(cfg detect.Config, newEngine func(detect.Config, *spord.SP) detect.Engine, maxRec int, user func(Race)) {
 	defer close(as.done)
 	sp := spord.New()
+	col := newRaceCollector(maxRec)
+	cfg.OnRace = func(race Race) {
+		col.add(sp.SeqRank(race.Cur), race)
+		if user != nil {
+			user(race)
+		}
+	}
 	var engine detect.Engine
 	if newEngine != nil {
 		engine = newEngine(cfg, sp)
@@ -136,4 +150,5 @@ func (as *asyncState) consume(cfg detect.Config, newEngine func(detect.Config, *
 	as.strands = sp.StrandCount()
 	as.stats = *engine.Stats()
 	as.stats.PipelineDetectTime = busy
+	as.races = col.sorted()
 }

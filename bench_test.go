@@ -8,6 +8,7 @@ package stint_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"stint"
 	"stint/workloads"
@@ -120,6 +121,34 @@ func BenchmarkFig5Async(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%v", wl.name, mode), func(b *testing.B) {
 				rep := runDetectionOpts(b, wl.f, stint.Options{Detector: mode, Async: true})
 				b.ReportMetric(float64(rep.Stats.PipelineDetectTime.Nanoseconds())/1e6, "detect-busy-ms")
+			})
+		}
+	}
+}
+
+// BenchmarkFig5Sharded repeats the Figure 5 measurement with detection
+// partitioned across 4 page-sharded workers (Options.DetectShards). Beyond
+// the headline ns/op it reports the utilization split: detect-busy-ms sums
+// the workers, seq-busy-ms is the sequencer's labeling-and-routing time,
+// and max-shard-ms is the busiest worker — the sharded pipeline's
+// multi-core critical path. On a single core the workers timeshare, so
+// compare max-shard-ms against BenchmarkFig5Async's detect-busy-ms for the
+// parallelism headroom rather than expecting a wall-clock win.
+func BenchmarkFig5Sharded(b *testing.B) {
+	modes := []stint.Detector{stint.DetectorCompRTS, stint.DetectorSTINT}
+	for _, wl := range benchFactories() {
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("%s/%v", wl.name, mode), func(b *testing.B) {
+				rep := runDetectionOpts(b, wl.f, stint.Options{Detector: mode, Async: true, DetectShards: 4})
+				b.ReportMetric(float64(rep.Stats.PipelineDetectTime.Nanoseconds())/1e6, "detect-busy-ms")
+				b.ReportMetric(float64(rep.SequencerBusy.Nanoseconds())/1e6, "seq-busy-ms")
+				var max time.Duration
+				for _, d := range rep.ShardBusy {
+					if d > max {
+						max = d
+					}
+				}
+				b.ReportMetric(float64(max.Nanoseconds())/1e6, "max-shard-ms")
 			})
 		}
 	}

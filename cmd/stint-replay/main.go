@@ -6,6 +6,7 @@
 //
 //	stint-replay -detector stint trace.bin
 //	stint-replay -detector vanilla -races 20 trace.bin
+//	stint-replay -detector stint -shards 4 trace.bin
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"stint"
+	"stint/internal/cliutil"
 	"stint/trace"
 )
 
@@ -23,19 +25,21 @@ func main() {
 		detector = flag.String("detector", "stint", "detector mode for the replay")
 		races    = flag.Int("races", 10, "max races to print")
 		timing   = flag.Bool("timing", false, "measure access-history time separately")
+		async    = flag.Bool("async", false, "replay through the pipelined detector (decoder and detector on separate goroutines)")
+		shards   = flag.Int("shards", 0, "partition pipelined detection across N workers by shadow page (implies -async; comp+rts and stint variants only)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: stint-replay [flags] TRACEFILE")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *detector, *races, *timing); err != nil {
+	if err := run(flag.Arg(0), *detector, *races, *timing, *async, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "stint-replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, detector string, maxRaces int, timing bool) error {
+func run(path, detector string, maxRaces int, timing, async bool, shards int) error {
 	mode, err := stint.ParseDetector(detector)
 	if err != nil {
 		return err
@@ -50,11 +54,20 @@ func run(path, detector string, maxRaces int, timing bool) error {
 		Detector:          mode,
 		MaxRacesRecorded:  maxRaces,
 		TimeAccessHistory: timing,
+		Async:             async,
+		Shards:            shards,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("replayed %s under %v in %v\n", path, mode, time.Since(start).Round(time.Microsecond))
+	pipe := ""
+	if async || shards > 0 {
+		pipe = " (async pipeline)"
+		if shards > 0 {
+			pipe = fmt.Sprintf(" (async pipeline, %d detection shards)", shards)
+		}
+	}
+	fmt.Printf("replayed %s under %v%s in %v\n", path, mode, pipe, time.Since(start).Round(time.Microsecond))
 	fmt.Printf("strands    %d\n", rep.Strands)
 	fmt.Printf("accesses   read %d  write %d\n", rep.Stats.ReadAccesses, rep.Stats.WriteAccesses)
 	if rep.Stats.ReadIntervals+rep.Stats.WriteIntervals > 0 {
@@ -62,6 +75,9 @@ func run(path, detector string, maxRaces int, timing bool) error {
 	}
 	if timing {
 		fmt.Printf("access-history time %v\n", rep.Stats.AccessHistoryTime.Round(time.Microsecond))
+	}
+	for _, line := range cliutil.PipelineReport(rep) {
+		fmt.Println(line)
 	}
 	if rep.Racy() {
 		fmt.Printf("RACES: %d found\n", rep.RaceCount)

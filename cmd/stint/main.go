@@ -4,6 +4,7 @@
 // Usage:
 //
 //	stint -workload mmul -detector stint [-scale 2] [-races 10] [-timing]
+//	      [-async] [-shards N]
 //
 // Detectors: off, reach, vanilla, compiler, comp+rts, stint,
 // stint-unbalanced, stint-skiplist.
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"stint"
+	"stint/internal/cliutil"
 	"stint/trace"
 	"stint/workloads"
 )
@@ -31,6 +33,7 @@ func main() {
 		races      = flag.Int("races", 10, "max races to print")
 		timing     = flag.Bool("timing", false, "measure access-history time separately")
 		async      = flag.Bool("async", false, "pipeline detection on a dedicated goroutine (overlaps compute with the access history)")
+		shards     = flag.Int("shards", 0, "partition pipelined detection across N workers by shadow page (implies -async; comp+rts and stint variants only)")
 		traceOut   = flag.String("trace-out", "", "record the execution to this trace file (replay with stint-replay)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the detection run to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
@@ -49,7 +52,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(*workload, *detector, *scale, *races, *timing, *async, *traceOut)
+	err := run(*workload, *detector, *scale, *races, *timing, *async || *shards > 0, *shards, *traceOut)
 	if *memProfile != "" {
 		if perr := writeMemProfile(*memProfile); perr != nil {
 			fmt.Fprintln(os.Stderr, "stint: memprofile:", perr)
@@ -71,7 +74,7 @@ func writeMemProfile(path string) error {
 	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
-func run(workload, detector string, scale, maxRaces int, timing, async bool, traceOut string) error {
+func run(workload, detector string, scale, maxRaces int, timing, async bool, shards int, traceOut string) error {
 	factory, err := workloads.ByName(workload, scale)
 	if err != nil {
 		return err
@@ -89,6 +92,7 @@ func run(workload, detector string, scale, maxRaces int, timing, async bool, tra
 		MaxRacesRecorded:  maxRaces,
 		TimeAccessHistory: timing,
 		Async:             async,
+		DetectShards:      shards,
 	}
 	var rec *trace.Recorder
 	if traceOut != "" {
@@ -109,6 +113,9 @@ func run(workload, detector string, scale, maxRaces int, timing, async bool, tra
 	pipe := ""
 	if async && mode != stint.DetectorOff {
 		pipe = ", async pipeline"
+		if shards > 0 {
+			pipe = fmt.Sprintf(", async pipeline, %d detection shards", shards)
+		}
 	}
 	fmt.Printf("%s (%s) under %v%s  [setup %v]\n", w.Name(), w.Params(), mode, pipe, time.Since(setupStart).Round(time.Millisecond))
 
@@ -148,9 +155,8 @@ func run(workload, detector string, scale, maxRaces int, timing, async bool, tra
 	if timing {
 		fmt.Printf("access-history time %v\n", st.AccessHistoryTime.Round(time.Microsecond))
 	}
-	if st.PipelineDetectTime > 0 {
-		fmt.Printf("detector-goroutine busy %v (of %v wall; multi-core floor is max of the two sides)\n",
-			st.PipelineDetectTime.Round(time.Microsecond), rep.WallTime.Round(time.Microsecond))
+	for _, line := range cliutil.PipelineReport(rep) {
+		fmt.Println(line)
 	}
 	fmt.Printf("heap allocs %d objects, %.1f KiB during the run\n",
 		st.AllocObjects, float64(st.AllocBytes)/1024)

@@ -3,6 +3,7 @@ package stint
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -155,6 +156,61 @@ func wordSetDiff(a, b map[Addr]bool) string {
 	return fmt.Sprintf("only-first=%v only-second=%v", onlyA, onlyB)
 }
 
+// reportFor runs the program under one detector and execution mode
+// (shards: -1 = synchronous, 0 = plain async, n > 0 = sharded async) and
+// returns the full Report, using the same tiny pipeline geometry as
+// racingWordsFor.
+func reportFor(t *testing.T, d Detector, shards int, acts []act) *Report {
+	t.Helper()
+	opts := Options{Detector: d, MaxRacesRecorded: 1 << 20}
+	if shards >= 0 {
+		opts.Async = true
+		opts.DetectShards = shards
+	}
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards >= 0 {
+		r.asyncBatchEvents, r.asyncRingDepth = 8, 2
+	}
+	bufs, _ := allocBufs(r)
+	rep, err := r.Run(func(task *Task) { runActs(task, bufs, acts) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// checkCanonicalReports asserts the satellite guarantee: the Report —
+// races in canonical order, counts, strands, deterministic stats — is
+// identical across sync, async, and (for supported detectors) shard counts
+// {1, 2, 4}.
+func checkCanonicalReports(t *testing.T, seed int64, d Detector, acts []act) {
+	t.Helper()
+	sync := reportFor(t, d, -1, acts)
+	modes := []int{0}
+	switch d {
+	case DetectorCompRTS, DetectorSTINT, DetectorSTINTUnbalanced, DetectorSTINTSkiplist:
+		modes = append(modes, 1, 2, 4)
+	}
+	for _, n := range modes {
+		got := reportFor(t, d, n, acts)
+		if got.RaceCount != sync.RaceCount || got.Strands != sync.Strands {
+			t.Fatalf("seed %d: %v shards=%d: RaceCount/Strands %d/%d, sync %d/%d\nprogram: %+v",
+				seed, d, n, got.RaceCount, got.Strands, sync.RaceCount, sync.Strands, acts)
+		}
+		if !reflect.DeepEqual(got.Races, sync.Races) {
+			t.Fatalf("seed %d: %v shards=%d: Races differ from sync\n got: %v\nsync: %v\nprogram: %+v",
+				seed, d, n, got.Races, sync.Races, acts)
+		}
+		if ns, ng := normStats(sync.Stats), normStats(got.Stats); ns != ng {
+			t.Fatalf("seed %d: %v shards=%d: stats differ\n got: %+v\nsync: %+v\nprogram: %+v",
+				seed, d, n, ng, ns, acts)
+		}
+	}
+}
+
 func checkEquivalence(t *testing.T, seed int64, acts []act) {
 	t.Helper()
 	want := oracleWordsFor(t, acts)
@@ -182,6 +238,8 @@ func checkEquivalence(t *testing.T, seed int64, acts []act) {
 					seed, d, w, acts)
 			}
 		}
+		// Full-report identity across execution modes and shard counts.
+		checkCanonicalReports(t, seed, d, acts)
 	}
 }
 

@@ -1,95 +1,139 @@
 package stint
 
 import (
+	"reflect"
 	"testing"
 )
 
+// fuzzWideElems sizes the fuzz-only "wide" buffer: 128 KiB of words, so it
+// straddles at least one 64 KiB shadow-page boundary and range accesses on
+// it exercise the sharded router's page splitting.
+const fuzzWideElems = 32768
+
+// fuzzAllocBufs allocates the equivalence suite's buffers plus the wide
+// one. Only the fuzzer uses the wide buffer — the oracle-backed tests keep
+// the small set so brute-force stays cheap.
+func fuzzAllocBufs(r *Runner) ([]*Buffer, []int) {
+	bufs, sizes := allocBufs(r)
+	bufs = append(bufs, r.Arena().Alloc("wide", fuzzWideElems, 4))
+	sizes = append(sizes, fuzzWideElems)
+	return bufs, sizes
+}
+
 // FuzzAsyncAgainstSync decodes arbitrary bytes into a fork-join program
-// and pipeline geometry, runs it once synchronously and once through the
-// async pipeline, and requires identical racing-word sets, strand counts,
-// and (timing-normalized) stats. Tiny batch capacities and ring depths
-// force the batch-boundary edge cases: events split across batches, empty
-// final batches, backpressure stalls, and drain while a strand's accesses
-// are still buffered.
+// and pipeline geometry — batch capacity, ring depth, and a detection
+// shard count — runs it once synchronously, once through the plain async
+// pipeline, and (when the shard byte asks for it) once sharded, and
+// requires identical racing-word sets, canonical race reports, strand
+// counts, and (timing-normalized) stats. Tiny batch capacities and ring
+// depths force the batch-boundary edge cases: events split across batches,
+// empty final batches, backpressure stalls, and drain while a strand's
+// accesses are still buffered. Shard counts above one additionally force
+// page-split routing and cross-worker merge.
 func FuzzAsyncAgainstSync(f *testing.F) {
 	f.Add([]byte{})
-	// Geometry 1x1 (max handoffs), racy spawn/store/store/sync.
-	f.Add([]byte{0x00, 0x00, 0x00, 0x03, 0x00, 0x05, 0x01, 0x04, 0x00, 0x05, 0x02})
-	// Range accesses split across 2-event batches.
-	f.Add([]byte{0x01, 0x01, 0x00, 0x05, 0x01, 0x00, 0x20, 0x01, 0x06, 0x01, 0x10, 0x30, 0x02})
+	// Geometry 1x1 (max handoffs), unsharded, racy spawn/store/store/sync.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x03, 0x00, 0x05, 0x01, 0x04, 0x00, 0x05, 0x02})
+	// Range accesses split across 2-event batches, 2 shards.
+	f.Add([]byte{0x01, 0x01, 0x02, 0x00, 0x05, 0x01, 0x00, 0x00, 0x00, 0x20, 0x01, 0x06, 0x01, 0x00, 0x10, 0x00, 0x30, 0x02})
 	// Drain mid-strand: spawn body never terminated, accesses buffered at
 	// stream end.
-	f.Add([]byte{0x02, 0x00, 0x00, 0x04, 0x02, 0x07, 0x03, 0x00, 0x01})
+	f.Add([]byte{0x02, 0x00, 0x00, 0x00, 0x04, 0x02, 0x07, 0x03, 0x00, 0x01})
 	// Deep nesting with interleaved syncs.
-	f.Add([]byte{0x03, 0x01, 0x00, 0x00, 0x00, 0x04, 0x01, 0x02, 0x01, 0x02, 0x01, 0x04, 0x02, 0x08, 0x02})
+	f.Add([]byte{0x03, 0x01, 0x00, 0x00, 0x00, 0x00, 0x04, 0x01, 0x02, 0x01, 0x02, 0x01, 0x04, 0x02, 0x08, 0x02})
+	// Cross-shard racy pair: two strands write the same 128 KiB span of the
+	// wide buffer, so the racing pieces land on different shards.
+	f.Add([]byte{0x01, 0x01, 0x02, 0x00, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x01, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x02})
+	// All-events-one-page skew: 4 shards but every access on one page, so a
+	// single worker carries the whole load and the others drain empty.
+	f.Add([]byte{0x00, 0x00, 0x04, 0x00, 0x04, 0x00, 0x05, 0x01, 0x04, 0x00, 0x05, 0x02})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 4096 {
 			return // keep individual executions fast
 		}
-		prog, batchEvents, ringDepth := decodeFuzzProgram(data)
+		prog, batchEvents, ringDepth, shards := decodeFuzzProgram(data)
 
 		type result struct {
 			words   map[Addr]bool
+			races   []Race
 			strands int
 			stats   Stats
 		}
-		run := func(async bool) result {
+		// mode: -1 = synchronous, 0 = plain async, n > 0 = n-sharded async.
+		run := func(mode int) result {
 			words := make(map[Addr]bool)
-			r, err := NewRunner(Options{Detector: DetectorSTINT, Async: async, OnRace: func(rc Race) {
+			opts := Options{Detector: DetectorSTINT, OnRace: func(rc Race) {
 				for a := rc.Addr &^ 3; a < rc.Addr+rc.Size; a += 4 {
 					words[a] = true
 				}
-			}})
+			}}
+			if mode >= 0 {
+				opts.Async = true
+				opts.DetectShards = mode
+			}
+			r, err := NewRunner(opts)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if async {
+			if mode >= 0 {
 				r.asyncBatchEvents, r.asyncRingDepth = batchEvents, ringDepth
 			}
-			bufs, _ := allocBufs(r)
+			bufs, _ := fuzzAllocBufs(r)
 			rep, err := r.Run(func(task *Task) { runActs(task, bufs, prog) })
 			if err != nil {
 				t.Fatal(err)
 			}
-			st := rep.Stats
-			st.AccessHistoryTime, st.AllocObjects, st.AllocBytes, st.PipelineDetectTime = 0, 0, 0, 0
-			return result{words: words, strands: rep.Strands, stats: st}
+			return result{words: words, races: rep.Races, strands: rep.Strands, stats: normStats(rep.Stats)}
 		}
 
-		sync := run(false)
-		async := run(true)
-		if async.strands != sync.strands {
-			t.Fatalf("strands: async %d, sync %d (batch=%d depth=%d)\nprogram: %+v",
-				async.strands, sync.strands, batchEvents, ringDepth, prog)
-		}
-		if async.stats != sync.stats {
-			t.Fatalf("stats diverge (batch=%d depth=%d)\nasync: %+v\nsync:  %+v\nprogram: %+v",
-				batchEvents, ringDepth, async.stats, sync.stats, prog)
-		}
-		if len(async.words) != len(sync.words) {
-			t.Fatalf("racing words: async %d, sync %d\nprogram: %+v", len(async.words), len(sync.words), prog)
-		}
-		for w := range sync.words {
-			if !async.words[w] {
-				t.Fatalf("async missed racing word %#x\nprogram: %+v", w, prog)
+		sync := run(-1)
+		check := func(name string, got result) {
+			if got.strands != sync.strands {
+				t.Fatalf("strands: %s %d, sync %d (batch=%d depth=%d shards=%d)\nprogram: %+v",
+					name, got.strands, sync.strands, batchEvents, ringDepth, shards, prog)
 			}
+			if got.stats != sync.stats {
+				t.Fatalf("stats diverge (%s, batch=%d depth=%d shards=%d)\n%s: %+v\nsync:  %+v\nprogram: %+v",
+					name, batchEvents, ringDepth, shards, name, got.stats, sync.stats, prog)
+			}
+			if !reflect.DeepEqual(got.races, sync.races) {
+				t.Fatalf("canonical races diverge (%s, batch=%d depth=%d shards=%d)\n%s: %v\nsync:  %v\nprogram: %+v",
+					name, batchEvents, ringDepth, shards, name, got.races, sync.races, prog)
+			}
+			if len(got.words) != len(sync.words) {
+				t.Fatalf("racing words: %s %d, sync %d\nprogram: %+v", name, len(got.words), len(sync.words), prog)
+			}
+			for w := range sync.words {
+				if !got.words[w] {
+					t.Fatalf("%s missed racing word %#x\nprogram: %+v", name, w, prog)
+				}
+			}
+		}
+		check("async", run(0))
+		if shards > 0 {
+			check("sharded", run(shards))
 		}
 	})
 }
 
-// decodeFuzzProgram turns raw bytes into (program, batchEvents, ringDepth).
-// The first two bytes pick a tiny pipeline geometry; the rest is a
+// decodeFuzzProgram turns raw bytes into (program, batchEvents, ringDepth,
+// shards). The first three bytes pick a tiny pipeline geometry — shards of
+// zero means "compare the plain async pipeline only" — and the rest is a
 // byte-code for act programs. Every input decodes to a valid program — the
 // fuzzer explores program shapes, not parser rejections.
-func decodeFuzzProgram(data []byte) ([]act, int, int) {
-	batchEvents, ringDepth := 1, 1
+func decodeFuzzProgram(data []byte) ([]act, int, int, int) {
+	batchEvents, ringDepth, shards := 1, 1, 0
 	if len(data) > 0 {
 		batchEvents = int(data[0]%16) + 1
 		data = data[1:]
 	}
 	if len(data) > 0 {
 		ringDepth = int(data[0]%4) + 1
+		data = data[1:]
+	}
+	if len(data) > 0 {
+		shards = int(data[0] % 5)
 		data = data[1:]
 	}
 	pos := 0
@@ -101,11 +145,14 @@ func decodeFuzzProgram(data []byte) ([]act, int, int) {
 		pos++
 		return b, true
 	}
-	// sizes must match bufSpecs (shared with the equivalence suite).
-	sizes := make([]int, len(bufSpecs))
+	// sizes must match fuzzAllocBufs: the equivalence suite's buffers plus
+	// the multi-page wide buffer. Range acts use 16-bit index and count so
+	// they can reach — and straddle — the wide buffer's page boundaries.
+	sizes := make([]int, len(bufSpecs), len(bufSpecs)+1)
 	for i, s := range bufSpecs {
 		sizes[i] = s.elems
 	}
+	sizes = append(sizes, fuzzWideElems)
 	var parse func(depth int) []act
 	parse = func(depth int) []act {
 		var acts []act
@@ -132,20 +179,22 @@ func decodeFuzzProgram(data []byte) ([]act, int, int) {
 					kind: map[byte]byte{3: 'l', 4: 's'}[b%8],
 					buf:  buf, idx: int(ii) % sizes[buf],
 				})
-			case 5, 6: // range load/store
+			case 5, 6: // range load/store (16-bit index and count)
 				bi, _ := next()
-				ii, _ := next()
-				ni, _ := next()
+				i1, _ := next()
+				i2, _ := next()
+				n1, _ := next()
+				n2, _ := next()
 				buf := int(bi) % len(sizes)
-				idx := int(ii) % sizes[buf]
+				idx := (int(i1)<<8 | int(i2)) % sizes[buf]
 				acts = append(acts, act{
 					kind: map[byte]byte{5: 'L', 6: 'W'}[b%8],
-					buf:  buf, idx: idx, n: int(ni)%(sizes[buf]-idx) + 1,
+					buf:  buf, idx: idx, n: (int(n1)<<8|int(n2))%(sizes[buf]-idx) + 1,
 				})
 			case 7: // no-op (reserved)
 			}
 		}
 		return acts
 	}
-	return parse(0), batchEvents, ringDepth
+	return parse(0), batchEvents, ringDepth, shards
 }

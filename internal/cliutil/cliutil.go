@@ -1,0 +1,53 @@
+// Package cliutil holds output helpers shared by the stint command-line
+// tools, so the live-run and replay binaries describe pipeline behavior in
+// the same words and the same arithmetic.
+package cliutil
+
+import (
+	"fmt"
+	"time"
+
+	"stint"
+)
+
+// pct formats part as a percentage of whole, guarding division by zero.
+func pct(part, whole time.Duration) string {
+	if whole <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(part)/float64(whole))
+}
+
+// PipelineReport renders the async pipeline's utilization readout: the
+// detector side's busy time against the run's wall time and, for sharded
+// runs, the sequencer/worker split. It returns nil for synchronous runs
+// (no pipeline, nothing to report).
+//
+// On a single core the pipeline cannot beat the synchronous run — the busy
+// figures then say how much detection work would overlap with compute once
+// cores are available, which is why the lines spell out the "max of the
+// two sides" floor instead of promising a speedup.
+func PipelineReport(rep *stint.Report) []string {
+	st := rep.Stats
+	if st.PipelineDetectTime <= 0 {
+		return nil
+	}
+	if rep.ShardBusy == nil {
+		return []string{fmt.Sprintf(
+			"detector-goroutine busy %v of %v wall (%s; multi-core floor is max of the two sides)",
+			st.PipelineDetectTime.Round(time.Microsecond),
+			rep.WallTime.Round(time.Microsecond),
+			pct(st.PipelineDetectTime, rep.WallTime))}
+	}
+	lines := []string{fmt.Sprintf(
+		"sharded detection: %d workers busy %v total of %v wall (sequencer busy %v; multi-core floor is max of any side)",
+		len(rep.ShardBusy),
+		st.PipelineDetectTime.Round(time.Microsecond),
+		rep.WallTime.Round(time.Microsecond),
+		rep.SequencerBusy.Round(time.Microsecond))}
+	for i, busy := range rep.ShardBusy {
+		lines = append(lines, fmt.Sprintf("  shard %d busy %v (%s of detect work)",
+			i, busy.Round(time.Microsecond), pct(busy, st.PipelineDetectTime)))
+	}
+	return lines
+}

@@ -1,0 +1,66 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"stint"
+)
+
+func TestPipelineReportSyncRunIsSilent(t *testing.T) {
+	if lines := PipelineReport(&stint.Report{}); lines != nil {
+		t.Fatalf("expected no lines for a synchronous run, got %v", lines)
+	}
+}
+
+func TestPipelineReportAsync(t *testing.T) {
+	rep := &stint.Report{WallTime: 10 * time.Millisecond}
+	rep.Stats.PipelineDetectTime = 5 * time.Millisecond
+	lines := PipelineReport(rep)
+	if len(lines) != 1 {
+		t.Fatalf("want 1 line, got %v", lines)
+	}
+	if !strings.Contains(lines[0], "detector-goroutine busy") || !strings.Contains(lines[0], "50%") {
+		t.Errorf("unexpected line: %q", lines[0])
+	}
+}
+
+func TestPipelineReportSharded(t *testing.T) {
+	rep := &stint.Report{WallTime: 10 * time.Millisecond, SequencerBusy: 2 * time.Millisecond}
+	rep.ShardBusy = []time.Duration{3 * time.Millisecond, time.Millisecond}
+	rep.Stats.PipelineDetectTime = 4 * time.Millisecond
+	lines := PipelineReport(rep)
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 worker lines, got %v", lines)
+	}
+	if !strings.Contains(lines[0], "2 workers") || !strings.Contains(lines[0], "sequencer busy 2ms") {
+		t.Errorf("unexpected header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "shard 0") || !strings.Contains(lines[1], "75%") {
+		t.Errorf("unexpected worker line: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "shard 1") || !strings.Contains(lines[2], "25%") {
+		t.Errorf("unexpected worker line: %q", lines[2])
+	}
+}
+
+func TestPipelineReportFromRealShardedRun(t *testing.T) {
+	r, err := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT, Async: true, DetectShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := r.Arena().AllocWords("b", 1<<17)
+	rep, err := r.Run(func(task *stint.Task) {
+		task.Spawn(func(c *stint.Task) { c.StoreRange(buf, 0, 1<<17) })
+		task.LoadRange(buf, 0, 1<<17)
+		task.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := PipelineReport(rep)
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines from a 2-shard run, got %v", lines)
+	}
+}

@@ -26,8 +26,18 @@ import (
 	"stint/internal/pagedir"
 )
 
+// PageBytesBits is the log2 of the shadow-page size in bytes. Flush never
+// merges intervals across a page boundary, so every reported interval is
+// contained in one page — the invariant the sharded pipeline's page-hash
+// router and the per-page access history both rely on. It matches the
+// shadow-table page size.
+const PageBytesBits = 16
+
+// PageBytes is the shadow-page size in bytes (1 << PageBytesBits).
+const PageBytes = 1 << PageBytesBits
+
 const (
-	pageBytesBits = 16
+	pageBytesBits = PageBytesBits
 	wordBits      = 2
 	pageWordBits  = pageBytesBits - wordBits
 	pageWords     = 1 << pageWordBits
@@ -197,12 +207,16 @@ func sortOrdered[T uint64 | int32](s []T) {
 	slices.Sort(s)
 }
 
-// Flush reports every maximal interval of set words in address order as
-// (startByteAddr, byteLen) and clears the structure for the next strand.
-// It returns the total number of distinct words that were set, i.e. the
-// strand's deduplicated footprint. All pages are retired to the freelist on
-// the way out: their bits are zero again, so the next strand can reuse them
-// for any page index without reinitialization.
+// Flush reports every maximal page-contained interval of set words in
+// address order as (startByteAddr, byteLen) and clears the structure for
+// the next strand. Runs are merged across slot boundaries within a page but
+// never across a page boundary: an access straddling pages is reported as
+// one interval per page, so every interval can be routed to — and its
+// history kept by — a single shadow page. It returns the total number of
+// distinct words that were set, i.e. the strand's deduplicated footprint.
+// All pages are retired to the freelist on the way out: their bits are zero
+// again, so the next strand can reuse them for any page index without
+// reinitialization.
 func (b *BitSet) Flush(emit func(start mem.Addr, size uint64)) (words uint64) {
 	if len(b.touched) == 0 {
 		return 0
@@ -241,6 +255,12 @@ func (b *BitSet) Flush(emit func(start mem.Addr, size uint64)) (words uint64) {
 		}
 		p.touched = p.touched[:0]
 		p.inList = false
+		// Page boundary: emit the pending run rather than letting it merge
+		// with the next page's first run.
+		if havePending {
+			emit(pendStart<<wordBits, (pendEnd-pendStart)<<wordBits)
+			havePending = false
+		}
 	}
 	if havePending {
 		emit(pendStart<<wordBits, (pendEnd-pendStart)<<wordBits)

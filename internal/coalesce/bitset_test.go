@@ -30,7 +30,9 @@ func (n naiveSet) setRange(addr, size uint64) {
 	}
 }
 
-// intervalsOf converts the naive set to maximal word intervals in order.
+// intervalsOf converts the naive set to maximal page-contained word
+// intervals in order, mirroring Flush's contract: runs never cross a
+// 64 KiB page boundary.
 func (n naiveSet) intervals() [][2]uint64 {
 	if len(n) == 0 {
 		return nil
@@ -44,19 +46,26 @@ func (n naiveSet) intervals() [][2]uint64 {
 			max = w
 		}
 	}
+	const pageWords = 1 << (pageBytesBits - wordBits)
 	var out [][2]uint64
 	var start uint64
 	in := false
+	flush := func(end uint64) {
+		out = append(out, [2]uint64{start << 2, (end - start) << 2})
+		in = false
+	}
 	for w := min; w <= max+1; w++ {
+		if in && w%pageWords == 0 {
+			flush(w)
+		}
 		if n[w] && !in {
 			start, in = w, true
 		} else if !n[w] && in {
-			out = append(out, [2]uint64{start << 2, (w - start) << 2})
-			in = false
+			flush(w)
 		}
 	}
 	if in {
-		out = append(out, [2]uint64{start << 2, (max + 1 - start) << 2})
+		flush(max + 1)
 	}
 	return out
 }
@@ -138,12 +147,13 @@ func TestMergeAcrossSlotBoundary(t *testing.T) {
 	compare(t, ivs, [][2]uint64{{62 * 4, 16}})
 }
 
-func TestMergeAcrossPageBoundary(t *testing.T) {
+func TestSplitAtPageBoundary(t *testing.T) {
 	b := New()
 	pageBytes := uint64(1) << pageBytesBits
 	b.SetRange(pageBytes-8, 16) // straddles two pages
 	ivs, _ := flushAll(b)
-	compare(t, ivs, [][2]uint64{{pageBytes - 8, 16}})
+	// Flush never merges across a page boundary: one interval per page.
+	compare(t, ivs, [][2]uint64{{pageBytes - 8, 8}, {pageBytes, 8}})
 	if b.Pages() != 2 {
 		t.Fatalf("Pages() = %d, want 2", b.Pages())
 	}
@@ -151,10 +161,15 @@ func TestMergeAcrossPageBoundary(t *testing.T) {
 
 func TestLargeRangeSpanningManyPages(t *testing.T) {
 	b := New()
-	size := uint64(3) << pageBytesBits // three full pages
+	pageBytes := uint64(1) << pageBytesBits
+	size := 3 * pageBytes // three full pages
 	b.SetRange(0x10000, size)
 	ivs, words := flushAll(b)
-	compare(t, ivs, [][2]uint64{{0x10000, size}})
+	compare(t, ivs, [][2]uint64{
+		{0x10000, pageBytes},
+		{0x10000 + pageBytes, pageBytes},
+		{0x10000 + 2*pageBytes, pageBytes},
+	})
 	if words != size/4 {
 		t.Fatalf("words = %d, want %d", words, size/4)
 	}

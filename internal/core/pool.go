@@ -46,6 +46,20 @@ func (p *nodePool) get() *node {
 	return n
 }
 
+// Pool is a shareable treap-node slab allocator. Many trees (e.g. the
+// per-page read/write treaps of one detector engine) can draw from one Pool
+// via NewTreeIn, so the 512-node chunk granularity is amortized across the
+// whole page directory instead of paid per tree. A Pool is single-owner:
+// trees sharing it must belong to the same goroutine — in the sharded
+// pipeline each shard worker owns one Pool, with zero cross-shard
+// synchronization.
+type Pool struct {
+	nodePool
+}
+
+// NewPool returns an empty Pool.
+func NewPool() *Pool { return &Pool{} }
+
 // put retires a node that has been unlinked from the tree. Links are
 // cleared so a pooled node can never lead back into live structure.
 func (p *nodePool) put(n *node) {

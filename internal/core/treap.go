@@ -23,9 +23,10 @@ type Stats struct {
 	Overlaps     uint64 // overlapping stored intervals across all operations
 }
 
-// Tree is a non-overlapping interval treap. The zero value is an empty tree
-// with randomized (deterministically seeded) priorities; use SetBalancing to
-// turn priorities off and degrade to a plain BST for ablation runs.
+// Tree is a non-overlapping interval treap with randomized
+// (deterministically seeded) priorities; use SetBalancing to turn
+// priorities off and degrade to a plain BST for ablation runs. Construct
+// trees with NewTree (private node pool) or NewTreeIn (shared pool).
 type Tree struct {
 	root  *node
 	size  int
@@ -33,12 +34,20 @@ type Tree struct {
 	unbal bool // when true, skip rotations (plain BST ablation)
 	fresh []*node
 	work  []slot // reusable InsertRead worklist
-	pool  nodePool
+	pool  *Pool
 	stats Stats
 }
 
-// NewTree returns an empty tree seeded deterministically.
-func NewTree() *Tree { return &Tree{rng: 0x9E3779B97F4A7C15} }
+// NewTree returns an empty tree seeded deterministically, with its own
+// node pool.
+func NewTree() *Tree { return NewTreeIn(NewPool()) }
+
+// NewTreeIn returns an empty tree seeded deterministically that draws its
+// nodes from the given shared pool. Because every tree starts from the same
+// seed and the priority stream is a per-tree field, tree shapes depend only
+// on each tree's own insertion sequence — not on pool sharing — which keeps
+// per-page trees byte-identical across shard counts.
+func NewTreeIn(pool *Pool) *Tree { return &Tree{rng: 0x9E3779B97F4A7C15, pool: pool} }
 
 // SetBalancing enables (default) or disables treap rotations. Disabling
 // turns the structure into an unbalanced BST, used by the "any balanced BST

@@ -1,0 +1,182 @@
+package depa
+
+import (
+	"math/rand"
+	"testing"
+
+	"stint/internal/spord"
+)
+
+// twin drives a spord.SP and a depa.Builder through the same fork-join
+// program, mirroring the event-stream producer's contract: Sync is only
+// issued for blocks with outstanding spawns, and every child is synced
+// before it returns.
+type twin struct {
+	sp     *spord.SP
+	b      *Builder
+	frames []spord.Frame
+	conts  []*spord.Strand
+}
+
+func newTwin() *twin {
+	return &twin{sp: spord.New(), b: NewBuilder(), frames: make([]spord.Frame, 1)}
+}
+
+func (tw *twin) spawn() {
+	_, cont := tw.sp.Spawn(&tw.frames[len(tw.frames)-1])
+	tw.conts = append(tw.conts, cont)
+	tw.frames = append(tw.frames, spord.Frame{})
+	if got, want := tw.b.Spawn(), tw.sp.CurrentID(); got != want {
+		panic("twin: spawn id mismatch")
+	}
+}
+
+func (tw *twin) sync() {
+	f := &tw.frames[len(tw.frames)-1]
+	if !f.Pending() {
+		return // producer elides strand-free syncs
+	}
+	tw.sp.Sync(f)
+	tw.b.Sync()
+}
+
+func (tw *twin) restore() {
+	tw.sync() // implicit child sync before returning
+	tw.frames = tw.frames[:len(tw.frames)-1]
+	cont := tw.conts[len(tw.conts)-1]
+	tw.conts = tw.conts[:len(tw.conts)-1]
+	tw.sp.Restore(cont)
+	tw.b.Restore()
+}
+
+// run executes a random program of n steps, then joins everything.
+func (tw *twin) run(rng *rand.Rand, steps, maxDepth int) {
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(6) {
+		case 0, 1, 2:
+			if len(tw.frames) <= maxDepth {
+				tw.spawn()
+			}
+		case 3:
+			tw.sync()
+		default:
+			if len(tw.frames) > 1 {
+				tw.restore()
+			}
+		}
+	}
+	for len(tw.frames) > 1 {
+		tw.restore()
+	}
+	tw.sync() // final root sync, as Run issues
+}
+
+func (tw *twin) check(t *testing.T, seed int64) {
+	t.Helper()
+	n := tw.sp.StrandCount()
+	if got := tw.b.StrandCount(); got != n {
+		t.Fatalf("seed %d: StrandCount: depa %d, spord %d", seed, got, n)
+	}
+	v := tw.b.View()
+	if got := v.StrandCount(); got != n {
+		t.Fatalf("seed %d: View.StrandCount: %d, want %d", seed, got, n)
+	}
+	for a := int32(0); a < int32(n); a++ {
+		if got, want := v.SeqRank(a), tw.sp.SeqRank(a); got != want {
+			t.Fatalf("seed %d: SeqRank(%d): depa %d, spord %d", seed, a, got, want)
+		}
+		for b := int32(0); b < int32(n); b++ {
+			sa, sb := tw.sp.Strand(a), tw.sp.Strand(b)
+			if got, want := v.Precedes(a, b), spord.Series(sa, sb); got != want {
+				t.Fatalf("seed %d: Precedes(%d,%d): depa %v, spord %v", seed, a, b, got, want)
+			}
+			if got, want := v.Parallel(a, b), tw.sp.Parallel(a, b); got != want {
+				t.Fatalf("seed %d: Parallel(%d,%d): depa %v, spord %v", seed, a, b, got, want)
+			}
+			if got, want := v.LeftOf(a, b), tw.sp.LeftOf(a, b); got != want {
+				t.Fatalf("seed %d: LeftOf(%d,%d): depa %v, spord %v", seed, a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestPrecedesAgainstSpordRandomDAGs differentially verifies the whole
+// label algebra — Precedes, Parallel, LeftOf, SeqRank — against SP-Order
+// over every strand pair of randomized fork-join programs.
+func TestPrecedesAgainstSpordRandomDAGs(t *testing.T) {
+	seeds := 120
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		tw := newTwin()
+		tw.run(rng, 30+rng.Intn(70), 2+rng.Intn(5))
+		tw.check(t, int64(seed))
+	}
+}
+
+// TestPrecedesDeepNarrowPrograms stresses long fork paths (deep spawn
+// chains) and many sync blocks in one task.
+func TestPrecedesDeepNarrowPrograms(t *testing.T) {
+	// Deep chain: spawn 40 levels, then unwind.
+	tw := newTwin()
+	for i := 0; i < 40; i++ {
+		tw.spawn()
+	}
+	for len(tw.frames) > 1 {
+		tw.restore()
+	}
+	tw.sync()
+	tw.check(t, -1)
+
+	// Wide: many sibling spawns across several sync blocks of the root.
+	tw = newTwin()
+	for blk := 0; blk < 5; blk++ {
+		for s := 0; s < 6; s++ {
+			tw.spawn()
+			tw.restore()
+		}
+		tw.sync()
+	}
+	tw.check(t, -2)
+}
+
+// TestViewSnapshotStability verifies that a View taken mid-build keeps
+// answering correctly (for the strands it covers) while the Builder grows —
+// the property the sharded pipeline relies on.
+func TestViewSnapshotStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tw := newTwin()
+	tw.run(rng, 40, 4)
+	v := tw.b.View()
+	n := int32(v.StrandCount())
+	type answer struct{ prec, par, left bool }
+	saved := make(map[[2]int32]answer)
+	for a := int32(0); a < n; a++ {
+		for b := int32(0); b < n; b++ {
+			saved[[2]int32{a, b}] = answer{v.Precedes(a, b), v.Parallel(a, b), v.LeftOf(a, b)}
+		}
+	}
+	tw.run(rng, 60, 4) // keep building past the snapshot
+	for k, want := range saved {
+		got := answer{v.Precedes(k[0], k[1]), v.Parallel(k[0], k[1]), v.LeftOf(k[0], k[1])}
+		if got != want {
+			t.Fatalf("View answer for %v changed after Builder grew: %+v vs %+v", k, got, want)
+		}
+	}
+}
+
+func BenchmarkPrecedes(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	tw := newTwin()
+	tw.run(rng, 400, 6)
+	v := tw.b.View()
+	n := int32(v.StrandCount())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := int32(i) % n
+		c := int32(i*7) % n
+		v.Parallel(a, c)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"stint/internal/coalesce"
 	"stint/internal/core"
 	"stint/internal/mem"
+	"stint/internal/pagedir"
 	"stint/internal/skiplist"
 )
 
@@ -28,34 +29,52 @@ const (
 	treeBackendSkiplist
 )
 
+// histPage is one shadow page's interval access history: the paper's §4
+// observation that the two interval stores are independent per 64 KiB page.
+// Keeping the history per page (rather than one global pair of trees) is
+// what makes page-hash sharding exact: a shard that owns a page owns every
+// interval that can ever overlap intervals of that page, because coalesce
+// never emits an interval crossing a page boundary.
+type histPage struct {
+	read, write store
+}
+
 // treeEngine is STINT: compile-time and runtime coalescing feeding an
 // interval-granularity access history. Hooks only set bits; at strand end
 // the deduplicated intervals are checked and inserted:
 //
-//   - each read interval is checked against the write tree (a parallel last
-//     writer is a race) and inserted into the read tree, where the left-of
-//     relation decides which reader survives on overlap;
-//   - each write interval is checked against the read tree (a parallel
-//     leftmost reader is a race) and inserted into the write tree, reporting
-//     every displaced parallel writer as a race.
+//   - each read interval is checked against the page's write store (a
+//     parallel last writer is a race) and inserted into the page's read
+//     store, where the left-of relation decides which reader survives on
+//     overlap;
+//   - each write interval is checked against the page's read store (a
+//     parallel leftmost reader is a race) and inserted into the write
+//     store, reporting every displaced parallel writer as a race.
+//
+// Every page's stores are deterministically seeded, so the shape of each
+// page's treap depends only on that page's own insertion sequence — the
+// property the sharded equivalence suite checks byte-for-byte.
 type treeEngine struct {
 	stats     Stats
 	reach     Reach
 	onRace    func(Race)
 	timeAH    bool
+	backend   treeBackend
 	readBits  *coalesce.BitSet
 	writeBits *coalesce.BitSet
-	readHist  store
-	writeHist store
+	pages     pagedir.Dir[histPage]
+	pool      *core.Pool // node slabs shared by every page's trees
+	lastIdx   uint64
+	lastPage  *histPage
 	leftOf    core.LeftOfFunc
 	scratch   []span
 
 	// Per-flush state and preallocated callbacks: the overlap callbacks
 	// capture the engine, not the strand, so flushing allocates nothing.
 	curID         int32
-	readQueryCB   core.OverlapFunc // write-tree overlap vs a read interval
-	writeQueryCB  core.OverlapFunc // read-tree overlap vs a write interval
-	writeInsertCB core.OverlapFunc // write-tree overlap vs a write interval
+	readQueryCB   core.OverlapFunc // write-store overlap vs a read interval
+	writeQueryCB  core.OverlapFunc // read-store overlap vs a write interval
+	writeInsertCB core.OverlapFunc // write-store overlap vs a write interval
 }
 
 func newTreeEngine(cfg Config, reach Reach, backend treeBackend) *treeEngine {
@@ -63,19 +82,12 @@ func newTreeEngine(cfg Config, reach Reach, backend treeBackend) *treeEngine {
 		reach:     reach,
 		onRace:    cfg.OnRace,
 		timeAH:    cfg.TimeAccessHistory,
+		backend:   backend,
 		readBits:  coalesce.New(),
 		writeBits: coalesce.New(),
 	}
-	switch backend {
-	case treeBackendTreap:
-		e.readHist, e.writeHist = core.NewTree(), core.NewTree()
-	case treeBackendBST:
-		rt, wt := core.NewTree(), core.NewTree()
-		rt.SetBalancing(false)
-		wt.SetBalancing(false)
-		e.readHist, e.writeHist = rt, wt
-	case treeBackendSkiplist:
-		e.readHist, e.writeHist = skiplist.New(), skiplist.New()
+	if backend != treeBackendSkiplist {
+		e.pool = core.NewPool()
 	}
 	e.leftOf = reach.LeftOf
 	e.readQueryCB = func(acc int32, lo, hi uint64) {
@@ -94,6 +106,32 @@ func newTreeEngine(cfg Config, reach Reach, backend treeBackend) *treeEngine {
 		}
 	}
 	return e
+}
+
+// pageFor returns the history for the page containing byte index idx<<16,
+// creating its stores on first touch.
+func (e *treeEngine) pageFor(idx uint64) *histPage {
+	if e.lastPage != nil && idx == e.lastIdx {
+		return e.lastPage
+	}
+	p := e.pages.Get(idx)
+	if p == nil {
+		p = &histPage{}
+		switch e.backend {
+		case treeBackendTreap:
+			p.read, p.write = core.NewTreeIn(e.pool), core.NewTreeIn(e.pool)
+		case treeBackendBST:
+			rt, wt := core.NewTreeIn(e.pool), core.NewTreeIn(e.pool)
+			rt.SetBalancing(false)
+			wt.SetBalancing(false)
+			p.read, p.write = rt, wt
+		case treeBackendSkiplist:
+			p.read, p.write = skiplist.New(), skiplist.New()
+		}
+		e.pages.Put(idx, p)
+	}
+	e.lastIdx, e.lastPage = idx, p
+	return p
 }
 
 func (e *treeEngine) race(r Race) {
@@ -130,7 +168,9 @@ func (e *treeEngine) WriteRangeHook(addr mem.Addr, count int, elemBytes uint64) 
 }
 
 // StrandEnd flushes both bit hashmaps and runs the interval-granularity
-// race checks and access-history updates for the finishing strand.
+// race checks and access-history updates for the finishing strand. Each
+// flushed interval is contained in one page (coalesce splits at page
+// boundaries), so it touches exactly one page's stores.
 func (e *treeEngine) StrandEnd() {
 	e.curID = e.reach.CurrentID()
 
@@ -148,9 +188,10 @@ func (e *treeEngine) StrandEnd() {
 			t0 = time.Now()
 		}
 		for _, s := range e.scratch {
+			pg := e.pageFor(s.addr >> coalesce.PageBytesBits)
 			iv := core.Interval{Start: s.addr, End: s.addr + s.size, Acc: e.curID}
-			e.writeHist.Query(iv, e.readQueryCB)
-			e.readHist.InsertRead(iv, e.leftOf, nil)
+			pg.write.Query(iv, e.readQueryCB)
+			pg.read.InsertRead(iv, e.leftOf, nil)
 		}
 		if e.timeAH {
 			e.stats.AccessHistoryTime += time.Since(t0)
@@ -172,9 +213,10 @@ func (e *treeEngine) StrandEnd() {
 			t0 = time.Now()
 		}
 		for _, s := range e.scratch {
+			pg := e.pageFor(s.addr >> coalesce.PageBytesBits)
 			iv := core.Interval{Start: s.addr, End: s.addr + s.size, Acc: e.curID}
-			e.readHist.Query(iv, e.writeQueryCB)
-			e.writeHist.InsertWrite(iv, e.writeInsertCB)
+			pg.read.Query(iv, e.writeQueryCB)
+			pg.write.InsertWrite(iv, e.writeInsertCB)
 		}
 		if e.timeAH {
 			e.stats.AccessHistoryTime += time.Since(t0)
@@ -191,18 +233,30 @@ func (e *treeEngine) collect(bits *coalesce.BitSet) {
 
 func (e *treeEngine) Finish() {
 	e.StrandEnd()
-	rs, ws := e.readHist.Stats(), e.writeHist.Stats()
-	e.stats.TreapOps = rs.Ops + ws.Ops
-	e.stats.TreapNodesVisited = rs.NodesVisited + ws.NodesVisited
-	e.stats.TreapOverlaps = rs.Overlaps + ws.Overlaps
+	var agg core.Stats
+	var stored int
+	e.pages.Range(func(_ uint64, p *histPage) {
+		rs, ws := p.read.Stats(), p.write.Stats()
+		agg.Ops += rs.Ops + ws.Ops
+		agg.NodesVisited += rs.NodesVisited + ws.NodesVisited
+		agg.Overlaps += rs.Overlaps + ws.Overlaps
+		stored += p.read.Size() + p.write.Size()
+	})
+	e.stats.TreapOps = agg.Ops
+	e.stats.TreapNodesVisited = agg.NodesVisited
+	e.stats.TreapOverlaps = agg.Overlaps
 	// Approximate footprint: one node per stored interval.
-	e.stats.AccessHistoryBytes = uint64(e.readHist.Size()+e.writeHist.Size()) * 48
+	e.stats.AccessHistoryBytes = uint64(stored) * 48
 }
 
 func (e *treeEngine) Stats() *Stats { return &e.stats }
 
-// HistorySizes reports the number of intervals currently stored in the read
-// and write histories (used by the skiplist-vs-treap ablation).
+// HistorySizes reports the number of intervals currently stored across all
+// pages' read and write histories (used by the skiplist-vs-treap ablation).
 func (e *treeEngine) HistorySizes() (read, write int) {
-	return e.readHist.Size(), e.writeHist.Size()
+	e.pages.Range(func(_ uint64, p *histPage) {
+		read += p.read.Size()
+		write += p.write.Size()
+	})
+	return read, write
 }

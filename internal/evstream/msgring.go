@@ -1,0 +1,117 @@
+package evstream
+
+import "sync"
+
+// MsgRing is a bounded SPSC queue of messages of any type, with an
+// integrated free list for message reuse. It is the shard-fan-out sibling
+// of Ring: the sequencer publishes per-shard batch messages (events plus a
+// label snapshot), each shard worker consumes from its own MsgRing, and
+// consumed messages cycle back to the producer through Recycle/GetFree so a
+// steady-state pipeline allocates a fixed set of messages per shard.
+//
+// The same SPSC discipline applies: exactly one producer goroutine may call
+// Publish/Close/GetFree and exactly one consumer may call Next/Recycle.
+type MsgRing[M any] struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	buf      []M
+	head     int // index of the oldest published message
+	count    int // published, not yet consumed
+	closed   bool
+	free     []M
+	stats    Stats
+}
+
+// NewMsgRing returns a ring holding at most depth in-flight messages.
+func NewMsgRing[M any](depth int) *MsgRing[M] {
+	if depth < 1 {
+		depth = 1
+	}
+	r := &MsgRing[M]{buf: make([]M, depth)}
+	r.notEmpty.L = &r.mu
+	r.notFull.L = &r.mu
+	return r
+}
+
+// GetFree pops a recycled message for the producer to refill. ok is false
+// when the free list is empty, in which case the producer builds a fresh
+// message.
+func (r *MsgRing[M]) GetFree() (m M, ok bool) {
+	r.mu.Lock()
+	if n := len(r.free); n > 0 {
+		m, ok = r.free[n-1], true
+		var zero M
+		r.free[n-1] = zero
+		r.free = r.free[:n-1]
+		r.stats.BatchesReused++
+	}
+	r.mu.Unlock()
+	return m, ok
+}
+
+// Publish appends m to the ring, blocking while the ring is full
+// (backpressure on the sequencer). Publishing on a closed ring panics.
+func (r *MsgRing[M]) Publish(m M) {
+	r.mu.Lock()
+	for r.count == len(r.buf) && !r.closed {
+		r.stats.ProducerWaits++
+		r.notFull.Wait()
+	}
+	if r.closed {
+		r.mu.Unlock()
+		panic("evstream: Publish on closed MsgRing")
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = m
+	r.count++
+	r.stats.BatchesPublished++
+	r.notEmpty.Signal()
+	r.mu.Unlock()
+}
+
+// Close marks the stream complete. The consumer drains the remaining
+// messages and then Next reports ok=false.
+func (r *MsgRing[M]) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.notEmpty.Signal()
+	r.notFull.Signal()
+	r.mu.Unlock()
+}
+
+// Next pops the oldest published message, blocking while the ring is empty
+// and not closed. ok is false once the ring is closed and drained.
+func (r *MsgRing[M]) Next() (m M, ok bool) {
+	r.mu.Lock()
+	for r.count == 0 && !r.closed {
+		r.stats.ConsumerWaits++
+		r.notEmpty.Wait()
+	}
+	if r.count == 0 {
+		r.mu.Unlock()
+		return m, false
+	}
+	m = r.buf[r.head]
+	var zero M
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	r.notFull.Signal()
+	r.mu.Unlock()
+	return m, true
+}
+
+// Recycle returns a consumed message to the free list for GetFree. The
+// free list is bounded by depth+1 messages; extras are dropped for the
+// garbage collector.
+func (r *MsgRing[M]) Recycle(m M) {
+	r.mu.Lock()
+	if len(r.free) <= len(r.buf) {
+		r.free = append(r.free, m)
+	}
+	r.mu.Unlock()
+}
+
+// Stats returns the ring's activity counters. Call only after the pipeline
+// has drained.
+func (r *MsgRing[M]) Stats() Stats { return r.stats }

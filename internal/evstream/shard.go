@@ -1,0 +1,69 @@
+package evstream
+
+// OpStrand marks a strand boundary on a per-shard stream: every access
+// event since the previous OpStrand (on that stream) belongs to the strand
+// whose ID the event carries. The sequencer appends it only to shards that
+// received events from the strand, after those events, so each shard sees
+// exactly the page-local slice of every strand's footprint in serial strand
+// order.
+const OpStrand Op = 8
+
+// StrandMark builds an OpStrand event for the given strand ID.
+func StrandMark(id int32) Event {
+	return Event{word: uint64(OpStrand), addr: uint64(uint32(id))}
+}
+
+// StrandID returns the strand ID of an OpStrand event.
+func (e Event) StrandID() int32 { return int32(uint32(e.addr)) }
+
+// PageSplit decomposes an access or range event into page-contained access
+// events, invoking emit with the page index and piece for each. Events
+// already inside one page pass through unchanged (ranges are still
+// converted to plain access events — for runtime-coalescing detectors the
+// two hook kinds update the same bits, which is why sharding is restricted
+// to them). A zero-sized access is emitted once, on its base address's
+// page, so per-shard hook-call counts still account for it. It returns the
+// number of pieces emitted.
+func PageSplit(ev Event, pageBits uint, emit func(page uint64, piece Event)) int {
+	op := ev.EvOp()
+	addr := ev.Addr()
+	var size uint64
+	switch op {
+	case OpRead, OpWrite:
+		size = ev.Size()
+	case OpReadRange:
+		op, size = OpRead, uint64(ev.Count())*ev.Elem()
+	case OpWriteRange:
+		op, size = OpWrite, uint64(ev.Count())*ev.Elem()
+	default:
+		panic("evstream: PageSplit on a non-access event")
+	}
+	pageBytes := uint64(1) << pageBits
+	if size == 0 {
+		emit(addr>>pageBits, Access(op, addr, 0))
+		return 1
+	}
+	pieces := 0
+	for size > 0 {
+		page := addr >> pageBits
+		n := pageBytes - addr&(pageBytes-1) // bytes left on this page
+		if n > size {
+			n = size
+		}
+		emit(page, Access(op, addr, n))
+		addr += n
+		size -= n
+		pieces++
+	}
+	return pieces
+}
+
+// PickShard maps a page index to one of n shards with a Fibonacci
+// multiplicative hash, so that consecutive pages spread across shards
+// instead of striping with the address layout.
+func PickShard(page uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int((page * 0x9E3779B97F4A7C15 >> 33) % uint64(n))
+}

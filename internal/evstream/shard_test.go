@@ -1,0 +1,259 @@
+package evstream
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func collectSplit(ev Event, pageBits uint) (pages []uint64, pieces []Event) {
+	PageSplit(ev, pageBits, func(page uint64, piece Event) {
+		pages = append(pages, page)
+		pieces = append(pieces, piece)
+	})
+	return
+}
+
+func TestPageSplitWithinPagePassesThrough(t *testing.T) {
+	ev := Access(OpRead, 0x1000, 64)
+	pages, pieces := collectSplit(ev, 16)
+	if len(pieces) != 1 || pages[0] != 0 || pieces[0] != ev {
+		t.Fatalf("got pages %v pieces %v", pages, pieces)
+	}
+}
+
+func TestPageSplitStraddle(t *testing.T) {
+	const pageBytes = 1 << 16
+	ev := Access(OpWrite, pageBytes-8, 16)
+	pages, pieces := collectSplit(ev, 16)
+	if len(pieces) != 2 {
+		t.Fatalf("want 2 pieces, got %v", pieces)
+	}
+	if pages[0] != 0 || pieces[0].Addr() != pageBytes-8 || pieces[0].Size() != 8 {
+		t.Fatalf("piece 0 wrong: page %d addr %#x size %d", pages[0], pieces[0].Addr(), pieces[0].Size())
+	}
+	if pages[1] != 1 || pieces[1].Addr() != pageBytes || pieces[1].Size() != 8 {
+		t.Fatalf("piece 1 wrong: page %d addr %#x size %d", pages[1], pieces[1].Addr(), pieces[1].Size())
+	}
+}
+
+func TestPageSplitRangeBecomesAccesses(t *testing.T) {
+	const pageBytes = 1 << 16
+	// 3 full pages starting mid-page: 4 pieces, converted to OpWrite.
+	ev := Range(OpWriteRange, pageBytes/2, 3*pageBytes/8, 8)
+	pages, pieces := collectSplit(ev, 16)
+	if len(pieces) != 4 {
+		t.Fatalf("want 4 pieces, got %d: %v", len(pieces), pieces)
+	}
+	var total uint64
+	for i, p := range pieces {
+		if p.EvOp() != OpWrite {
+			t.Fatalf("piece %d op = %d, want OpWrite", i, p.EvOp())
+		}
+		if p.Addr()>>16 != pages[i] {
+			t.Fatalf("piece %d addr %#x not on page %d", i, p.Addr(), pages[i])
+		}
+		if p.Addr()>>16 != (p.Addr()+p.Size()-1)>>16 {
+			t.Fatalf("piece %d crosses a page: addr %#x size %d", i, p.Addr(), p.Size())
+		}
+		total += p.Size()
+	}
+	if total != 3*pageBytes {
+		t.Fatalf("pieces cover %d bytes, want %d", total, 3*pageBytes)
+	}
+}
+
+func TestPageSplitZeroSize(t *testing.T) {
+	pages, pieces := collectSplit(Access(OpRead, 3<<16|0x40, 0), 16)
+	if len(pieces) != 1 || pages[0] != 3 || pieces[0].Size() != 0 {
+		t.Fatalf("zero-size: pages %v pieces %v", pages, pieces)
+	}
+}
+
+func TestPageSplitRandomCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		addr := rng.Uint64() % (1 << 20)
+		size := uint64(rng.Intn(1 << 18))
+		var ev Event
+		if i%2 == 0 {
+			ev = Access(OpRead, addr, size)
+		} else {
+			elem := uint64(rng.Intn(8) + 1)
+			ev = Range(OpReadRange, addr, int(size/elem), elem)
+			size = (size / elem) * elem
+		}
+		next := addr
+		var total uint64
+		PageSplit(ev, 16, func(page uint64, piece Event) {
+			if size > 0 && piece.Addr() != next {
+				t.Fatalf("pieces not contiguous: addr %#x, want %#x", piece.Addr(), next)
+			}
+			if piece.Addr()>>16 != page {
+				t.Fatalf("piece page mismatch")
+			}
+			next = piece.Addr() + piece.Size()
+			total += piece.Size()
+		})
+		if total != size {
+			t.Fatalf("pieces cover %d bytes, want %d", total, size)
+		}
+	}
+}
+
+func TestPickShardBoundsAndSpread(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		counts := make([]int, n)
+		for page := uint64(0); page < 4096; page++ {
+			s := PickShard(page, n)
+			if s < 0 || s >= n {
+				t.Fatalf("PickShard(%d, %d) = %d out of range", page, n, s)
+			}
+			counts[s]++
+		}
+		for s, c := range counts {
+			if n > 1 && (c < 4096/n/2 || c > 4096/n*2) {
+				t.Fatalf("n=%d: shard %d got %d of 4096 pages (badly skewed): %v", n, s, c, counts)
+			}
+		}
+	}
+}
+
+func TestStrandMarkRoundTrip(t *testing.T) {
+	for _, id := range []int32{0, 1, 1 << 20, 1<<31 - 1} {
+		ev := StrandMark(id)
+		if ev.EvOp() != OpStrand || ev.StrandID() != id {
+			t.Fatalf("StrandMark(%d) round-trips to op %d id %d", id, ev.EvOp(), ev.StrandID())
+		}
+	}
+}
+
+func TestMsgRingOrderAndReuse(t *testing.T) {
+	type msg struct{ v int }
+	r := NewMsgRing[*msg](2)
+	const total = 100
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			m, ok := r.GetFree()
+			if !ok {
+				m = &msg{}
+			}
+			m.v = i
+			r.Publish(m)
+		}
+		r.Close()
+	}()
+	want := 0
+	for {
+		m, ok := r.Next()
+		if !ok {
+			break
+		}
+		if m.v != want {
+			t.Fatalf("got %d, want %d", m.v, want)
+		}
+		want++
+		r.Recycle(m)
+	}
+	wg.Wait()
+	if want != total {
+		t.Fatalf("consumed %d messages, want %d", want, total)
+	}
+	st := r.Stats()
+	if st.BatchesPublished != total {
+		t.Fatalf("BatchesPublished = %d, want %d", st.BatchesPublished, total)
+	}
+	if st.BatchesReused == 0 {
+		t.Fatal("free list never reused a message")
+	}
+}
+
+func TestMsgRingCloseDrains(t *testing.T) {
+	r := NewMsgRing[int](4)
+	r.Publish(1)
+	r.Publish(2)
+	r.Close()
+	if v, ok := r.Next(); !ok || v != 1 {
+		t.Fatalf("Next = %d, %v", v, ok)
+	}
+	if v, ok := r.Next(); !ok || v != 2 {
+		t.Fatalf("Next = %d, %v", v, ok)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("Next after drain reported ok")
+	}
+}
+
+// BenchmarkShardRouterSplit measures the page-split + shard-pick cost per
+// access event, the sequencer's per-event overhead.
+func BenchmarkShardRouterSplit(b *testing.B) {
+	evs := make([]Event, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := range evs {
+		evs[i] = Access(OpRead, rng.Uint64()%(1<<22), uint64(rng.Intn(256))&^3)
+	}
+	var sink int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PageSplit(evs[i%len(evs)], 16, func(page uint64, _ Event) {
+			sink += PickShard(page, 4)
+		})
+	}
+	_ = sink
+}
+
+// BenchmarkShardRouterFanout measures routing a batch into 4 per-shard
+// slices, approximating the sequencer inner loop without the rings.
+func BenchmarkShardRouterFanout(b *testing.B) {
+	evs := make([]Event, 4096)
+	rng := rand.New(rand.NewSource(2))
+	for i := range evs {
+		evs[i] = Access(OpWrite, rng.Uint64()%(1<<24), 8)
+	}
+	out := make([][]Event, 4)
+	for i := range out {
+		out[i] = make([]Event, 0, len(evs))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := range out {
+			out[s] = out[s][:0]
+		}
+		for _, ev := range evs {
+			PageSplit(ev, 16, func(page uint64, piece Event) {
+				s := PickShard(page, 4)
+				out[s] = append(out[s], piece)
+			})
+		}
+	}
+}
+
+// BenchmarkMsgRing measures the per-message handoff cost of the shard ring.
+func BenchmarkMsgRing(b *testing.B) {
+	r := NewMsgRing[[]Event](8)
+	done := make(chan struct{})
+	go func() {
+		for {
+			m, ok := r.Next()
+			if !ok {
+				break
+			}
+			r.Recycle(m[:0])
+		}
+		close(done)
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, ok := r.GetFree()
+		if !ok {
+			m = make([]Event, 0, 64)
+		}
+		m = append(m, Access(OpRead, uint64(i), 8))
+		r.Publish(m)
+	}
+	r.Close()
+	<-done
+}

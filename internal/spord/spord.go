@@ -25,13 +25,21 @@ import "stint/internal/om"
 // lifetime of a detection run.
 type Strand struct {
 	id  int32
+	seq int32
 	eng *om.Node
 	heb *om.Node
 }
 
 // ID returns the strand's dense index: strands are numbered from 0 in
-// creation (= sequential execution) order.
+// creation order.
 func (s *Strand) ID() int32 { return s.id }
+
+// Seq returns the strand's sequential (English-order) rank: strands are
+// ranked from 0 in the order they become current, which for one serial
+// execution is the order their instructions run. Creation order differs —
+// a sync strand is created at the first spawn of its block but runs only
+// after the block's last child joins.
+func (s *Strand) Seq() int32 { return s.seq }
 
 // Frame holds the per-function-instance state SP-Order needs: the pending
 // sync strand of the current sync block, if any.
@@ -55,6 +63,7 @@ type SP struct {
 	strands []*Strand
 	slab    []Strand // unused tail of the newest slab chunk
 	cur     *Strand
+	seq     int32 // next sequential rank to hand out (see Strand.Seq)
 }
 
 // New returns an SP with a single root strand, which is also the current
@@ -62,8 +71,17 @@ type SP struct {
 func New() *SP {
 	sp := &SP{eng: om.NewList(), heb: om.NewList()}
 	root := sp.newStrand(sp.eng.InsertAfter(nil), sp.heb.InsertAfter(nil))
-	sp.cur = root
+	sp.makeCurrent(root)
 	return sp
+}
+
+// makeCurrent stamps s with the next sequential rank and makes it current.
+// Every strand becomes current exactly once, so ranks are dense and strictly
+// follow the serial execution order.
+func (sp *SP) makeCurrent(s *Strand) {
+	s.seq = sp.seq
+	sp.seq++
+	sp.cur = s
 }
 
 func (sp *SP) newStrand(eng, heb *om.Node) *Strand {
@@ -108,13 +126,13 @@ func (sp *SP) Spawn(f *Frame) (child, continuation *Strand) {
 		syncHeb := sp.heb.InsertAfter(childHeb)
 		f.sync = sp.newStrand(syncEng, syncHeb)
 	}
-	sp.cur = child
+	sp.makeCurrent(child)
 	return child, continuation
 }
 
 // Restore makes the continuation strand current again after a spawned
 // child's serial execution has returned.
-func (sp *SP) Restore(continuation *Strand) { sp.cur = continuation }
+func (sp *SP) Restore(continuation *Strand) { sp.makeCurrent(continuation) }
 
 // Sync ends the current sync block of frame f. If the block had spawns, the
 // reserved sync strand becomes current; otherwise Sync is a no-op (a sync
@@ -122,8 +140,9 @@ func (sp *SP) Restore(continuation *Strand) { sp.cur = continuation }
 // strand after the sync.
 func (sp *SP) Sync(f *Frame) *Strand {
 	if f.sync != nil {
-		sp.cur = f.sync
+		s := f.sync
 		f.sync = nil
+		sp.makeCurrent(s)
 	}
 	return sp.cur
 }
@@ -176,3 +195,7 @@ func (sp *SP) Parallel(a, b int32) bool {
 func (sp *SP) LeftOf(a, b int32) bool {
 	return LeftOf(sp.strands[a], sp.strands[b])
 }
+
+// SeqRank returns the sequential rank of the strand with the given ID
+// (see Strand.Seq).
+func (sp *SP) SeqRank(id int32) int32 { return sp.strands[id].seq }

@@ -1,0 +1,150 @@
+// Canonical race recording. Every execution mode — inline, pipelined,
+// sharded — funnels its race reports through a raceCollector, which keeps
+// the MaxRacesRecorded smallest races under one total order and returns
+// them sorted. The order is a property of the program, not of the engine's
+// traversal: races are keyed first by the sequential rank of the later
+// access's strand (the serial-execution moment the race becomes
+// observable), then by the remaining fields as tie-breakers. Report.Races
+// is therefore byte-identical across sync, async, and every shard count.
+
+package stint
+
+// keyedRace pairs a race with the sequential rank of its Cur strand. Ranks
+// come from spord (sync/async) or a depa.View (sharded) — the differential
+// tests pin the two to agree.
+type keyedRace struct {
+	seq int32
+	r   Race
+}
+
+// raceKeyLess is the canonical total order on race reports. Within one
+// strand the read-phase checks run before the write-phase checks, so
+// CurWrite=false sorts first; address, size, and the previous access break
+// the remaining ties. Two reports with equal keys are identical races (a
+// redundant-interval store can legitimately report the same pair twice).
+func raceKeyLess(a, b keyedRace) bool {
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	if a.r.CurWrite != b.r.CurWrite {
+		return !a.r.CurWrite
+	}
+	if a.r.Addr != b.r.Addr {
+		return a.r.Addr < b.r.Addr
+	}
+	if a.r.Size != b.r.Size {
+		return a.r.Size < b.r.Size
+	}
+	if a.r.PrevWrite != b.r.PrevWrite {
+		return !a.r.PrevWrite
+	}
+	return a.r.Prev < b.r.Prev
+}
+
+// raceCollector keeps the max smallest-keyed races seen so far in a binary
+// max-heap (h[0] holds the largest retained key), so a run reporting far
+// more races than MaxRacesRecorded costs O(log max) per report and no
+// allocation beyond the bounded heap.
+type raceCollector struct {
+	max int
+	h   []keyedRace
+}
+
+func newRaceCollector(max int) *raceCollector {
+	return &raceCollector{max: max}
+}
+
+func (c *raceCollector) add(seq int32, r Race) {
+	c.addKeyed(keyedRace{seq: seq, r: r})
+}
+
+func (c *raceCollector) addKeyed(kr keyedRace) {
+	if len(c.h) < c.max {
+		c.h = append(c.h, kr)
+		c.siftUp(len(c.h) - 1)
+		return
+	}
+	if c.max == 0 || !raceKeyLess(kr, c.h[0]) {
+		return
+	}
+	c.h[0] = kr
+	c.siftDown(0)
+}
+
+// mergeFrom folds another collector's retained races into this one.
+func (c *raceCollector) mergeFrom(o *raceCollector) {
+	for _, kr := range o.h {
+		c.addKeyed(kr)
+	}
+}
+
+func (c *raceCollector) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !raceKeyLess(c.h[p], c.h[i]) {
+			return
+		}
+		c.h[p], c.h[i] = c.h[i], c.h[p]
+		i = p
+	}
+}
+
+func (c *raceCollector) siftDown(i int) {
+	n := len(c.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && raceKeyLess(c.h[big], c.h[l]) {
+			big = l
+		}
+		if r < n && raceKeyLess(c.h[big], c.h[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		c.h[i], c.h[big] = c.h[big], c.h[i]
+		i = big
+	}
+}
+
+// sorted destructively extracts the retained races in ascending canonical
+// order.
+func (c *raceCollector) sorted() []Race {
+	n := len(c.h)
+	if n == 0 {
+		return nil
+	}
+	// Heap-sort in place: repeatedly move the max to the tail.
+	for end := n - 1; end > 0; end-- {
+		c.h[0], c.h[end] = c.h[end], c.h[0]
+		c.heapifyPrefix(end)
+	}
+	out := make([]Race, n)
+	for i, kr := range c.h {
+		out[i] = kr.r
+	}
+	c.h = nil
+	return out
+}
+
+// heapifyPrefix restores the max-heap property over h[:end] after the root
+// swap in sorted.
+func (c *raceCollector) heapifyPrefix(end int) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < end && raceKeyLess(c.h[big], c.h[l]) {
+			big = l
+		}
+		if r < end && raceKeyLess(c.h[big], c.h[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		c.h[i], c.h[big] = c.h[big], c.h[i]
+		i = big
+	}
+}

@@ -1,0 +1,255 @@
+package stint
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// shardTestDetectors are the detectors DetectShards supports.
+var shardTestDetectors = []Detector{
+	DetectorCompRTS, DetectorSTINT, DetectorSTINTUnbalanced, DetectorSTINTSkiplist,
+}
+
+// normStats zeroes the timing- and allocation-dependent fields so the
+// deterministic counters can be compared across execution modes.
+func normStats(s Stats) Stats {
+	s.AccessHistoryTime = 0
+	s.AllocObjects = 0
+	s.AllocBytes = 0
+	s.PipelineDetectTime = 0
+	return s
+}
+
+func TestNewRunnerShardValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		ok   bool
+	}{
+		{"negative", Options{Detector: DetectorSTINT, Async: true, DetectShards: -1}, false},
+		{"without async", Options{Detector: DetectorSTINT, DetectShards: 2}, false},
+		{"with parallel", Options{Detector: DetectorOff, Parallel: true, DetectShards: 2}, false},
+		{"with parallel and async", Options{Detector: DetectorOff, Parallel: true, Async: true, DetectShards: 2}, false},
+		{"vanilla", Options{Detector: DetectorVanilla, Async: true, DetectShards: 2}, false},
+		{"compiler", Options{Detector: DetectorCompiler, Async: true, DetectShards: 2}, false},
+		{"comp+rts", Options{Detector: DetectorCompRTS, Async: true, DetectShards: 2}, true},
+		{"stint", Options{Detector: DetectorSTINT, Async: true, DetectShards: 4}, true},
+		{"one shard", Options{Detector: DetectorSTINT, Async: true, DetectShards: 1}, true},
+		{"zero disables", Options{Detector: DetectorSTINT, Async: true, DetectShards: 0}, true},
+		{"off ignored", Options{Detector: DetectorOff, Async: true, DetectShards: 2}, true},
+		{"reach-only ignored", Options{Detector: DetectorReachOnly, Async: true, DetectShards: 2}, true},
+	}
+	for _, c := range cases {
+		_, err := NewRunner(c.opts)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected an error, got none", c.name)
+		}
+	}
+}
+
+// shardProgram writes from parallel strands across several shadow pages so
+// races, page splits, and cross-shard routing all occur.
+func shardProgram(pageStride int) func(r *Runner) TaskFunc {
+	return func(r *Runner) TaskFunc {
+		// Several buffers; the arena's 4 KiB padding keeps them on a mix of
+		// pages, and the big one spans multiple 64 KiB pages.
+		small := r.Arena().AllocWords("small", 512)
+		big := r.Arena().AllocWords("big", 64<<10) // 256 KiB: 4+ pages
+		return func(t *Task) {
+			for i := 0; i < 4; i++ {
+				i := i
+				t.Spawn(func(c *Task) {
+					c.StoreRange(small, i*64, 128)        // overlapping writes: races
+					c.StoreRange(big, i*pageStride, 9000) // page-straddling ranges
+					c.Load(small, i)
+					for j := 0; j < 40; j++ {
+						c.Store(big, i*pageStride+j*77)
+					}
+				})
+			}
+			t.Sync()
+			t.LoadRange(big, 0, 3*pageStride)
+		}
+	}
+}
+
+// runSharded executes prog under the given shard count (0 = plain async,
+// -1 = synchronous) and returns the report.
+func runSharded(t *testing.T, d Detector, shards int, prog func(r *Runner) TaskFunc) *Report {
+	t.Helper()
+	opts := Options{Detector: d, MaxRacesRecorded: 1 << 20}
+	if shards >= 0 {
+		opts.Async = true
+		opts.DetectShards = shards
+	}
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog(r)
+	rep, err := r.Run(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestShardedByteIdenticalReports is the tentpole's core guarantee: for
+// each supported detector, shard counts 1, 2, and 4 produce a Report —
+// races, counts, strands, deterministic stats — byte-identical to the
+// synchronous run.
+func TestShardedByteIdenticalReports(t *testing.T) {
+	prog := shardProgram(16 << 10)
+	for _, d := range shardTestDetectors {
+		sync := runSharded(t, d, -1, prog)
+		if sync.RaceCount == 0 {
+			t.Fatalf("%v: program produced no races; test is vacuous", d)
+		}
+		for _, n := range []int{1, 2, 4} {
+			got := runSharded(t, d, n, prog)
+			if got.RaceCount != sync.RaceCount {
+				t.Errorf("%v shards=%d: RaceCount %d, sync %d", d, n, got.RaceCount, sync.RaceCount)
+			}
+			if got.Strands != sync.Strands {
+				t.Errorf("%v shards=%d: Strands %d, sync %d", d, n, got.Strands, sync.Strands)
+			}
+			if !reflect.DeepEqual(got.Races, sync.Races) {
+				t.Errorf("%v shards=%d: Races differ\n got: %v\nsync: %v", d, n, got.Races, sync.Races)
+			}
+			if ns, ng := normStats(sync.Stats), normStats(got.Stats); ns != ng {
+				t.Errorf("%v shards=%d: stats differ\n got: %+v\nsync: %+v", d, n, ng, ns)
+			}
+		}
+	}
+}
+
+// TestShardedTinyBatchGeometries forces batch-boundary and backpressure
+// cases through both the main ring and the per-shard rings.
+func TestShardedTinyBatchGeometries(t *testing.T) {
+	prog := shardProgram(16 << 10)
+	sync := runSharded(t, DetectorSTINT, -1, prog)
+	for _, geom := range [][2]int{{1, 1}, {3, 2}, {7, 3}} {
+		r, err := NewRunner(Options{
+			Detector: DetectorSTINT, Async: true, DetectShards: 3,
+			MaxRacesRecorded: 1 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.asyncBatchEvents, r.asyncRingDepth = geom[0], geom[1]
+		body := prog(r)
+		rep, err := r.Run(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep.Races, sync.Races) || rep.Strands != sync.Strands ||
+			normStats(rep.Stats) != normStats(sync.Stats) {
+			t.Errorf("geometry %v: sharded run diverged from sync", geom)
+		}
+	}
+}
+
+// TestShardedUtilizationReadout checks the Report's sharded observability:
+// one busy figure per worker, summing to PipelineDetectTime, plus the
+// sequencer's own busy time.
+func TestShardedUtilizationReadout(t *testing.T) {
+	rep := runSharded(t, DetectorSTINT, 4, shardProgram(16<<10))
+	if len(rep.ShardBusy) != 4 {
+		t.Fatalf("ShardBusy has %d entries, want 4", len(rep.ShardBusy))
+	}
+	var sum time.Duration
+	for _, d := range rep.ShardBusy {
+		sum += d
+	}
+	if sum != rep.Stats.PipelineDetectTime {
+		t.Errorf("sum(ShardBusy) = %v, PipelineDetectTime = %v", sum, rep.Stats.PipelineDetectTime)
+	}
+	if rep.SequencerBusy == 0 {
+		t.Error("SequencerBusy not reported")
+	}
+}
+
+// TestShardedOnRaceDelivered checks every race still reaches the user
+// callback (in some order) before Run returns.
+func TestShardedOnRaceDelivered(t *testing.T) {
+	var calls int
+	r, err := NewRunner(Options{
+		Detector: DetectorSTINT, Async: true, DetectShards: 2,
+		MaxRacesRecorded: 1 << 20,
+		OnRace:           func(Race) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := shardProgram(16 << 10)(r)
+	rep, err := r.Run(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(calls) != rep.RaceCount {
+		t.Errorf("OnRace called %d times, RaceCount %d", calls, rep.RaceCount)
+	}
+}
+
+// TestShardedIgnoredForReachOnlyAndOff: DetectShards is accepted but inert
+// when there is no page-partitioned work.
+func TestShardedIgnoredForReachOnlyAndOff(t *testing.T) {
+	r, err := NewRunner(Options{Detector: DetectorReachOnly, Async: true, DetectShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(func(t *Task) {
+		t.Spawn(func(*Task) {})
+		t.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strands != 4 {
+		t.Errorf("Strands = %d, want 4", rep.Strands)
+	}
+	if rep.ShardBusy != nil {
+		t.Errorf("ShardBusy reported for an unsharded run: %v", rep.ShardBusy)
+	}
+
+	r, err = NewRunner(Options{Detector: DetectorOff, Async: true, DetectShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = r.Run(func(t *Task) { t.Spawn(func(*Task) {}); t.Sync() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Racy() {
+		t.Error("DetectorOff reported races")
+	}
+}
+
+// TestShardedMultipleRunsIndependent reuses one sharded Runner.
+func TestShardedMultipleRunsIndependent(t *testing.T) {
+	r, err := NewRunner(Options{Detector: DetectorSTINT, Async: true, DetectShards: 2, MaxRacesRecorded: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := r.Arena().AllocWords("x", 4096)
+	prog := func(t *Task) {
+		t.Spawn(func(c *Task) { c.StoreRange(buf, 0, 2048) })
+		t.StoreRange(buf, 1024, 2048)
+		t.Sync()
+	}
+	first, err := r.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Races, second.Races) || first.RaceCount != second.RaceCount {
+		t.Errorf("re-running changed the report: %d vs %d races", first.RaceCount, second.RaceCount)
+	}
+}

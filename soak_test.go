@@ -44,8 +44,12 @@ func soakRun(t *testing.T, acts []act, sizes []int, d Detector) *Report {
 }
 
 func soakRunMode(t *testing.T, acts []act, sizes []int, d Detector, async bool) *Report {
+	return soakRunShards(t, acts, sizes, d, async, 0)
+}
+
+func soakRunShards(t *testing.T, acts []act, sizes []int, d Detector, async bool, shards int) *Report {
 	t.Helper()
-	r, err := NewRunner(Options{Detector: d, MaxRacesRecorded: 1, Async: async})
+	r, err := NewRunner(Options{Detector: d, MaxRacesRecorded: 1, Async: async, DetectShards: shards})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,6 +105,38 @@ func TestSoakAsyncDeterminismAndSyncAgreement(t *testing.T) {
 			if norm(a.Stats) != norm(s.Stats) || a.Strands != s.Strands {
 				t.Fatalf("seed %d %v: async diverges from sync\nasync: %+v\nsync:  %+v",
 					seed, d, norm(a.Stats), norm(s.Stats))
+			}
+		}
+	}
+}
+
+func TestSoakShardedDeterminismAndSyncAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	// Sharded runs must be deterministic across repetitions (per-page state
+	// is owned by exactly one worker, so scheduling cannot change any
+	// counter) and must match the synchronous path on every deterministic
+	// counter, for every supported detector and shard count.
+	norm := func(s Stats) Stats {
+		s.AccessHistoryTime, s.AllocObjects, s.AllocBytes, s.PipelineDetectTime = 0, 0, 0, 0
+		return s
+	}
+	for seed := int64(30); seed < 34; seed++ {
+		acts, sizes := soakProgram(seed)
+		for _, d := range shardTestDetectors {
+			sync := soakRunMode(t, acts, sizes, d, false)
+			for _, n := range []int{1, 2, 4} {
+				a := soakRunShards(t, acts, sizes, d, true, n)
+				b := soakRunShards(t, acts, sizes, d, true, n)
+				if norm(a.Stats) != norm(b.Stats) || a.Strands != b.Strands || a.RaceCount != b.RaceCount {
+					t.Fatalf("seed %d %v shards=%d: nondeterministic sharded runs\n%+v\n%+v",
+						seed, d, n, a.Stats, b.Stats)
+				}
+				if norm(a.Stats) != norm(sync.Stats) || a.Strands != sync.Strands || a.RaceCount != sync.RaceCount {
+					t.Fatalf("seed %d %v shards=%d: sharded diverges from sync\nsharded: %+v\nsync:    %+v",
+						seed, d, n, norm(a.Stats), norm(sync.Stats))
+				}
 			}
 		}
 	}

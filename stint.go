@@ -126,6 +126,24 @@ type Options struct {
 	// under DetectorOff (there is nothing to pipeline) and is incompatible
 	// with Parallel.
 	Async bool
+	// DetectShards, when n > 0, spreads the detector side of the Async
+	// pipeline over n shard workers. A single sequencer goroutine consumes
+	// the event stream, stamps each strand with an immutable DePa-style
+	// reachability label (internal/depa), and routes every access event by
+	// shadow-page hash to one of n per-shard SPSC rings; each worker owns
+	// the access history for a disjoint set of 64 KiB pages — its own page
+	// directory, treap node pool, and coalescing buffers — and answers
+	// reachability from the read-only labels. Race reports, counts, and
+	// Stats are canonical: independent of n and identical to the
+	// synchronous path. OnRace may be invoked from any worker (serialized,
+	// but in no deterministic order across shard counts).
+	//
+	// Requires Async. Supported for the runtime-coalescing detectors
+	// (DetectorCompRTS and the STINT variants), whose hooks only update
+	// per-page state; rejected for DetectorVanilla/DetectorCompiler, and
+	// ignored for DetectorOff/DetectorReachOnly (nothing page-partitioned
+	// to shard). n = 1 runs the full sharded machinery with one worker.
+	DetectShards int
 	// Tracer, if set, receives every execution event (see Tracer); use
 	// stint/trace to record replayable traces. Incompatible with Parallel.
 	Tracer Tracer
@@ -165,6 +183,18 @@ func NewRunner(opts Options) (*Runner, error) {
 	if opts.MaxRacesRecorded == 0 {
 		opts.MaxRacesRecorded = 64
 	}
+	if opts.DetectShards < 0 {
+		return nil, fmt.Errorf("stint: DetectShards must be non-negative, got %d", opts.DetectShards)
+	}
+	if opts.DetectShards > 0 {
+		if !opts.Async {
+			return nil, errors.New("stint: DetectShards requires Async; sharding splits the pipelined detector")
+		}
+		switch opts.Detector {
+		case DetectorVanilla, DetectorCompiler:
+			return nil, fmt.Errorf("stint: DetectShards requires a runtime-coalescing detector (comp+rts or a stint variant), got %v", opts.Detector)
+		}
+	}
 	return &Runner{opts: opts, arena: mem.NewArena()}, nil
 }
 
@@ -176,7 +206,10 @@ type Report struct {
 	// RaceCount is the total number of race reports (one stored access pair
 	// per overlapping range; a racing program typically produces many).
 	RaceCount uint64
-	// Races holds the first MaxRacesRecorded reports.
+	// Races holds the MaxRacesRecorded earliest reports in a canonical
+	// order — sorted by the sequential position of each race's later
+	// access, with field tie-breakers — so the slice is identical across
+	// synchronous, Async, and every DetectShards count.
 	Races []Race
 	// Strands is the number of strands the execution generated.
 	Strands int
@@ -184,6 +217,12 @@ type Report struct {
 	WallTime time.Duration
 	// Stats exposes the detector's internal counters.
 	Stats Stats
+	// SequencerBusy and ShardBusy report the sharded pipeline's utilization
+	// split (zero/nil otherwise): time the sequencer spent labeling and
+	// routing, and per-worker busy time. Stats.PipelineDetectTime is the
+	// sum of ShardBusy in sharded mode.
+	SequencerBusy time.Duration
+	ShardBusy     []time.Duration
 }
 
 // Racy reports whether any race was found.
@@ -239,6 +278,7 @@ type Task struct {
 func (r *Runner) Run(root TaskFunc) (*Report, error) {
 	rep := &Report{}
 	rs := &runState{parallel: r.opts.Parallel, tracer: r.opts.Tracer}
+	var syncCol *raceCollector
 	if r.opts.Detector != DetectorOff {
 		// ReachOnly isolates the reachability component: SP-Order is
 		// maintained but memory hooks are skipped at the dispatch layer,
@@ -250,19 +290,11 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 		}
 		user := r.opts.OnRace
 		maxRec := r.opts.MaxRacesRecorded
-		cfg.OnRace = func(race Race) {
-			if len(rep.Races) < maxRec {
-				rep.Races = append(rep.Races, race)
-			}
-			if user != nil {
-				user(race)
-			}
-		}
 		if r.opts.Async {
-			// Pipelined detection: SP-Order and the engine live on the
-			// detector goroutine, fed by the event stream. The OnRace
-			// closure above runs there too; rep is safe to read once
-			// drain() has joined the goroutine.
+			// Pipelined detection: SP-Order (or the depa labels, when
+			// sharded) and the engine(s) live behind the event stream; the
+			// consumer owns the race collector and user OnRace calls. rep
+			// is safe to read once drain() has joined the goroutine(s).
 			depth, bcap := r.asyncRingDepth, r.asyncBatchEvents
 			if depth == 0 {
 				depth = defaultAsyncRingDepth
@@ -271,9 +303,21 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 				bcap = defaultAsyncBatchEvents
 			}
 			rs.async = newAsyncState(depth, bcap)
-			go rs.async.consume(cfg, r.newEngine)
+			if n := r.opts.DetectShards; n > 0 && rs.hooks {
+				go rs.async.consumeSharded(cfg, n, maxRec, user)
+			} else {
+				go rs.async.consume(cfg, r.newEngine, maxRec, user)
+			}
 		} else {
 			rs.sp = spord.New()
+			col := newRaceCollector(maxRec)
+			syncCol = col
+			cfg.OnRace = func(race Race) {
+				col.add(rs.sp.SeqRank(race.Cur), race)
+				if user != nil {
+					user(race)
+				}
+			}
 			if r.newEngine != nil {
 				rs.engine = r.newEngine(cfg, rs.sp)
 			} else {
@@ -309,6 +353,9 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 		rep.Strands = rs.async.strands
 		rep.Stats = rs.async.stats
 		rep.RaceCount = rep.Stats.Races
+		rep.Races = rs.async.races
+		rep.SequencerBusy = rs.async.seqBusy
+		rep.ShardBusy = rs.async.shardBusy
 	} else {
 		if rs.sp != nil {
 			rep.Strands = rs.sp.StrandCount()
@@ -316,6 +363,9 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 		if rs.engine != nil {
 			rep.Stats = *rs.engine.Stats()
 			rep.RaceCount = rep.Stats.Races
+		}
+		if syncCol != nil {
+			rep.Races = syncCol.sorted()
 		}
 	}
 	rep.Stats.AllocObjects = after[0].Value.Uint64() - before[0].Value.Uint64()
@@ -518,6 +568,45 @@ func (t *Task) StoreAt(addr Addr, size uint64) {
 	}
 	if rs.tracer != nil {
 		rs.tracer.Write(addr, size)
+	}
+}
+
+// LoadRangeAt reports a compiler-coalesced read of count elements of
+// elemBytes each starting at a raw address, for callers managing their own
+// layout on top of the Arena (the raw-address sibling of LoadRange).
+func (t *Task) LoadRangeAt(addr Addr, count int, elemBytes uint64) {
+	rs := t.rs
+	if count == 0 {
+		return
+	}
+	if rs.hooks {
+		if as := rs.async; as != nil {
+			as.emit(evstream.Range(evstream.OpReadRange, addr, count, elemBytes))
+		} else {
+			rs.engine.ReadRangeHook(addr, count, elemBytes)
+		}
+	}
+	if rs.tracer != nil {
+		rs.tracer.ReadRange(addr, count, elemBytes)
+	}
+}
+
+// StoreRangeAt reports a compiler-coalesced write at a raw address; see
+// LoadRangeAt.
+func (t *Task) StoreRangeAt(addr Addr, count int, elemBytes uint64) {
+	rs := t.rs
+	if count == 0 {
+		return
+	}
+	if rs.hooks {
+		if as := rs.async; as != nil {
+			as.emit(evstream.Range(evstream.OpWriteRange, addr, count, elemBytes))
+		} else {
+			rs.engine.WriteRangeHook(addr, count, elemBytes)
+		}
+	}
+	if rs.tracer != nil {
+		rs.tracer.WriteRange(addr, count, elemBytes)
 	}
 }
 

@@ -33,9 +33,7 @@ import (
 	"io"
 
 	"stint"
-	"stint/internal/detect"
 	"stint/internal/mem"
-	"stint/internal/spord"
 )
 
 // Opcode values. The on-disk format is stable: new opcodes may be added,
@@ -156,12 +154,129 @@ type Options struct {
 	MaxRacesRecorded int
 	// TimeAccessHistory enables the access-history timers.
 	TimeAccessHistory bool
+	// Async replays through the pipelined detector (stint.Options.Async):
+	// the decoder goroutine streams events to a detector goroutine instead
+	// of detecting inline. The Report is identical either way.
+	Async bool
+	// Shards > 0 additionally partitions detection across that many workers
+	// (stint.Options.DetectShards; implies Async). Subject to the same
+	// detector restrictions as the live option.
+	Shards int
 }
 
-// replayFrame tracks one function instance during replay.
-type replayFrame struct {
-	frame        spord.Frame
-	continuation *spord.Strand
+// decoder drives a replayed execution through the public stint API: the
+// trace's structure events become Task.Spawn/Sync calls and its access
+// events become the *At hooks, so a replay exercises exactly the machinery
+// a live run does — including, when requested, the async pipeline and
+// sharded detection.
+type decoder struct {
+	br       *bufio.Reader
+	lastAddr mem.Addr
+	err      error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) readAddr() (stint.Addr, error) {
+	raw, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return 0, err
+	}
+	delta := int64(raw>>1) ^ -int64(raw&1)
+	d.lastAddr = mem.Addr(int64(d.lastAddr) + delta)
+	return d.lastAddr, nil
+}
+
+// replayBody consumes one task instance's events: up to its opRestore for
+// a spawned child (depth > 0), or up to opEnd for the root. Structural
+// validation happens before the corresponding API call, so an invalid
+// trace aborts without corrupting the run.
+func (d *decoder) replayBody(t *stint.Task, depth int) {
+	pending := 0 // spawns since the last sync
+	for d.err == nil {
+		code, err := d.br.ReadByte()
+		if err != nil {
+			d.fail(fmt.Errorf("trace: truncated stream: %w", err))
+			return
+		}
+		switch code {
+		case opEnd:
+			if depth > 0 {
+				d.fail(fmt.Errorf("trace: %d unterminated tasks at end of trace", depth))
+			}
+			return
+
+		case opSpawn:
+			pending++
+			t.Spawn(func(c *stint.Task) { d.replayBody(c, depth+1) })
+
+		case opRestore:
+			if depth == 0 {
+				d.fail(errors.New("trace: restore without matching spawn"))
+				return
+			}
+			if pending > 0 {
+				// The recorder elides nothing here: the implicit end-of-task
+				// sync is recorded, so pending spawns at restore mean the
+				// trace was cut mid-task.
+				d.fail(errors.New("trace: child returned with pending spawns"))
+			}
+			return
+
+		case opSync:
+			if pending == 0 {
+				d.fail(errors.New("trace: sync without pending spawns"))
+				return
+			}
+			pending = 0
+			t.Sync()
+
+		case opRead, opWrite:
+			addr, err := d.readAddr()
+			if err == nil {
+				var size uint64
+				size, err = binary.ReadUvarint(d.br)
+				if err == nil {
+					if code == opRead {
+						t.LoadAt(addr, size)
+					} else {
+						t.StoreAt(addr, size)
+					}
+				}
+			}
+			if err != nil {
+				d.fail(fmt.Errorf("trace: access event: %w", err))
+				return
+			}
+
+		case opReadRange, opWriteRange:
+			addr, err := d.readAddr()
+			var count, elem uint64
+			if err == nil {
+				count, err = binary.ReadUvarint(d.br)
+			}
+			if err == nil {
+				elem, err = binary.ReadUvarint(d.br)
+			}
+			if err != nil {
+				d.fail(fmt.Errorf("trace: range event: %w", err))
+				return
+			}
+			if code == opReadRange {
+				t.LoadRangeAt(addr, int(count), elem)
+			} else {
+				t.StoreRangeAt(addr, int(count), elem)
+			}
+
+		default:
+			d.fail(fmt.Errorf("trace: unknown opcode %#x", code))
+			return
+		}
+	}
 }
 
 // Replay reads a trace and runs the selected detector over it, returning
@@ -182,123 +297,24 @@ func Replay(src io.Reader, opts Options) (*stint.Report, error) {
 		return nil, fmt.Errorf("trace: bad magic %q", hdr[:])
 	}
 
-	rep := &stint.Report{}
-	sp := spord.New()
-	cfg := detect.Config{Mode: opts.Detector, TimeAccessHistory: opts.TimeAccessHistory}
-	cfg.OnRace = func(race stint.Race) {
-		if len(rep.Races) < opts.MaxRacesRecorded {
-			rep.Races = append(rep.Races, race)
-		}
-		if opts.OnRace != nil {
-			opts.OnRace(race)
-		}
+	r, err := stint.NewRunner(stint.Options{
+		Detector:          opts.Detector,
+		OnRace:            opts.OnRace,
+		MaxRacesRecorded:  opts.MaxRacesRecorded,
+		TimeAccessHistory: opts.TimeAccessHistory,
+		Async:             opts.Async || opts.Shards > 0,
+		DetectShards:      opts.Shards,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
 	}
-	engine := detect.New(cfg, sp)
-	hooksLive := opts.Detector != stint.DetectorReachOnly
-
-	stack := []*replayFrame{{}} // root function instance
-	var lastAddr mem.Addr
-	readAddr := func() (mem.Addr, error) {
-		raw, err := binary.ReadUvarint(br)
-		if err != nil {
-			return 0, err
-		}
-		d := int64(raw>>1) ^ -int64(raw&1)
-		lastAddr = mem.Addr(int64(lastAddr) + d)
-		return lastAddr, nil
+	d := &decoder{br: br}
+	rep, runErr := r.Run(func(task *stint.Task) { d.replayBody(task, 0) })
+	if d.err != nil {
+		return nil, d.err
 	}
-
-loop:
-	for {
-		code, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("trace: truncated stream: %w", err)
-		}
-		switch code {
-		case opEnd:
-			break loop
-
-		case opSpawn:
-			engine.StrandEnd()
-			top := stack[len(stack)-1]
-			_, cont := sp.Spawn(&top.frame)
-			stack = append(stack, &replayFrame{continuation: cont})
-
-		case opRestore:
-			if len(stack) < 2 {
-				return nil, errors.New("trace: restore without matching spawn")
-			}
-			child := stack[len(stack)-1]
-			if child.frame.Pending() {
-				// The recorder elides nothing here: a pending frame at
-				// restore means the trace was cut mid-task.
-				return nil, errors.New("trace: child returned with pending spawns")
-			}
-			stack = stack[:len(stack)-1]
-			engine.StrandEnd()
-			sp.Restore(child.continuation)
-
-		case opSync:
-			top := stack[len(stack)-1]
-			if !top.frame.Pending() {
-				return nil, errors.New("trace: sync without pending spawns")
-			}
-			engine.StrandEnd()
-			sp.Sync(&top.frame)
-
-		case opRead, opWrite:
-			addr, err := readAddr()
-			if err != nil {
-				return nil, fmt.Errorf("trace: access event: %w", err)
-			}
-			size, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("trace: access event: %w", err)
-			}
-			if hooksLive {
-				if code == opRead {
-					engine.ReadHook(addr, size)
-				} else {
-					engine.WriteHook(addr, size)
-				}
-			}
-
-		case opReadRange, opWriteRange:
-			addr, err := readAddr()
-			if err != nil {
-				return nil, fmt.Errorf("trace: range event: %w", err)
-			}
-			count, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("trace: range event: %w", err)
-			}
-			elem, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("trace: range event: %w", err)
-			}
-			if hooksLive {
-				if code == opReadRange {
-					engine.ReadRangeHook(addr, int(count), elem)
-				} else {
-					engine.WriteRangeHook(addr, int(count), elem)
-				}
-			}
-
-		default:
-			return nil, fmt.Errorf("trace: unknown opcode %#x", code)
-		}
+	if runErr != nil {
+		return nil, fmt.Errorf("trace: %w", runErr)
 	}
-	if len(stack) != 1 {
-		return nil, fmt.Errorf("trace: %d unterminated tasks at end of trace", len(stack)-1)
-	}
-	if stack[0].frame.Pending() {
-		// The root's implicit sync transitions before Finish in a live run.
-		engine.StrandEnd()
-		sp.Sync(&stack[0].frame)
-	}
-	engine.Finish()
-	rep.Strands = sp.StrandCount()
-	rep.Stats = *engine.Stats()
-	rep.RaceCount = rep.Stats.Races
 	return rep, nil
 }

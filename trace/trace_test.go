@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"stint"
@@ -141,6 +142,46 @@ func TestReplayMatchesDirectRun(t *testing.T) {
 				t.Fatalf("seed %d %v: stats diverge\nlive:   %+v\nreplay: %+v", seed, d, ls, rs)
 			}
 		}
+	}
+}
+
+func TestReplayAsyncAndShardedMatchSync(t *testing.T) {
+	// Replaying through the async pipeline — and through sharded detection —
+	// must reproduce the synchronous replay's Report exactly: same canonical
+	// races, same strand count, same deterministic counters.
+	for seed := int64(100); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		acts := genActions(rng, 4, bufWords)
+		raw := record(t, acts)
+		sync, err := Replay(bytes.NewReader(raw), Options{Detector: stint.DetectorSTINT, MaxRacesRecorded: 1 << 20})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, opts := range []Options{
+			{Detector: stint.DetectorSTINT, MaxRacesRecorded: 1 << 20, Async: true},
+			{Detector: stint.DetectorSTINT, MaxRacesRecorded: 1 << 20, Shards: 2},
+			{Detector: stint.DetectorCompRTS, MaxRacesRecorded: 1 << 20, Shards: 3},
+		} {
+			got, err := Replay(bytes.NewReader(raw), opts)
+			if err != nil {
+				t.Fatalf("seed %d %+v: %v", seed, opts, err)
+			}
+			if got.Strands != sync.Strands {
+				t.Fatalf("seed %d %+v: strands %d vs sync %d", seed, opts, got.Strands, sync.Strands)
+			}
+			if opts.Detector == stint.DetectorSTINT {
+				if got.RaceCount != sync.RaceCount || !reflect.DeepEqual(got.Races, sync.Races) {
+					t.Fatalf("seed %d %+v: races diverge from sync replay", seed, opts)
+				}
+			} else if (got.RaceCount > 0) != (sync.RaceCount > 0) {
+				t.Fatalf("seed %d %+v: verdict %v vs sync %v", seed, opts, got.Racy(), sync.Racy())
+			}
+		}
+	}
+	// Shards with an unsupported detector surface the live validation error.
+	raw := record(t, []action{{kind: 's', idx: 1}})
+	if _, err := Replay(bytes.NewReader(raw), Options{Detector: stint.DetectorVanilla, Shards: 2}); err == nil {
+		t.Error("sharded replay accepted DetectorVanilla")
 	}
 }
 
