@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-hot bench-json tables fuzz vet fmt examples
+.PHONY: all build test test-short bench bench-hot bench-json bench-diff-all tables fuzz vet fmt examples
 
 all: vet test build
 
@@ -20,11 +20,12 @@ bench:
 
 # Hot-path microbenchmarks only: the open-addressed page directory vs the
 # seed's Go map, slab-pooled vs heap-allocated treap nodes, the async event
-# ring plus the shard router's page-split/fan-out path, the sync-vs-async
-# per-access hook cost, and the sharded main-table measurement.
+# ring and its broadcast sibling, the workers' local page-split/filter scan,
+# the sync-vs-async per-access hook cost, and the sharded main-table
+# measurement.
 bench-hot:
 	$(GO) test -run '^$$' -bench 'BenchmarkTreapInsert|BenchmarkShadowDirectory' -benchmem ./internal/core ./internal/shadow
-	$(GO) test -run '^$$' -bench 'BenchmarkRing|BenchmarkMsgRing|BenchmarkShardRouter' -benchmem ./internal/evstream
+	$(GO) test -run '^$$' -bench 'BenchmarkRing|BenchmarkBcastRing|BenchmarkWorkerSplit|BenchmarkWorkerScan' -benchmem ./internal/evstream
 	$(GO) test -run '^$$' -bench 'BenchmarkHookOverhead' -benchmem .
 	$(GO) test -run '^$$' -bench 'BenchmarkFig5Sharded' -benchtime 10x -benchmem .
 
@@ -33,6 +34,13 @@ bench-hot:
 bench-json:
 	./scripts/benchdiff.sh emit 'BenchmarkFig5' . > BENCH_$$(date +%Y%m%d).json
 	@echo wrote BENCH_$$(date +%Y%m%d).json
+
+# Re-run every Fig5 benchmark (sync, async, and sharded modes share one
+# snapshot schema) and fail if any mode regressed ns/op by more than 10%
+# against the union of the checked-in snapshots.
+bench-diff-all:
+	./scripts/benchdiff.sh emit 'BenchmarkFig5' . > /tmp/stint_bench_head.json
+	./scripts/benchdiff.sh check /tmp/stint_bench_head.json BENCH_*.json
 
 # Regenerate every table of the paper's evaluation (see EXPERIMENTS.md).
 tables:

@@ -1,16 +1,21 @@
 // Asynchronous pipelined detection (Options.Async): the mutator executes
 // the serial projection and publishes its instrumentation events into
-// batches over a bounded SPSC ring (internal/evstream), while a dedicated
-// detector goroutine consumes the batches in order and drives SP-Order and
-// the access history exactly as the inline path does.
+// batches over a bounded SPSC ring (internal/evstream), while the detector
+// side — one replay stage, or the label-stage-plus-workers graph of
+// shards.go — consumes the batches in order.
 //
 // Sequential semantics are preserved because the stream *is* the serial
 // order: the producer emits spawn/restore/sync and access events in the
-// depth-first execution order, and the consumer replays them one at a time
-// against its own SP structure — the same reconstruction stint/trace uses
-// for offline replay, minus the byte encoding. The only concurrency is the
-// producer/consumer handoff inside the ring; the detector itself remains a
-// sequential algorithm and reports byte-identical races and stats.
+// depth-first execution order, and each consumer stage replays them one at
+// a time against its own reachability structure — the same reconstruction
+// stint/trace uses for offline replay, minus the byte encoding. The only
+// concurrency is the ring handoffs between stages; every stage remains a
+// sequential algorithm, and the pipeline reports byte-identical races and
+// stats.
+//
+// All detector-side goroutines hang off one stage.Graph: Run wires the
+// stages, drain closes the stream and waits for the graph's merge, and the
+// results fields below are written before the graph reports done.
 
 package stint
 
@@ -20,36 +25,46 @@ import (
 	"stint/internal/detect"
 	"stint/internal/evstream"
 	"stint/internal/spord"
+	"stint/internal/stage"
 )
 
 // Default pipeline geometry: batches amortize the per-batch ring
-// synchronization over ~4k events, and the ring bounds the pipeline at 8
-// in-flight batches before backpressure blocks the mutator.
+// synchronization over ~4k events, and the rings bound the pipeline at 8
+// in-flight batches per hop before backpressure blocks the upstream stage.
 const (
 	defaultAsyncBatchEvents = 4096
 	defaultAsyncRingDepth   = 8
 )
 
 // asyncState is the per-Run pipeline: the producer's working batch and
-// ring on the mutator side, and the consumer's results, published before
-// done closes and read only after drain returns.
+// ring on the mutator side, the stage graph on the detector side, and the
+// consumer results, written by the graph's stages before Seal's merge
+// completes and read only after drain returns.
 type asyncState struct {
-	ring     *evstream.Ring
-	batch    []evstream.Event
-	batchCap int // immutable copy of the batch capacity for the consumer side
-	done     chan struct{}
-	// Written by the consumer goroutine, read after <-done.
+	ring      *evstream.Ring
+	batch     []evstream.Event
+	batchCap  int // immutable copy of the batch capacity for the consumer side
+	ringDepth int // immutable copy of the ring depth, sizing downstream rings
+	graph     *stage.Graph
+	// Written by the detector-side stages, read after graph.Wait().
 	strands int
 	stats   Stats
 	races   []Race
-	// Sharded-pipeline utilization split (consumeSharded only).
-	seqBusy   time.Duration
+	// Pipeline utilization split: seqBusy is the label stage's busy time
+	// and shardBusy the per-worker busy times (sharded mode only).
+	seqBusy   stage.Meter
 	shardBusy []time.Duration
 }
 
 func newAsyncState(ringDepth, batchEvents int) *asyncState {
 	ring := evstream.NewRing(ringDepth, batchEvents)
-	return &asyncState{ring: ring, batch: ring.Get(), batchCap: batchEvents, done: make(chan struct{})}
+	return &asyncState{
+		ring:      ring,
+		batch:     ring.Get(),
+		batchCap:  batchEvents,
+		ringDepth: ringDepth,
+		graph:     stage.NewGraph(),
+	}
 }
 
 // emit appends one event to the working batch, publishing it when full.
@@ -71,13 +86,20 @@ func (as *asyncState) flush() {
 }
 
 // drain flushes the final (possibly partial, possibly empty) batch,
-// signals end-of-stream, and waits for the detector goroutine to finish
-// consuming. After drain returns, strands and stats are exact.
+// signals end-of-stream, and waits for the stage graph to finish. After
+// drain returns, strands, stats, and races are exact.
 func (as *asyncState) drain() {
 	as.ring.Publish(as.batch)
 	as.batch = nil
 	as.ring.Close()
-	<-as.done
+	as.graph.Wait()
+}
+
+// startConsume wires the single-stage pipeline: one replay stage consuming
+// the main ring. Used for plain Async (no sharding).
+func (as *asyncState) startConsume(cfg detect.Config, newEngine func(detect.Config, *spord.SP) detect.Engine, maxRec int, user func(Race)) {
+	as.graph.Go(func() { as.consume(cfg, newEngine, maxRec, user) })
+	as.graph.Seal(nil)
 }
 
 // consumeFrame tracks one in-flight function instance on the consumer's
@@ -87,18 +109,17 @@ type consumeFrame struct {
 	cont  *spord.Strand
 }
 
-// consume runs on the detector goroutine: it rebuilds SP-Order from the
-// structure events and feeds the access events to the engine, in stream
-// order, exactly as the inline path interleaves them. newEngine is the
-// Runner's test seam (nil outside tests). maxRec and user mirror the
-// Options fields; the consumer owns the canonical race collector because
-// the sequential ranks live on its SP structure.
+// consume is the replay stage: it rebuilds SP-Order from the structure
+// events and feeds the access events to the engine, in stream order,
+// exactly as the inline path interleaves them. newEngine is the Runner's
+// test seam (nil outside tests). maxRec and user mirror the Options
+// fields; the stage owns the canonical race collector because the
+// sequential ranks live on its SP structure.
 func (as *asyncState) consume(cfg detect.Config, newEngine func(detect.Config, *spord.SP) detect.Engine, maxRec int, user func(Race)) {
-	defer close(as.done)
 	sp := spord.New()
-	col := newRaceCollector(maxRec)
+	col := stage.NewCollector(maxRec)
 	cfg.OnRace = func(race Race) {
-		col.add(sp.SeqRank(race.Cur), race)
+		col.Add(sp.SeqRank(race.Cur), race)
 		if user != nil {
 			user(race)
 		}
@@ -110,7 +131,7 @@ func (as *asyncState) consume(cfg detect.Config, newEngine func(detect.Config, *
 		engine = detect.New(cfg, sp)
 	}
 	stack := make([]consumeFrame, 1, 16) // stack[0] is the root instance
-	var busy time.Duration
+	var busy stage.Meter
 	for {
 		batch, ok := as.ring.Next()
 		if !ok {
@@ -141,14 +162,14 @@ func (as *asyncState) consume(cfg detect.Config, newEngine func(detect.Config, *
 				engine.WriteRangeHook(ev.Addr(), ev.Count(), ev.Elem())
 			}
 		}
-		busy += time.Since(t0)
+		busy.Add(t0)
 		as.ring.Recycle(batch)
 	}
 	t0 := time.Now()
 	engine.Finish()
-	busy += time.Since(t0)
+	busy.Add(t0)
 	as.strands = sp.StrandCount()
 	as.stats = *engine.Stats()
-	as.stats.PipelineDetectTime = busy
-	as.races = col.sorted()
+	as.stats.PipelineDetectTime = busy.Busy()
+	as.races = col.Sorted()
 }

@@ -6,14 +6,17 @@
 //
 // Usage:
 //
-//	stint-tables [-scale 1] [-reps 3] fig1 fig5 fig6 fig7 fig8 ablation allocs async
+//	stint-tables [-scale 1] [-reps 3] fig1 fig5 fig6 fig7 fig8 ablation allocs async util
 //	stint-tables all
 //
 // The extra "allocs" table (not part of the paper, and not included in
 // "all") reports heap objects and bytes allocated during each detection
 // run, backing the allocation-free hot-path work in EXPERIMENTS.md. The
 // extra "async" table (also outside the paper, whose detector is strictly
-// inline) compares synchronous vs pipelined detection wall clock.
+// inline) compares synchronous vs pipelined detection wall clock. The
+// extra "util" table breaks the sharded stage graph's busy time down by
+// stage — the thin label stage against the busiest shard worker — backing
+// the sequencer-bottleneck numbers in EXPERIMENTS.md.
 package main
 
 import (
@@ -54,10 +57,12 @@ func main() {
 			err = suite.Allocs()
 		case "async":
 			err = suite.Async()
+		case "util":
+			err = suite.Util()
 		case "all":
 			err = suite.All()
 		default:
-			err = fmt.Errorf("unknown table %q (want fig1|fig5|fig6|fig7|fig8|ablation|allocs|async|all)", a)
+			err = fmt.Errorf("unknown table %q (want fig1|fig5|fig6|fig7|fig8|ablation|allocs|async|util|all)", a)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stint-tables:", err)

@@ -7,7 +7,7 @@ import (
 
 // fuzzWideElems sizes the fuzz-only "wide" buffer: 128 KiB of words, so it
 // straddles at least one 64 KiB shadow-page boundary and range accesses on
-// it exercise the sharded router's page splitting.
+// it exercise the workers' local page splitting and shard filtering.
 const fuzzWideElems = 32768
 
 // fuzzAllocBufs allocates the equivalence suite's buffers plus the wide
@@ -44,6 +44,13 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 	// Cross-shard racy pair: two strands write the same 128 KiB span of the
 	// wide buffer, so the racing pieces land on different shards.
 	f.Add([]byte{0x01, 0x01, 0x02, 0x00, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x01, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x02})
+	// Worker-side split of one page-straddling access: a 16-byte range write
+	// at wide index 13310 crosses the 64 KiB boundary at index 13312, so each
+	// worker page-splits the event locally, keeps only its own piece, and the
+	// hook-call adjustment (only the first piece's owner counts the original
+	// call) must reconcile across two shards. Two parallel strands write the
+	// same straddling range, so the race itself spans the boundary too.
+	f.Add([]byte{0x01, 0x01, 0x02, 0x00, 0x06, 0x03, 0x33, 0xfe, 0x00, 0x03, 0x01, 0x06, 0x03, 0x33, 0xfe, 0x00, 0x03, 0x02})
 	// All-events-one-page skew: 4 shards but every access on one page, so a
 	// single worker carries the whole load and the others drain empty.
 	f.Add([]byte{0x00, 0x00, 0x04, 0x00, 0x04, 0x00, 0x05, 0x01, 0x04, 0x00, 0x05, 0x02})

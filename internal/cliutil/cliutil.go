@@ -18,9 +18,35 @@ func pct(part, whole time.Duration) string {
 	return fmt.Sprintf("%.0f%%", 100*float64(part)/float64(whole))
 }
 
+// StageBusy decomposes a pipelined run's busy time by stage: the label
+// stage (which only consumes structure events and stamps batches with
+// reachability labels), the summed detection work across workers, and the
+// busiest single worker — the detection side's critical path once cores
+// are available. ok is false for synchronous runs (no pipeline). For plain
+// async runs the one consumer is both the only worker and the maximum, and
+// the label stage's work is folded into it (label = 0).
+func StageBusy(rep *stint.Report) (label, workers, maxWorker time.Duration, ok bool) {
+	st := rep.Stats
+	if st.PipelineDetectTime <= 0 {
+		return 0, 0, 0, false
+	}
+	label = rep.SequencerBusy
+	workers = st.PipelineDetectTime
+	maxWorker = workers
+	if rep.ShardBusy != nil {
+		maxWorker = 0
+		for _, b := range rep.ShardBusy {
+			if b > maxWorker {
+				maxWorker = b
+			}
+		}
+	}
+	return label, workers, maxWorker, true
+}
+
 // PipelineReport renders the async pipeline's utilization readout: the
 // detector side's busy time against the run's wall time and, for sharded
-// runs, the sequencer/worker split. It returns nil for synchronous runs
+// runs, the label-stage/worker split. It returns nil for synchronous runs
 // (no pipeline, nothing to report).
 //
 // On a single core the pipeline cannot beat the synchronous run — the busy
@@ -28,26 +54,26 @@ func pct(part, whole time.Duration) string {
 // cores are available, which is why the lines spell out the "max of the
 // two sides" floor instead of promising a speedup.
 func PipelineReport(rep *stint.Report) []string {
-	st := rep.Stats
-	if st.PipelineDetectTime <= 0 {
+	label, workers, _, ok := StageBusy(rep)
+	if !ok {
 		return nil
 	}
 	if rep.ShardBusy == nil {
 		return []string{fmt.Sprintf(
 			"detector-goroutine busy %v of %v wall (%s; multi-core floor is max of the two sides)",
-			st.PipelineDetectTime.Round(time.Microsecond),
+			workers.Round(time.Microsecond),
 			rep.WallTime.Round(time.Microsecond),
-			pct(st.PipelineDetectTime, rep.WallTime))}
+			pct(workers, rep.WallTime))}
 	}
 	lines := []string{fmt.Sprintf(
-		"sharded detection: %d workers busy %v total of %v wall (sequencer busy %v; multi-core floor is max of any side)",
+		"sharded detection: %d workers busy %v total of %v wall (label stage busy %v; multi-core floor is max of any side)",
 		len(rep.ShardBusy),
-		st.PipelineDetectTime.Round(time.Microsecond),
+		workers.Round(time.Microsecond),
 		rep.WallTime.Round(time.Microsecond),
-		rep.SequencerBusy.Round(time.Microsecond))}
+		label.Round(time.Microsecond))}
 	for i, busy := range rep.ShardBusy {
 		lines = append(lines, fmt.Sprintf("  shard %d busy %v (%s of detect work)",
-			i, busy.Round(time.Microsecond), pct(busy, st.PipelineDetectTime)))
+			i, busy.Round(time.Microsecond), pct(busy, workers)))
 	}
 	return lines
 }

@@ -34,7 +34,7 @@ func TestPipelineReportSharded(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("want header + 2 worker lines, got %v", lines)
 	}
-	if !strings.Contains(lines[0], "2 workers") || !strings.Contains(lines[0], "sequencer busy 2ms") {
+	if !strings.Contains(lines[0], "2 workers") || !strings.Contains(lines[0], "label stage busy 2ms") {
 		t.Errorf("unexpected header: %q", lines[0])
 	}
 	if !strings.Contains(lines[1], "shard 0") || !strings.Contains(lines[1], "75%") {
@@ -42,6 +42,27 @@ func TestPipelineReportSharded(t *testing.T) {
 	}
 	if !strings.Contains(lines[2], "shard 1") || !strings.Contains(lines[2], "25%") {
 		t.Errorf("unexpected worker line: %q", lines[2])
+	}
+}
+
+func TestStageBusy(t *testing.T) {
+	if _, _, _, ok := StageBusy(&stint.Report{}); ok {
+		t.Fatal("synchronous run should report ok=false")
+	}
+
+	async := &stint.Report{}
+	async.Stats.PipelineDetectTime = 5 * time.Millisecond
+	label, workers, maxWorker, ok := StageBusy(async)
+	if !ok || label != 0 || workers != 5*time.Millisecond || maxWorker != 5*time.Millisecond {
+		t.Fatalf("async split = (%v, %v, %v, %v)", label, workers, maxWorker, ok)
+	}
+
+	sharded := &stint.Report{SequencerBusy: 2 * time.Millisecond}
+	sharded.ShardBusy = []time.Duration{time.Millisecond, 3 * time.Millisecond}
+	sharded.Stats.PipelineDetectTime = 4 * time.Millisecond
+	label, workers, maxWorker, ok = StageBusy(sharded)
+	if !ok || label != 2*time.Millisecond || workers != 4*time.Millisecond || maxWorker != 3*time.Millisecond {
+		t.Fatalf("sharded split = (%v, %v, %v, %v)", label, workers, maxWorker, ok)
 	}
 }
 

@@ -1,0 +1,78 @@
+package depa
+
+// Tracker replays the Builder's deterministic strand-ID assignment from the
+// structure events alone. Every shard worker runs one: the label stage
+// republishes batches unmodified (no per-shard strand boundary marks), so a
+// worker derives "which strand do these access events belong to" by
+// advancing its own Tracker through the same spawn/restore/sync sequence
+// the Builder saw. IDs coincide exactly — per spawn the Builder numbers the
+// child, the continuation, and (on the first spawn of a sync block) the
+// reserved sync strand, and the Tracker reserves the same IDs in the same
+// order without materializing any labels. The package tests differentially
+// verify Tracker against Builder over randomized fork-join programs.
+type Tracker struct {
+	n     int32 // strands created
+	cur   int32 // current strand
+	stack []tframe
+}
+
+// tframe is the Tracker's per-function-instance state: just the two strand
+// IDs a transition can make current.
+type tframe struct {
+	pending int32 // reserved sync strand of the current block, or -1
+	cont    int32 // continuation strand to restore when this task returns
+}
+
+// NewTracker returns a Tracker positioned at the root strand (ID 0).
+func NewTracker() *Tracker {
+	t := &Tracker{n: 1, stack: make([]tframe, 1, 16)}
+	t.stack[0] = tframe{pending: -1, cont: -1}
+	return t
+}
+
+// Current returns the ID of the current strand.
+func (t *Tracker) Current() int32 { return t.cur }
+
+// StrandCount returns the number of strands created so far.
+func (t *Tracker) StrandCount() int { return int(t.n) }
+
+// Spawn mirrors Builder.Spawn: the child strand becomes current, after the
+// continuation and (first spawn of a block) the reserved sync strand claim
+// their IDs.
+func (t *Tracker) Spawn() {
+	f := &t.stack[len(t.stack)-1]
+	child := t.n
+	cont := t.n + 1
+	t.n += 2
+	if f.pending < 0 {
+		f.pending = t.n
+		t.n++
+	}
+	t.cur = child
+	t.stack = append(t.stack, tframe{pending: -1, cont: cont})
+}
+
+// Restore mirrors Builder.Restore: the parent's continuation strand becomes
+// current.
+func (t *Tracker) Restore() {
+	top := t.stack[len(t.stack)-1]
+	if len(t.stack) == 1 {
+		panic("depa: Restore with no open spawn")
+	}
+	if top.pending >= 0 {
+		panic("depa: Restore with pending sync")
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+	t.cur = top.cont
+}
+
+// Sync mirrors Builder.Sync: the reserved sync strand becomes current. A
+// sync with no pending spawns panics, as in the Builder.
+func (t *Tracker) Sync() {
+	f := &t.stack[len(t.stack)-1]
+	if f.pending < 0 {
+		panic("depa: Sync with no pending spawns")
+	}
+	t.cur = f.pending
+	f.pending = -1
+}

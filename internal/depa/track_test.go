@@ -1,0 +1,141 @@
+package depa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// trackTwin drives a Builder and a Tracker through the same structure-event
+// sequence, checking after every transition that the Tracker reproduces the
+// Builder's current strand — the property the shard workers rely on when
+// they replay unlabeled batches.
+type trackTwin struct {
+	t     *testing.T
+	b     *Builder
+	tr    *Tracker
+	depth int
+	// pending mirrors whether the innermost task has outstanding spawns, so
+	// the twin only emits the strand-creating syncs a producer would.
+	pending []bool
+}
+
+func newTrackTwin(t *testing.T) *trackTwin {
+	return &trackTwin{t: t, b: NewBuilder(), tr: NewTracker(), pending: make([]bool, 1)}
+}
+
+func (tw *trackTwin) verify(op string) {
+	tw.t.Helper()
+	if got, want := tw.tr.Current(), tw.b.Current(); got != want {
+		tw.t.Fatalf("after %s: Tracker current %d, Builder current %d", op, got, want)
+	}
+	if got, want := tw.tr.StrandCount(), tw.b.StrandCount(); got != want {
+		tw.t.Fatalf("after %s: Tracker strands %d, Builder strands %d", op, got, want)
+	}
+}
+
+func (tw *trackTwin) spawn() {
+	tw.b.Spawn()
+	tw.tr.Spawn()
+	tw.pending[len(tw.pending)-1] = true
+	tw.pending = append(tw.pending, false)
+	tw.depth++
+	tw.verify("spawn")
+}
+
+func (tw *trackTwin) sync() {
+	if !tw.pending[len(tw.pending)-1] {
+		return
+	}
+	tw.b.Sync()
+	tw.tr.Sync()
+	tw.pending[len(tw.pending)-1] = false
+	tw.verify("sync")
+}
+
+func (tw *trackTwin) restore() {
+	tw.sync() // implicit child sync before returning
+	tw.pending = tw.pending[:len(tw.pending)-1]
+	tw.b.Restore()
+	tw.tr.Restore()
+	tw.depth--
+	tw.verify("restore")
+}
+
+// TestTrackerMatchesBuilderRandomPrograms replays randomized fork-join
+// programs through both implementations, step by step.
+func TestTrackerMatchesBuilderRandomPrograms(t *testing.T) {
+	seeds := 150
+	if testing.Short() {
+		seeds = 30
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		tw := newTrackTwin(t)
+		maxDepth := 2 + rng.Intn(5)
+		for i, steps := 0, 30+rng.Intn(90); i < steps; i++ {
+			switch rng.Intn(6) {
+			case 0, 1, 2:
+				if tw.depth < maxDepth {
+					tw.spawn()
+				}
+			case 3:
+				tw.sync()
+			default:
+				if tw.depth > 0 {
+					tw.restore()
+				}
+			}
+		}
+		for tw.depth > 0 {
+			tw.restore()
+		}
+		tw.sync() // final root sync, as Run issues
+	}
+}
+
+// TestTrackerDeepAndWide pins the two shapes that exercise every ID-
+// reservation rule: a deep spawn chain (fresh pending reservation at every
+// level) and repeated sibling blocks in one task (pending reused within a
+// block, re-reserved across blocks).
+func TestTrackerDeepAndWide(t *testing.T) {
+	tw := newTrackTwin(t)
+	for i := 0; i < 40; i++ {
+		tw.spawn()
+	}
+	for tw.depth > 0 {
+		tw.restore()
+	}
+	tw.sync()
+
+	tw = newTrackTwin(t)
+	for blk := 0; blk < 5; blk++ {
+		for s := 0; s < 6; s++ {
+			tw.spawn()
+			tw.restore()
+		}
+		tw.sync()
+	}
+}
+
+// TestTrackerPanicsMirrorBuilder pins the guard rails shared with Builder:
+// ill-formed streams fail loudly instead of silently corrupting IDs.
+func TestTrackerPanicsMirrorBuilder(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("restore at root", func() { NewTracker().Restore() })
+	expectPanic("sync without spawn", func() { NewTracker().Sync() })
+	expectPanic("restore with pending sync", func() {
+		tr := NewTracker()
+		tr.Spawn()   // enter child
+		tr.Spawn()   // enter grandchild; the child now has a pending block
+		tr.Restore() // grandchild returns
+		tr.Restore() // child returns with its block unsynced
+	})
+}

@@ -169,6 +169,30 @@ type Stats struct {
 	PipelineDetectTime time.Duration
 }
 
+// Accumulate adds o's deterministic detection counters into s. It is the
+// sharded merge: pages are disjoint across workers and flushed intervals
+// page-contained, so per-worker counters partition the synchronous run's
+// totals and summing them restores it exactly. The runner-populated fields
+// (AllocObjects, AllocBytes, PipelineDetectTime) are owned by whoever
+// orchestrates the run and deliberately not accumulated.
+func (s *Stats) Accumulate(o *Stats) {
+	s.ReadAccesses += o.ReadAccesses
+	s.WriteAccesses += o.WriteAccesses
+	s.ReadHookCalls += o.ReadHookCalls
+	s.WriteHookCalls += o.WriteHookCalls
+	s.ReadIntervals += o.ReadIntervals
+	s.WriteIntervals += o.WriteIntervals
+	s.ReadIntervalBytes += o.ReadIntervalBytes
+	s.WriteIntervalBytes += o.WriteIntervalBytes
+	s.HashOps += o.HashOps
+	s.TreapOps += o.TreapOps
+	s.TreapNodesVisited += o.TreapNodesVisited
+	s.TreapOverlaps += o.TreapOverlaps
+	s.AccessHistoryTime += o.AccessHistoryTime
+	s.Races += o.Races
+	s.AccessHistoryBytes += o.AccessHistoryBytes
+}
+
 // Config configures an engine.
 type Config struct {
 	Mode Mode

@@ -1,0 +1,223 @@
+package evstream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBcastRingDeliversToEveryConsumer checks the broadcast invariant over
+// many wraparounds of a tiny ring: each consumer sees every message, in
+// publish order.
+func TestBcastRingDeliversToEveryConsumer(t *testing.T) {
+	const consumers, depth, msgs = 3, 2, 100
+	r := NewBcastRing[int](depth, consumers, nil)
+	got := make([][]int, consumers)
+	var wg sync.WaitGroup
+	for i := 0; i < consumers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m, ok := r.Next(i)
+				if !ok {
+					return
+				}
+				got[i] = append(got[i], m)
+				r.Release(i)
+			}
+		}()
+	}
+	for v := 0; v < msgs; v++ {
+		r.Publish(v)
+	}
+	r.Close()
+	wg.Wait()
+	for i := 0; i < consumers; i++ {
+		if len(got[i]) != msgs {
+			t.Fatalf("consumer %d saw %d messages, want %d", i, len(got[i]), msgs)
+		}
+		for v, m := range got[i] {
+			if m != v {
+				t.Fatalf("consumer %d message %d = %d, want %d", i, v, m, v)
+			}
+		}
+	}
+	if s := r.Stats(); s.BatchesPublished != msgs {
+		t.Fatalf("BatchesPublished = %d, want %d", s.BatchesPublished, msgs)
+	}
+}
+
+// TestBcastRingSlowConsumerBackpressure verifies Publish blocks on the
+// slowest consumer: with depth 1 and one consumer stalled, a second Publish
+// cannot complete until the stalled consumer releases the first slot, even
+// if the fast consumer has long moved on.
+func TestBcastRingSlowConsumerBackpressure(t *testing.T) {
+	r := NewBcastRing[int](1, 2, nil)
+	// Fast consumer: takes and releases everything immediately.
+	go func() {
+		for {
+			_, ok := r.Next(0)
+			if !ok {
+				return
+			}
+			r.Release(0)
+		}
+	}()
+	r.Publish(1)
+	// Slow consumer takes the message but does not release it yet.
+	if m, ok := r.Next(1); !ok || m != 1 {
+		t.Fatalf("Next(1) = %d,%v, want 1,true", m, ok)
+	}
+	published := make(chan struct{})
+	go func() {
+		r.Publish(2)
+		close(published)
+	}()
+	select {
+	case <-published:
+		t.Fatal("Publish completed while the slow consumer still held the slot")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r.Release(1)
+	select {
+	case <-published:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Publish still blocked after the slow consumer released")
+	}
+	if m, ok := r.Next(1); !ok || m != 2 {
+		t.Fatalf("Next(1) = %d,%v, want 2,true", m, ok)
+	}
+	r.Release(1)
+	r.Close()
+}
+
+// TestBcastRingRefcountedRecycle runs concurrent consumers with randomized
+// progress and checks the recycle contract: onFree fires exactly once per
+// message, only after every consumer has released it, and never while any
+// consumer still holds it.
+func TestBcastRingRefcountedRecycle(t *testing.T) {
+	const consumers, msgs = 4, 200
+	var freed atomic.Int64
+	var held [consumers]atomic.Int64 // message each consumer currently holds, -1 if none
+	for i := range held {
+		held[i].Store(-1)
+	}
+	var r *BcastRing[int]
+	r = NewBcastRing[int](3, consumers, func(m int) {
+		for i := range held {
+			if h := held[i].Load(); h == int64(m) {
+				t.Errorf("message %d freed while consumer %d still held it", m, i)
+			}
+		}
+		freed.Add(1)
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < consumers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m, ok := r.Next(i)
+				if !ok {
+					return
+				}
+				held[i].Store(int64(m))
+				if (m+i)%3 == 0 {
+					time.Sleep(time.Microsecond) // stagger release order
+				}
+				held[i].Store(-1)
+				r.Release(i)
+			}
+		}()
+	}
+	for v := 0; v < msgs; v++ {
+		r.Publish(v)
+	}
+	r.Close()
+	wg.Wait()
+	if n := freed.Load(); n != msgs {
+		t.Fatalf("onFree fired %d times, want %d", n, msgs)
+	}
+}
+
+// TestBcastRingCloseDrains checks consumers still receive everything
+// published before Close, then get ok=false.
+func TestBcastRingCloseDrains(t *testing.T) {
+	r := NewBcastRing[int](4, 1, nil)
+	for v := 0; v < 3; v++ {
+		r.Publish(v)
+	}
+	r.Close()
+	for v := 0; v < 3; v++ {
+		m, ok := r.Next(0)
+		if !ok || m != v {
+			t.Fatalf("Next = %d,%v, want %d,true", m, ok, v)
+		}
+		r.Release(0)
+	}
+	if _, ok := r.Next(0); ok {
+		t.Fatal("Next returned ok=true after drain on a closed ring")
+	}
+}
+
+// TestBcastRingMisuse pins the guard rails: releasing without a matching
+// Next panics, publishing after Close panics, and constructor arguments are
+// clamped.
+func TestBcastRingMisuse(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("release without next", func() {
+		NewBcastRing[int](2, 1, nil).Release(0)
+	})
+	expectPanic("publish after close", func() {
+		r := NewBcastRing[int](2, 1, nil)
+		r.Close()
+		r.Publish(1)
+	})
+	if r := NewBcastRing[int](0, 0, nil); r.Consumers() != 1 {
+		t.Fatalf("Consumers() = %d after clamping, want 1", r.Consumers())
+	}
+}
+
+// BenchmarkBcastRing measures the per-message broadcast handoff cost for
+// the shard-worker fan-out counts the runner uses.
+func BenchmarkBcastRing(b *testing.B) {
+	for _, consumers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("consumers=%d", consumers), func(b *testing.B) {
+			r := NewBcastRing[int](8, consumers, nil)
+			var wg sync.WaitGroup
+			for i := 0; i < consumers; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						_, ok := r.Next(i)
+						if !ok {
+							return
+						}
+						r.Release(i)
+					}
+				}()
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				r.Publish(n)
+			}
+			r.Close()
+			wg.Wait()
+		})
+	}
+}

@@ -19,6 +19,11 @@
 // Because there is exactly one producer and one consumer, batches hand
 // over cleanly: the producer never touches a batch after Publish, the
 // consumer never touches one after Recycle.
+//
+// The package also provides BcastRing, the single-producer/multi-consumer
+// broadcast sibling used by the sharded stage graph: one labeled batch
+// published once, scanned by every shard worker, and recycled by
+// refcount once the last worker releases it.
 package evstream
 
 import "sync"
@@ -211,7 +216,10 @@ func (r *Ring) Next() (b []Event, ok bool) {
 
 // Recycle returns a consumed batch to the free list. The free list is
 // bounded by the ring depth plus the producer's working batch, so a
-// misbehaving caller cannot grow it without bound.
+// misbehaving caller cannot grow it without bound. Unlike the other
+// methods, Recycle is safe to call from any goroutine — the sharded
+// pipeline recycles batches from whichever worker releases a broadcast
+// slot last.
 func (r *Ring) Recycle(b []Event) {
 	if cap(b) == 0 {
 		return

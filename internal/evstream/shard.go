@@ -1,21 +1,5 @@
 package evstream
 
-// OpStrand marks a strand boundary on a per-shard stream: every access
-// event since the previous OpStrand (on that stream) belongs to the strand
-// whose ID the event carries. The sequencer appends it only to shards that
-// received events from the strand, after those events, so each shard sees
-// exactly the page-local slice of every strand's footprint in serial strand
-// order.
-const OpStrand Op = 8
-
-// StrandMark builds an OpStrand event for the given strand ID.
-func StrandMark(id int32) Event {
-	return Event{word: uint64(OpStrand), addr: uint64(uint32(id))}
-}
-
-// StrandID returns the strand ID of an OpStrand event.
-func (e Event) StrandID() int32 { return int32(uint32(e.addr)) }
-
 // PageSplit decomposes an access or range event into page-contained access
 // events, invoking emit with the page index and piece for each. Events
 // already inside one page pass through unchanged (ranges are still
@@ -24,6 +8,11 @@ func (e Event) StrandID() int32 { return int32(uint32(e.addr)) }
 // to them). A zero-sized access is emitted once, on its base address's
 // page, so per-shard hook-call counts still account for it. It returns the
 // number of pieces emitted.
+//
+// Each shard worker calls PageSplit locally on every access event of a
+// broadcast batch and keeps the pieces PickShard maps to its own index;
+// the splitting work parallelizes with the worker count instead of
+// serializing on the sequencer.
 func PageSplit(ev Event, pageBits uint, emit func(page uint64, piece Event)) int {
 	op := ev.EvOp()
 	addr := ev.Addr()

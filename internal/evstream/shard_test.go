@@ -2,7 +2,6 @@ package evstream
 
 import (
 	"math/rand"
-	"sync"
 	"testing"
 )
 
@@ -101,6 +100,45 @@ func TestPageSplitRandomCoverage(t *testing.T) {
 	}
 }
 
+// TestPageSplitShardPartition checks the worker-side filtering invariant:
+// for any access and shard count, every piece lands on exactly one shard,
+// and exactly one worker owns the first piece (the one accounting for the
+// original hook call).
+func TestPageSplitShardPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(4)
+		ev := Access(OpRead, rng.Uint64()%(1<<20), uint64(rng.Intn(1<<18)))
+		var pieces, kept, owners int
+		PageSplit(ev, 16, func(page uint64, piece Event) {
+			pieces++
+			s := PickShard(page, n)
+			if s < 0 || s >= n {
+				t.Fatalf("PickShard out of range: %d", s)
+			}
+		})
+		for w := 0; w < n; w++ {
+			first := true
+			PageSplit(ev, 16, func(page uint64, piece Event) {
+				mine := PickShard(page, n) == w
+				if first && mine {
+					owners++
+				}
+				first = false
+				if mine {
+					kept++
+				}
+			})
+		}
+		if kept != pieces {
+			t.Fatalf("trial %d: workers kept %d pieces of %d", trial, kept, pieces)
+		}
+		if owners != 1 {
+			t.Fatalf("trial %d: %d workers claimed the first piece", trial, owners)
+		}
+	}
+}
+
 func TestPickShardBoundsAndSpread(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 4, 7} {
 		counts := make([]int, n)
@@ -119,77 +157,9 @@ func TestPickShardBoundsAndSpread(t *testing.T) {
 	}
 }
 
-func TestStrandMarkRoundTrip(t *testing.T) {
-	for _, id := range []int32{0, 1, 1 << 20, 1<<31 - 1} {
-		ev := StrandMark(id)
-		if ev.EvOp() != OpStrand || ev.StrandID() != id {
-			t.Fatalf("StrandMark(%d) round-trips to op %d id %d", id, ev.EvOp(), ev.StrandID())
-		}
-	}
-}
-
-func TestMsgRingOrderAndReuse(t *testing.T) {
-	type msg struct{ v int }
-	r := NewMsgRing[*msg](2)
-	const total = 100
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for i := 0; i < total; i++ {
-			m, ok := r.GetFree()
-			if !ok {
-				m = &msg{}
-			}
-			m.v = i
-			r.Publish(m)
-		}
-		r.Close()
-	}()
-	want := 0
-	for {
-		m, ok := r.Next()
-		if !ok {
-			break
-		}
-		if m.v != want {
-			t.Fatalf("got %d, want %d", m.v, want)
-		}
-		want++
-		r.Recycle(m)
-	}
-	wg.Wait()
-	if want != total {
-		t.Fatalf("consumed %d messages, want %d", want, total)
-	}
-	st := r.Stats()
-	if st.BatchesPublished != total {
-		t.Fatalf("BatchesPublished = %d, want %d", st.BatchesPublished, total)
-	}
-	if st.BatchesReused == 0 {
-		t.Fatal("free list never reused a message")
-	}
-}
-
-func TestMsgRingCloseDrains(t *testing.T) {
-	r := NewMsgRing[int](4)
-	r.Publish(1)
-	r.Publish(2)
-	r.Close()
-	if v, ok := r.Next(); !ok || v != 1 {
-		t.Fatalf("Next = %d, %v", v, ok)
-	}
-	if v, ok := r.Next(); !ok || v != 2 {
-		t.Fatalf("Next = %d, %v", v, ok)
-	}
-	if _, ok := r.Next(); ok {
-		t.Fatal("Next after drain reported ok")
-	}
-}
-
-// BenchmarkShardRouterSplit measures the page-split + shard-pick cost per
-// access event, the sequencer's per-event overhead.
-func BenchmarkShardRouterSplit(b *testing.B) {
+// BenchmarkWorkerSplit measures one worker's per-event cost on the new
+// data path: page-split locally and keep only its own shard's pieces.
+func BenchmarkWorkerSplit(b *testing.B) {
 	evs := make([]Event, 1024)
 	rng := rand.New(rand.NewSource(1))
 	for i := range evs {
@@ -199,61 +169,33 @@ func BenchmarkShardRouterSplit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		PageSplit(evs[i%len(evs)], 16, func(page uint64, _ Event) {
-			sink += PickShard(page, 4)
+			if PickShard(page, 4) == 2 {
+				sink++
+			}
 		})
 	}
 	_ = sink
 }
 
-// BenchmarkShardRouterFanout measures routing a batch into 4 per-shard
-// slices, approximating the sequencer inner loop without the rings.
-func BenchmarkShardRouterFanout(b *testing.B) {
+// BenchmarkWorkerScan measures a worker scanning a full 4096-event batch:
+// the broadcast-ring replacement for the old sequencer fan-out loop. Every
+// worker does this scan, but in parallel, and nothing is copied.
+func BenchmarkWorkerScan(b *testing.B) {
 	evs := make([]Event, 4096)
 	rng := rand.New(rand.NewSource(2))
 	for i := range evs {
 		evs[i] = Access(OpWrite, rng.Uint64()%(1<<24), 8)
 	}
-	out := make([][]Event, 4)
-	for i := range out {
-		out[i] = make([]Event, 0, len(evs))
-	}
+	var sink uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for s := range out {
-			out[s] = out[s][:0]
-		}
 		for _, ev := range evs {
 			PageSplit(ev, 16, func(page uint64, piece Event) {
-				s := PickShard(page, 4)
-				out[s] = append(out[s], piece)
+				if PickShard(page, 4) == 1 {
+					sink += piece.Size()
+				}
 			})
 		}
 	}
-}
-
-// BenchmarkMsgRing measures the per-message handoff cost of the shard ring.
-func BenchmarkMsgRing(b *testing.B) {
-	r := NewMsgRing[[]Event](8)
-	done := make(chan struct{})
-	go func() {
-		for {
-			m, ok := r.Next()
-			if !ok {
-				break
-			}
-			r.Recycle(m[:0])
-		}
-		close(done)
-	}()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m, ok := r.GetFree()
-		if !ok {
-			m = make([]Event, 0, 64)
-		}
-		m = append(m, Access(OpRead, uint64(i), 8))
-		r.Publish(m)
-	}
-	r.Close()
-	<-done
+	_ = sink
 }

@@ -1,20 +1,22 @@
 // Canonical race recording. Every execution mode — inline, pipelined,
-// sharded — funnels its race reports through a raceCollector, which keeps
-// the MaxRacesRecorded smallest races under one total order and returns
-// them sorted. The order is a property of the program, not of the engine's
+// sharded — funnels its race reports through a Collector, which keeps the
+// MaxRacesRecorded smallest races under one total order and returns them
+// sorted. The order is a property of the program, not of the engine's
 // traversal: races are keyed first by the sequential rank of the later
 // access's strand (the serial-execution moment the race becomes
 // observable), then by the remaining fields as tie-breakers. Report.Races
 // is therefore byte-identical across sync, async, and every shard count.
 
-package stint
+package stage
+
+import "stint/internal/detect"
 
 // keyedRace pairs a race with the sequential rank of its Cur strand. Ranks
 // come from spord (sync/async) or a depa.View (sharded) — the differential
 // tests pin the two to agree.
 type keyedRace struct {
 	seq int32
-	r   Race
+	r   detect.Race
 }
 
 // raceKeyLess is the canonical total order on race reports. Within one
@@ -41,24 +43,27 @@ func raceKeyLess(a, b keyedRace) bool {
 	return a.r.Prev < b.r.Prev
 }
 
-// raceCollector keeps the max smallest-keyed races seen so far in a binary
+// Collector keeps the max smallest-keyed races seen so far in a binary
 // max-heap (h[0] holds the largest retained key), so a run reporting far
 // more races than MaxRacesRecorded costs O(log max) per report and no
-// allocation beyond the bounded heap.
-type raceCollector struct {
+// allocation beyond the bounded heap. A Collector is single-owner; stages
+// collect independently and Merge on the finalizer.
+type Collector struct {
 	max int
 	h   []keyedRace
 }
 
-func newRaceCollector(max int) *raceCollector {
-	return &raceCollector{max: max}
+// NewCollector returns a Collector retaining at most max races.
+func NewCollector(max int) *Collector {
+	return &Collector{max: max}
 }
 
-func (c *raceCollector) add(seq int32, r Race) {
+// Add offers one race with the sequential rank of its later access.
+func (c *Collector) Add(seq int32, r detect.Race) {
 	c.addKeyed(keyedRace{seq: seq, r: r})
 }
 
-func (c *raceCollector) addKeyed(kr keyedRace) {
+func (c *Collector) addKeyed(kr keyedRace) {
 	if len(c.h) < c.max {
 		c.h = append(c.h, kr)
 		c.siftUp(len(c.h) - 1)
@@ -71,14 +76,14 @@ func (c *raceCollector) addKeyed(kr keyedRace) {
 	c.siftDown(0)
 }
 
-// mergeFrom folds another collector's retained races into this one.
-func (c *raceCollector) mergeFrom(o *raceCollector) {
+// Merge folds another collector's retained races into this one.
+func (c *Collector) Merge(o *Collector) {
 	for _, kr := range o.h {
 		c.addKeyed(kr)
 	}
 }
 
-func (c *raceCollector) siftUp(i int) {
+func (c *Collector) siftUp(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
 		if !raceKeyLess(c.h[p], c.h[i]) {
@@ -89,7 +94,7 @@ func (c *raceCollector) siftUp(i int) {
 	}
 }
 
-func (c *raceCollector) siftDown(i int) {
+func (c *Collector) siftDown(i int) {
 	n := len(c.h)
 	for {
 		l, r := 2*i+1, 2*i+2
@@ -108,9 +113,9 @@ func (c *raceCollector) siftDown(i int) {
 	}
 }
 
-// sorted destructively extracts the retained races in ascending canonical
+// Sorted destructively extracts the retained races in ascending canonical
 // order.
-func (c *raceCollector) sorted() []Race {
+func (c *Collector) Sorted() []detect.Race {
 	n := len(c.h)
 	if n == 0 {
 		return nil
@@ -120,7 +125,7 @@ func (c *raceCollector) sorted() []Race {
 		c.h[0], c.h[end] = c.h[end], c.h[0]
 		c.heapifyPrefix(end)
 	}
-	out := make([]Race, n)
+	out := make([]detect.Race, n)
 	for i, kr := range c.h {
 		out[i] = kr.r
 	}
@@ -129,8 +134,8 @@ func (c *raceCollector) sorted() []Race {
 }
 
 // heapifyPrefix restores the max-heap property over h[:end] after the root
-// swap in sorted.
-func (c *raceCollector) heapifyPrefix(end int) {
+// swap in Sorted.
+func (c *Collector) heapifyPrefix(end int) {
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2

@@ -1,0 +1,71 @@
+// Package stage holds the orchestration primitives shared by every
+// execution mode of the stint runner. A pipeline — synchronous, async, or
+// sharded — is a small graph of stages: goroutines connected by bounded
+// rings (stint/internal/evstream), each metering its own busy time, all
+// funneling race reports into one canonical Collector. The runner files
+// (stint.go, async.go, shards.go) and trace.Replay build their pipelines
+// from these primitives instead of hand-rolling goroutine topologies.
+package stage
+
+import (
+	"sync"
+	"time"
+)
+
+// Graph wires and drains the detector-side stages of one pipeline run.
+// Stages are goroutines launched with Go; Seal installs the finalizer that
+// joins them and merges their results; Wait blocks the producer until the
+// sealed graph has fully finished. The zero wiring (no Go calls, Seal(nil))
+// is legal and makes Wait return as soon as the finalizer runs — the
+// degenerate graph of the synchronous path.
+type Graph struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{done: make(chan struct{})}
+}
+
+// Go launches fn as one stage goroutine of the graph.
+func (g *Graph) Go(fn func()) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		fn()
+	}()
+}
+
+// Seal launches the graph's finalizer: after every stage launched so far
+// has returned, it runs merge (which may be nil) and marks the graph done.
+// Results written by stages before returning are visible to merge, and
+// results written by merge are visible after Wait. Seal must be called
+// exactly once, after all Go calls.
+func (g *Graph) Seal(merge func()) {
+	go func() {
+		g.wg.Wait()
+		if merge != nil {
+			merge()
+		}
+		close(g.done)
+	}()
+}
+
+// Wait blocks until the sealed graph has finished: all stages joined and
+// the merge complete.
+func (g *Graph) Wait() { <-g.done }
+
+// Meter accumulates one stage's busy time at batch granularity: the wall
+// clock spent processing, excluding blocking waits on the stage's rings.
+// Start a lap with time.Now() before processing and Add the start once the
+// batch is done, before any blocking publish or next.
+type Meter struct {
+	busy time.Duration
+}
+
+// Add accumulates the time elapsed since t0.
+func (m *Meter) Add(t0 time.Time) { m.busy += time.Since(t0) }
+
+// Busy returns the accumulated busy time.
+func (m *Meter) Busy() time.Duration { return m.busy }

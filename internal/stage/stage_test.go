@@ -1,0 +1,174 @@
+package stage
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stint/internal/detect"
+)
+
+// TestGraphSealOrdersMergeAfterStages checks the drain contract: merge runs
+// only after every stage has returned, and Wait returns only after merge.
+func TestGraphSealOrdersMergeAfterStages(t *testing.T) {
+	g := NewGraph()
+	var stagesDone atomic.Int32
+	for i := 0; i < 4; i++ {
+		g.Go(func() {
+			time.Sleep(time.Millisecond)
+			stagesDone.Add(1)
+		})
+	}
+	merged := false
+	g.Seal(func() {
+		if n := stagesDone.Load(); n != 4 {
+			t.Errorf("merge ran with %d/4 stages done", n)
+		}
+		merged = true
+	})
+	g.Wait()
+	if !merged {
+		t.Fatal("Wait returned before merge")
+	}
+}
+
+// TestGraphEmpty pins the degenerate synchronous-path graph: no stages,
+// nil merge, Wait returns.
+func TestGraphEmpty(t *testing.T) {
+	g := NewGraph()
+	g.Seal(nil)
+	g.Wait()
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	var m Meter
+	t0 := time.Now().Add(-10 * time.Millisecond)
+	m.Add(t0)
+	m.Add(t0)
+	if b := m.Busy(); b < 20*time.Millisecond {
+		t.Fatalf("Busy() = %v, want >= 20ms", b)
+	}
+}
+
+// race builds a distinguishable race for collector tests.
+func race(addr uint64, cur int32) detect.Race {
+	return detect.Race{Addr: addr, Size: 4, Prev: cur - 1, Cur: cur, CurWrite: true}
+}
+
+// TestCollectorKeepsSmallestCanonical feeds races in scrambled order and
+// checks the collector retains the bound smallest under the canonical key,
+// sorted.
+func TestCollectorKeepsSmallestCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const total, keep = 200, 16
+	seqs := rng.Perm(total)
+	c := NewCollector(keep)
+	for _, s := range seqs {
+		c.Add(int32(s), race(uint64(s)*8, int32(s)))
+	}
+	got := c.Sorted()
+	if len(got) != keep {
+		t.Fatalf("retained %d races, want %d", len(got), keep)
+	}
+	for i, r := range got {
+		if r.Cur != int32(i) {
+			t.Fatalf("race %d has Cur %d, want %d (smallest seqs, ascending)", i, r.Cur, i)
+		}
+	}
+}
+
+// TestCollectorMergeMatchesSingle verifies the sharded merge property:
+// races split across per-worker collectors and merged give the same slice
+// as one collector fed everything.
+func TestCollectorMergeMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const total, keep, workers = 300, 24, 4
+	one := NewCollector(keep)
+	parts := make([]*Collector, workers)
+	for i := range parts {
+		parts[i] = NewCollector(keep)
+	}
+	for _, s := range rng.Perm(total) {
+		r := race(uint64(s)*4, int32(s))
+		one.Add(int32(s), r)
+		parts[rng.Intn(workers)].Add(int32(s), r)
+	}
+	merged := NewCollector(keep)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	a, b := one.Sorted(), merged.Sorted()
+	if len(a) != len(b) {
+		t.Fatalf("merged retained %d races, single retained %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("race %d differs: single %+v, merged %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCollectorTieBreakOrder pins the canonical tie-break chain on equal
+// sequential ranks: reads before writes, then address, size, previous
+// access kind, and previous strand.
+func TestCollectorTieBreakOrder(t *testing.T) {
+	rs := []detect.Race{
+		{Addr: 8, Size: 4, Prev: 1, Cur: 9, CurWrite: false},
+		{Addr: 8, Size: 4, Prev: 1, Cur: 9, CurWrite: true},
+		{Addr: 16, Size: 4, Prev: 1, Cur: 9, CurWrite: true},
+		{Addr: 16, Size: 8, Prev: 1, Cur: 9, CurWrite: true},
+		{Addr: 16, Size: 8, Prev: 1, Cur: 9, PrevWrite: true, CurWrite: true},
+		{Addr: 16, Size: 8, Prev: 3, Cur: 9, PrevWrite: true, CurWrite: true},
+	}
+	want := append([]detect.Race(nil), rs...)
+	perm := rand.New(rand.NewSource(3)).Perm(len(rs))
+	c := NewCollector(len(rs))
+	for _, i := range perm {
+		c.Add(7, rs[i])
+	}
+	got := c.Sorted()
+	if len(got) != len(want) {
+		t.Fatalf("retained %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCollectorZeroBound checks MaxRacesRecorded=0 semantics: nothing
+// retained, no panic.
+func TestCollectorZeroBound(t *testing.T) {
+	c := NewCollector(0)
+	c.Add(1, race(8, 1))
+	if got := c.Sorted(); got != nil {
+		t.Fatalf("Sorted() = %v, want nil", got)
+	}
+}
+
+// TestCollectorSortedIsSorted cross-checks Sorted's heap-sort against the
+// stdlib on random inputs.
+func TestCollectorSortedIsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(60)
+		keep := 1 + rng.Intn(n)
+		var all []keyedRace
+		c := NewCollector(keep)
+		for i := 0; i < n; i++ {
+			kr := keyedRace{seq: int32(rng.Intn(20)), r: race(uint64(rng.Intn(10))*4, int32(rng.Intn(20)))}
+			all = append(all, kr)
+			c.addKeyed(kr)
+		}
+		sort.Slice(all, func(i, j int) bool { return raceKeyLess(all[i], all[j]) })
+		got := c.Sorted()
+		for i, r := range got {
+			if r != all[i].r {
+				t.Fatalf("trial %d position %d: got %+v, want %+v", trial, i, r, all[i].r)
+			}
+		}
+	}
+}

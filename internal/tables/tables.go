@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"stint"
+	"stint/internal/cliutil"
 	"stint/workloads"
 )
 
@@ -29,6 +30,10 @@ type Result struct {
 	Stats    stint.Stats
 	Strands  int
 	Races    uint64
+	// Report is the first repetition's full report; the utilization table
+	// reads its per-stage busy times (Wall and Stats above stay the
+	// cross-repetition aggregates).
+	Report *stint.Report
 }
 
 // Measure runs one fresh instance of f under mode, averaged over reps runs,
@@ -72,6 +77,7 @@ func MeasureWith(f workloads.Factory, opts stint.Options, reps int) (*Result, er
 		agg.Races = report.RaceCount
 		if rep == 0 {
 			agg.Stats = report.Stats
+			agg.Report = report
 		}
 	}
 	agg.Wall /= time.Duration(reps)
@@ -457,6 +463,49 @@ func (s *Suite) Async() error {
 			s.printf(" %-9s %10v %10v %7.2fx |", "",
 				sync.Wall.Round(time.Millisecond), async.Wall.Round(time.Millisecond),
 				float64(sync.Wall)/float64(async.Wall))
+		}
+		s.printf("\n")
+	}
+	return nil
+}
+
+// Util reports the sharded stage graph's per-stage utilization on every
+// workload: wall clock, label-stage busy time, the busiest worker's busy
+// time, and their ratio. With worker-side page splitting the label stage
+// only consumes structure events, so lbl/wrk far below 1 means the
+// sequencer has stopped being the scaling bottleneck — adding shards keeps
+// dividing the detection critical path. Not one of the paper's figures, so
+// Suite.All leaves it out.
+func (s *Suite) Util() error {
+	const shards = 4
+	modes := []stint.Detector{stint.DetectorCompRTS, stint.DetectorSTINT}
+	s.printf("== Stage utilization: label stage vs %d shard workers ==\n", shards)
+	s.printf("%-6s |", "")
+	for _, m := range modes {
+		s.printf(" %-9s %10s %10s %10s %8s |", m, "wall", "label", "max-wrk", "lbl/wrk")
+	}
+	s.printf("\n")
+	for _, name := range workloads.Names() {
+		f, err := workloads.ByName(name, s.scale())
+		if err != nil {
+			return err
+		}
+		s.printf("%-6s |", name)
+		for _, m := range modes {
+			res, err := MeasureWith(f, stint.Options{Detector: m, Async: true, DetectShards: shards}, s.reps())
+			if err != nil {
+				return err
+			}
+			label, _, maxWorker, ok := cliutil.StageBusy(res.Report)
+			if !ok || maxWorker <= 0 {
+				s.printf(" %-9s %10v %10s %10s %8s |", "", res.Wall.Round(time.Millisecond), "-", "-", "-")
+				continue
+			}
+			s.printf(" %-9s %10v %10v %10v %7.2fx |", "",
+				res.Wall.Round(time.Millisecond),
+				label.Round(time.Microsecond),
+				maxWorker.Round(time.Microsecond),
+				float64(label)/float64(maxWorker))
 		}
 		s.printf("\n")
 	}

@@ -1,0 +1,85 @@
+// Options validation. Every constraint on an Options value lives in one
+// table here — the runner files assume a validated configuration and never
+// re-check combinations — so NewRunner is the single gate and the table is
+// the single place to read (and test) the rules.
+
+package stint
+
+import "fmt"
+
+// maxDetectShards bounds DetectShards. Shards cost a goroutine, an engine,
+// and a broadcast-ring cursor each, and the page hash cannot usefully
+// spread a program over more workers than it has distinct 64 KiB shadow
+// pages; four-digit counts are a configuration error, not a scale-up.
+const maxDetectShards = 1024
+
+// optionsRule is one validation rule: bad reports whether opts violate the
+// rule, and err renders the violation.
+type optionsRule struct {
+	bad func(o *Options) bool
+	err func(o *Options) error
+}
+
+// optionsRules is evaluated in order; the first violated rule wins.
+var optionsRules = []optionsRule{
+	{
+		bad: func(o *Options) bool { return o.Parallel && o.Detector != DetectorOff },
+		err: func(o *Options) error {
+			return fmt.Errorf("stint: Parallel execution requires DetectorOff; race detection is sequential")
+		},
+	},
+	{
+		bad: func(o *Options) bool { return o.Parallel && o.Tracer != nil },
+		err: func(o *Options) error {
+			return fmt.Errorf("stint: tracing requires serial execution")
+		},
+	},
+	{
+		bad: func(o *Options) bool { return o.Async && o.Parallel },
+		err: func(o *Options) error {
+			return fmt.Errorf("stint: Async and Parallel are incompatible; Async pipelines the serial projection, Parallel abandons it")
+		},
+	},
+	{
+		bad: func(o *Options) bool { return o.MaxRacesRecorded < 0 },
+		err: func(o *Options) error {
+			return fmt.Errorf("stint: MaxRacesRecorded must be non-negative, got %d", o.MaxRacesRecorded)
+		},
+	},
+	{
+		bad: func(o *Options) bool { return o.DetectShards < 0 },
+		err: func(o *Options) error {
+			return fmt.Errorf("stint: DetectShards must be non-negative, got %d", o.DetectShards)
+		},
+	},
+	{
+		bad: func(o *Options) bool { return o.DetectShards > maxDetectShards },
+		err: func(o *Options) error {
+			return fmt.Errorf("stint: DetectShards %d exceeds the maximum of %d", o.DetectShards, maxDetectShards)
+		},
+	},
+	{
+		bad: func(o *Options) bool { return o.DetectShards > 0 && !o.Async },
+		err: func(o *Options) error {
+			return fmt.Errorf("stint: DetectShards requires Async; sharding splits the pipelined detector")
+		},
+	},
+	{
+		bad: func(o *Options) bool {
+			return o.DetectShards > 0 && (o.Detector == DetectorVanilla || o.Detector == DetectorCompiler)
+		},
+		err: func(o *Options) error {
+			return fmt.Errorf("stint: DetectShards requires a runtime-coalescing detector (comp+rts or a stint variant), got %v", o.Detector)
+		},
+	},
+}
+
+// validate checks opts against every rule, returning the first violation.
+func (o *Options) validate() error {
+	for _, rule := range optionsRules {
+		if rule.bad(o) {
+			return rule.err(o)
+		}
+	}
+	return nil
+}

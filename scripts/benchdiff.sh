@@ -5,15 +5,48 @@
 #   scripts/benchdiff.sh emit [BENCH_REGEX] [PKG...]
 #       Run the matching benchmarks (default: BenchmarkFig5 in the root
 #       package) with -benchmem and print one JSON object per benchmark to
-#       stdout, tagged with the commit and date. `make bench-json` redirects
-#       this into BENCH_<date>.json, seeding the repo's perf trajectory.
+#       stdout, tagged with the execution mode (sync / async / sharded,
+#       derived from the benchmark name), commit, and date. `make bench-json`
+#       redirects this into BENCH_<date>.json, seeding the repo's perf
+#       trajectory.
 #
 #   scripts/benchdiff.sh diff OLD.json NEW.json
 #       Join two emitted files by benchmark name and print per-benchmark
-#       deltas for ns/op and allocs/op.
+#       deltas for ns/op and allocs/op, with the mode in the first column.
+#
+#   scripts/benchdiff.sh check NEW.json OLD.json [OLD.json...]
+#       Compare NEW against the union of the OLD snapshots (later files win
+#       on name collisions) and exit 1 if any benchmark in any mode regressed
+#       ns/op by more than ${BENCHDIFF_MAX_REGRESSION:-10} percent. `make
+#       bench-diff-all` runs this against every checked-in BENCH_*.json.
+#
+# Snapshots emitted before the mode field existed are still comparable:
+# diff and check derive the mode from the benchmark name when the field is
+# absent.
 set -euo pipefail
 
 mode="${1:-emit}"
+
+# awk helpers shared by diff and check: JSON field extraction and the
+# name→mode fallback for pre-mode-field snapshots.
+AWK_HELPERS='
+function get(line, key,   re, s) {
+    re = "\"" key "\":[^,}]*"
+    if (match(line, re)) {
+        s = substr(line, RSTART, RLENGTH)
+        sub("\"" key "\":", "", s)
+        gsub(/"/, "", s)
+        return s
+    }
+    return ""
+}
+function modeof(line, name,   m) {
+    m = get(line, "mode")
+    if (m != "") return m
+    if (name ~ /Fig5Async/) return "async"
+    if (name ~ /Fig5Sharded/) return "sharded"
+    return "sync"
+}'
 
 emit() {
     local regex="${1:-BenchmarkFig5}"
@@ -29,6 +62,9 @@ emit() {
         /^Benchmark/ {
             name = $1
             sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+            mode = "sync"
+            if (name ~ /Fig5Async/) mode = "async"
+            else if (name ~ /Fig5Sharded/) mode = "sharded"
             iters = $2
             ns = ""; bytes = ""; allocs = ""; extra = ""
             for (i = 3; i < NF; i++) {
@@ -36,13 +72,14 @@ emit() {
                 if (unit == "ns/op") ns = v
                 else if (unit == "B/op") bytes = v
                 else if (unit == "allocs/op") allocs = v
-                else if (unit ~ /\//) {
+                else if (unit ~ /^[A-Za-z]/) {
+                    # custom b.ReportMetric units, e.g. seq-busy-ms
                     gsub(/"/, "", unit)
                     extra = extra sprintf(",\"%s\":%s", unit, v)
                 }
             }
             if (ns == "") next
-            printf "{\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", name, iters, ns
+            printf "{\"name\":\"%s\",\"mode\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", name, mode, iters, ns
             if (bytes != "")  printf ",\"bytes_per_op\":%s", bytes
             if (allocs != "") printf ",\"allocs_per_op\":%s", allocs
             printf "%s,\"goos\":\"%s\",\"goarch\":\"%s\",\"commit\":\"%s\",\"date\":\"%s\"}\n", extra, goos, goarch, commit, date
@@ -51,17 +88,7 @@ emit() {
 
 diff_files() {
     local old="$1" new="$2"
-    awk '
-    function get(line, key,   re, s) {
-        re = "\"" key "\":[^,}]*"
-        if (match(line, re)) {
-            s = substr(line, RSTART, RLENGTH)
-            sub("\"" key "\":", "", s)
-            gsub(/"/, "", s)
-            return s
-        }
-        return ""
-    }
+    awk "$AWK_HELPERS"'
     FNR == NR {
         n = get($0, "name")
         if (n != "") { ons[n] = get($0, "ns_per_op"); oal[n] = get($0, "allocs_per_op") }
@@ -73,9 +100,42 @@ diff_files() {
         ns = get($0, "ns_per_op"); al = get($0, "allocs_per_op")
         dns = (ons[n] > 0) ? (ns - ons[n]) * 100.0 / ons[n] : 0
         dal = (oal[n] > 0) ? (al - oal[n]) * 100.0 / oal[n] : 0
-        printf "%-50s ns/op %12.0f -> %12.0f (%+7.1f%%)   allocs/op %8d -> %8d (%+7.1f%%)\n", \
-            n, ons[n], ns, dns, oal[n], al, dal
+        printf "%-8s %-50s ns/op %12.0f -> %12.0f (%+7.1f%%)   allocs/op %8d -> %8d (%+7.1f%%)\n", \
+            modeof($0, n), n, ons[n], ns, dns, oal[n], al, dal
     }' "$old" "$new"
+}
+
+check_files() {
+    awk -v max="${BENCHDIFF_MAX_REGRESSION:-10}" "$AWK_HELPERS"'
+    FNR == 1 { fileno++ }
+    fileno == 1 {
+        n = get($0, "name")
+        if (n == "") next
+        if (!(n in nns)) order[++cnt] = n
+        nns[n] = get($0, "ns_per_op")
+        nmode[n] = modeof($0, n)
+        next
+    }
+    {
+        n = get($0, "name")
+        if (n != "") ons[n] = get($0, "ns_per_op")
+    }
+    END {
+        fail = 0; compared = 0
+        for (i = 1; i <= cnt; i++) {
+            n = order[i]
+            if (!(n in ons) || ons[n] <= 0) continue
+            compared++
+            d = (nns[n] - ons[n]) * 100.0 / ons[n]
+            flag = ""
+            if (d > max) { flag = "  REGRESSION"; fail = 1 }
+            printf "%-8s %-50s ns/op %12.0f -> %12.0f (%+7.1f%%)%s\n", \
+                nmode[n], n, ons[n], nns[n], d, flag
+        }
+        if (compared == 0) { print "benchdiff: no overlapping benchmarks to compare" > "/dev/stderr"; exit 2 }
+        if (fail) printf "benchdiff: FAIL: ns/op regression beyond %s%%\n", max > "/dev/stderr"
+        exit fail
+    }' "$@"
 }
 
 case "$mode" in
@@ -87,8 +147,13 @@ diff)
     [ $# -eq 3 ] || { echo "usage: $0 diff OLD.json NEW.json" >&2; exit 2; }
     diff_files "$2" "$3"
     ;;
+check)
+    [ $# -ge 3 ] || { echo "usage: $0 check NEW.json OLD.json [OLD.json...]" >&2; exit 2; }
+    shift
+    check_files "$@"
+    ;;
 *)
-    echo "usage: $0 emit [BENCH_REGEX] [PKG...] | $0 diff OLD.json NEW.json" >&2
+    echo "usage: $0 emit [BENCH_REGEX] [PKG...] | $0 diff OLD.json NEW.json | $0 check NEW.json OLD.json..." >&2
     exit 2
     ;;
 esac

@@ -1,35 +1,47 @@
 // Sharded multi-worker detection (Options.DetectShards): the Async
-// pipeline's detector side split across N workers by shadow page.
+// pipeline's detector side split across N workers by shadow page, as an
+// explicit stage graph.
 //
 // Topology:
 //
-//	mutator ──main ring──▶ sequencer ──N shard rings──▶ N workers ──▶ merge
+//	mutator ──main ring──▶ label stage ──broadcast ring──▶ N workers ──▶ merge
 //
-// The sequencer is the only goroutine that sees the structure events. It
-// maintains an internal/depa label Builder in exactly the order the inline
-// detector maintains SP-Order, so strand IDs coincide, and it routes every
-// access event to the shard owning its 64 KiB shadow page (splitting
-// accesses that straddle pages, which is exact because the runtime-
-// coalescing engines treat an access as nothing but its set of touched
-// words). When a strand ends, the sequencer appends an OpStrand boundary —
-// carrying the strand's ID — to each shard that received events from it,
-// so every worker observes the serial order of strands restricted to its
-// own pages.
+// The label stage is deliberately thin: it consumes only the structure
+// events (spawn/restore/sync), advances an internal/depa label Builder in
+// exactly the order the inline detector maintains SP-Order, stamps the
+// batch with an immutable label snapshot, and republishes the batch
+// **unmodified** onto a single-producer/multi-consumer broadcast ring
+// (evstream.BcastRing). It never splits, copies, or routes access events —
+// the per-event work that made the PR 3 sequencer the multi-core critical
+// path.
+//
+// Page splitting and shard filtering happen on the workers instead: every
+// worker scans the same labeled batch, replays the structure events through
+// its own depa.Tracker (strand IDs are a deterministic function of the
+// structure stream, so all trackers agree with the Builder), page-splits
+// each access locally, and keeps only the pieces whose 64 KiB shadow page
+// hashes to its shard index. Splitting at page boundaries is exact because
+// the runtime-coalescing engines treat an access as nothing but its set of
+// touched words.
 //
 // Workers never share mutable detector state: each owns the page
 // directory, treap pools, and coalesce buffers for its page subset, and
 // answers Parallel/LeftOf from the immutable label snapshot carried inside
-// each batch message. The only cross-goroutine data are the rings and the
-// read-only labels (published before the events that reference them).
+// each batch. The only cross-goroutine data are the rings, the read-only
+// labels (published before the events that reference them), and the batch
+// slices themselves, which are read-only between Publish and the broadcast
+// ring's last Release (the refcounted recycle hands them back to the main
+// ring's free list).
 //
 // Correctness argument (see DESIGN.md "Why sharding is exact"): the access
 // history is independent per page, every flushed interval is page-
-// contained, and each worker replays its pages' intervals in the same
-// serial strand order the inline detector would — so each page's store
-// evolves byte-identically to the synchronous run, and the union of the
-// workers' race reports equals the synchronous report as a multiset. The
-// canonical collector then makes Report.Races identical, not just
-// equivalent.
+// contained, and each worker — flushing at every strand boundary it
+// observes, which is every strand boundary — replays its pages' intervals
+// in the same serial strand order the inline detector would. So each
+// page's store evolves byte-identically to the synchronous run, and the
+// union of the workers' race reports equals the synchronous report as a
+// multiset. The canonical collector then makes Report.Races identical, not
+// just equivalent.
 
 package stint
 
@@ -41,203 +53,23 @@ import (
 	"stint/internal/depa"
 	"stint/internal/detect"
 	"stint/internal/evstream"
+	"stint/internal/stage"
 )
 
-// shardMsg is one per-shard batch: access/strand events plus the label
-// snapshot covering every strand they reference.
-type shardMsg struct {
+// labeledBatch is one broadcast message: the producer's event batch,
+// untouched, plus the label snapshot covering every strand its events
+// reference.
+type labeledBatch struct {
 	events []evstream.Event
 	labels depa.View
 }
 
-// shardWorker consumes one shard's stream. It implements detect.Reach over
-// the label snapshots, standing in for *spord.SP.
-type shardWorker struct {
-	ring *evstream.MsgRing[shardMsg]
-	view depa.View
-	cur  int32 // strand owning the events seen since the last OpStrand
-
-	// Results, read after wg.Wait().
-	stats Stats
-	busy  time.Duration
-	col   *raceCollector
-}
-
-// CurrentID, Parallel, and LeftOf satisfy detect.Reach. CurrentID returns
-// the strand whose events the worker is replaying — maintained from
-// OpStrand boundaries rather than a live SP structure.
-func (w *shardWorker) CurrentID() int32 { return w.cur }
-
-func (w *shardWorker) Parallel(a, b int32) bool { return w.view.Parallel(a, b) }
-
-func (w *shardWorker) LeftOf(a, b int32) bool { return w.view.LeftOf(a, b) }
-
-func (w *shardWorker) run(cfg detect.Config, wg *sync.WaitGroup) {
-	defer wg.Done()
-	engine := detect.New(cfg, w)
-	for {
-		m, ok := w.ring.Next()
-		if !ok {
-			break
-		}
-		t0 := time.Now()
-		w.view = m.labels
-		for _, ev := range m.events {
-			switch ev.EvOp() {
-			case evstream.OpRead:
-				engine.ReadHook(ev.Addr(), ev.Size())
-			case evstream.OpWrite:
-				engine.WriteHook(ev.Addr(), ev.Size())
-			case evstream.OpStrand:
-				// The strand owning the preceding events just ended; flush
-				// its page-local intervals against this shard's history.
-				w.cur = ev.StrandID()
-				engine.StrandEnd()
-			}
-		}
-		w.busy += time.Since(t0)
-		m.events = m.events[:0]
-		w.ring.Recycle(m)
-	}
-	t0 := time.Now()
-	// Every strand was already flushed by its OpStrand boundary, so this
-	// only aggregates the per-page store statistics.
-	engine.Finish()
-	w.busy += time.Since(t0)
-	w.stats = *engine.Stats()
-}
-
-// shardRouter is the sequencer's routing state.
-type shardRouter struct {
-	n        int
-	rings    []*evstream.MsgRing[shardMsg]
-	pending  []shardMsg // working batch per shard
-	dirty    []bool     // shard received events from the current strand
-	dirtyLst []int32
-	batchCap int
-	labels   *depa.Builder
-	// splitReads/splitWrites count the extra hook calls introduced by
-	// splitting page-straddling accesses; the merge subtracts them so
-	// ReadHookCalls/WriteHookCalls match the synchronous run exactly.
-	splitReads  uint64
-	splitWrites uint64
-}
-
-func newShardRouter(n, ringDepth, batchCap int) *shardRouter {
-	r := &shardRouter{
-		n:        n,
-		rings:    make([]*evstream.MsgRing[shardMsg], n),
-		pending:  make([]shardMsg, n),
-		dirty:    make([]bool, n),
-		batchCap: batchCap,
-		labels:   depa.NewBuilder(),
-	}
-	for i := range r.rings {
-		r.rings[i] = evstream.NewMsgRing[shardMsg](ringDepth)
-	}
-	return r
-}
-
-// send appends one event to a shard's working batch, publishing when full.
-func (r *shardRouter) send(shard int, ev evstream.Event) {
-	m := &r.pending[shard]
-	if m.events == nil {
-		if got, ok := r.rings[shard].GetFree(); ok {
-			*m = got
-		} else {
-			m.events = make([]evstream.Event, 0, r.batchCap)
-		}
-	}
-	m.events = append(m.events, ev)
-	if len(m.events) >= r.batchCap {
-		r.publish(shard)
-	}
-}
-
-// publish snapshots the labels into the batch and hands it to the worker.
-// The snapshot covers every strand created so far, hence every strand any
-// event in the batch references.
-func (r *shardRouter) publish(shard int) {
-	m := &r.pending[shard]
-	if len(m.events) == 0 {
-		return
-	}
-	m.labels = r.labels.View()
-	r.rings[shard].Publish(*m)
-	*m = shardMsg{}
-}
-
-// access routes one access or range event, splitting at page boundaries.
-func (r *shardRouter) access(ev evstream.Event) {
-	op := ev.EvOp()
-	pieces := evstream.PageSplit(ev, coalesce.PageBytesBits, func(page uint64, piece evstream.Event) {
-		s := evstream.PickShard(page, r.n)
-		if !r.dirty[s] {
-			r.dirty[s] = true
-			r.dirtyLst = append(r.dirtyLst, int32(s))
-		}
-		r.send(s, piece)
-	})
-	if pieces > 1 {
-		if op == evstream.OpRead || op == evstream.OpReadRange {
-			r.splitReads += uint64(pieces - 1)
-		} else {
-			r.splitWrites += uint64(pieces - 1)
-		}
-	}
-}
-
-// strandEnd appends the current strand's boundary to every shard it dirtied.
-func (r *shardRouter) strandEnd() {
-	if len(r.dirtyLst) == 0 {
-		return
-	}
-	mark := evstream.StrandMark(r.labels.Current())
-	for _, s := range r.dirtyLst {
-		r.dirty[s] = false
-		r.send(int(s), mark)
-	}
-	r.dirtyLst = r.dirtyLst[:0]
-}
-
-// close flushes all working batches and closes the shard rings.
-func (r *shardRouter) close() {
-	for s := 0; s < r.n; s++ {
-		r.publish(s)
-		r.rings[s].Close()
-	}
-}
-
-// consumeSharded runs on the sequencer goroutine: it drains the main event
-// ring, maintains the depa labels in serial order, routes access events to
-// the shard workers, and merges their results into canonical totals.
-func (as *asyncState) consumeSharded(cfg detect.Config, shards, maxRec int, user func(Race)) {
-	defer close(as.done)
-	router := newShardRouter(shards, defaultAsyncRingDepth, as.shardBatchCap())
-
-	// Workers: each gets its own engine, race collector, and a Reach over
-	// the shared immutable labels. User OnRace calls are serialized with a
-	// mutex — across workers their order is nondeterministic (documented),
-	// but the recorded Report is canonical regardless.
-	var raceMu sync.Mutex
-	var wg sync.WaitGroup
-	workers := make([]*shardWorker, shards)
-	for i := range workers {
-		w := &shardWorker{ring: router.rings[i], col: newRaceCollector(maxRec)}
-		wcfg := cfg
-		wcfg.OnRace = func(race Race) {
-			w.col.add(w.view.SeqRank(race.Cur), race)
-			if user != nil {
-				raceMu.Lock()
-				user(race)
-				raceMu.Unlock()
-			}
-		}
-		workers[i] = w
-		wg.Add(1)
-		go w.run(wcfg, &wg)
-	}
-
+// labelStage runs on the sequencer goroutine: it drains the main event
+// ring, applies the structure events to the label Builder, and broadcasts
+// each batch with a fresh label snapshot. The snapshot is taken after the
+// batch's own structure events, so it covers every strand any event in the
+// batch belongs to.
+func (as *asyncState) labelStage(labels *depa.Builder, bcast *evstream.BcastRing[labeledBatch]) {
 	for {
 		batch, ok := as.ring.Next()
 		if !ok {
@@ -247,70 +79,179 @@ func (as *asyncState) consumeSharded(cfg detect.Config, shards, maxRec int, user
 		for _, ev := range batch {
 			switch ev.EvOp() {
 			case evstream.OpSpawn:
-				router.strandEnd()
-				router.labels.Spawn()
+				labels.Spawn()
 			case evstream.OpRestore:
-				router.strandEnd() // the child's final strand ends here
-				router.labels.Restore()
+				labels.Restore()
 			case evstream.OpSync:
-				router.strandEnd()
-				router.labels.Sync()
-			default:
-				router.access(ev)
+				labels.Sync()
 			}
 		}
-		as.seqBusy += time.Since(t0)
-		as.ring.Recycle(batch)
+		m := labeledBatch{events: batch, labels: labels.View()}
+		as.seqBusy.Add(t0) // busy excludes the blocking publish below
+		bcast.Publish(m)
+	}
+	bcast.Close()
+}
+
+// shardWorker consumes the broadcast stream for one shard. It implements
+// detect.Reach over the label snapshots, standing in for *spord.SP: the
+// current strand comes from its private Tracker, reachability from the
+// batch's immutable View.
+type shardWorker struct {
+	id, n int
+	bcast *evstream.BcastRing[labeledBatch]
+	view  depa.View
+	track *depa.Tracker
+
+	// splitReads/splitWrites count the extra hook calls this worker's local
+	// splitting introduced beyond the piece the access's first page owns;
+	// summed across workers they equal pieces-1 per split access, and the
+	// merge subtracts them so ReadHookCalls/WriteHookCalls match the
+	// synchronous run exactly.
+	splitReads  uint64
+	splitWrites uint64
+
+	// Results, read by the merge after the stage graph joins.
+	stats Stats
+	busy  stage.Meter
+	col   *stage.Collector
+}
+
+// CurrentID, Parallel, and LeftOf satisfy detect.Reach.
+func (w *shardWorker) CurrentID() int32 { return w.track.Current() }
+
+func (w *shardWorker) Parallel(a, b int32) bool { return w.view.Parallel(a, b) }
+
+func (w *shardWorker) LeftOf(a, b int32) bool { return w.view.LeftOf(a, b) }
+
+func (w *shardWorker) run(cfg detect.Config) {
+	engine := detect.New(cfg, w)
+	for {
+		m, ok := w.bcast.Next(w.id)
+		if !ok {
+			break
+		}
+		t0 := time.Now()
+		w.view = m.labels
+		for _, ev := range m.events {
+			switch ev.EvOp() {
+			case evstream.OpSpawn:
+				// A strand boundary: flush the ending strand's page-local
+				// intervals (a no-op for strands that touched none of this
+				// shard's pages), then advance the tracker.
+				engine.StrandEnd()
+				w.track.Spawn()
+			case evstream.OpRestore:
+				engine.StrandEnd() // the child's final strand ends here
+				w.track.Restore()
+			case evstream.OpSync:
+				engine.StrandEnd()
+				w.track.Sync()
+			default:
+				w.access(engine, ev)
+			}
+		}
+		w.busy.Add(t0)
+		w.bcast.Release(w.id)
 	}
 	t0 := time.Now()
-	router.strandEnd() // the root's final strand
-	router.close()
-	as.seqBusy += time.Since(t0)
-	wg.Wait()
+	// Finish flushes the root's final strand (the tracker is parked on it)
+	// and aggregates the per-page store statistics.
+	engine.Finish()
+	w.busy.Add(t0)
+	w.stats = *engine.Stats()
+}
 
-	// Merge: counters partition exactly across shards (pages are disjoint
-	// and intervals page-contained), except the hook-call counts, which
-	// grew by one per page split.
-	col := newRaceCollector(maxRec)
-	as.shardBusy = make([]time.Duration, shards)
+// access page-splits one access or range event locally and feeds the
+// engine the pieces living on this worker's pages.
+func (w *shardWorker) access(engine detect.Engine, ev evstream.Event) {
+	op := ev.EvOp()
+	isRead := op == evstream.OpRead || op == evstream.OpReadRange
+	kept, first, owned := 0, true, false
+	evstream.PageSplit(ev, coalesce.PageBytesBits, func(page uint64, piece evstream.Event) {
+		mine := evstream.PickShard(page, w.n) == w.id
+		if first {
+			first, owned = false, mine
+		}
+		if !mine {
+			return
+		}
+		kept++
+		if isRead {
+			engine.ReadHook(piece.Addr(), piece.Size())
+		} else {
+			engine.WriteHook(piece.Addr(), piece.Size())
+		}
+	})
+	// The shard owning the first piece's page accounts for the original
+	// hook call; everything else a worker kept is split surplus. Summed
+	// over workers: kept totals the pieces, owned holds exactly once.
+	extra := uint64(kept)
+	if owned {
+		extra--
+	}
+	if isRead {
+		w.splitReads += extra
+	} else {
+		w.splitWrites += extra
+	}
+}
+
+// startSharded wires the sharded stage graph: label stage, N workers over
+// the broadcast ring, and the merge finalizer. User OnRace calls are
+// serialized with a mutex — across workers their order is nondeterministic
+// (documented), but the recorded Report is canonical regardless.
+func (as *asyncState) startSharded(cfg detect.Config, shards, maxRec int, user func(Race)) {
+	labels := depa.NewBuilder()
+	bcast := evstream.NewBcastRing(as.ringDepth, shards, func(m labeledBatch) {
+		// Last release: the batch is no longer referenced by any worker, so
+		// it can rejoin the main ring's free list. Ring.Recycle is safe from
+		// any goroutine.
+		as.ring.Recycle(m.events)
+	})
+	var raceMu sync.Mutex
+	workers := make([]*shardWorker, shards)
+	for i := range workers {
+		w := &shardWorker{
+			id:    i,
+			n:     shards,
+			bcast: bcast,
+			track: depa.NewTracker(),
+			col:   stage.NewCollector(maxRec),
+		}
+		wcfg := cfg
+		wcfg.OnRace = func(race Race) {
+			w.col.Add(w.view.SeqRank(race.Cur), race)
+			if user != nil {
+				raceMu.Lock()
+				user(race)
+				raceMu.Unlock()
+			}
+		}
+		workers[i] = w
+		as.graph.Go(func() { w.run(wcfg) })
+	}
+	as.graph.Go(func() { as.labelStage(labels, bcast) })
+	as.graph.Seal(func() { as.mergeSharded(labels, workers, maxRec) })
+}
+
+// mergeSharded folds the workers' results into canonical totals: counters
+// partition exactly across shards (pages are disjoint and intervals page-
+// contained), except the hook-call counts, which grew by one per page
+// split and are corrected by the workers' surplus counters.
+func (as *asyncState) mergeSharded(labels *depa.Builder, workers []*shardWorker, maxRec int) {
+	col := stage.NewCollector(maxRec)
+	as.shardBusy = make([]time.Duration, len(workers))
 	var detectBusy time.Duration
 	for i, w := range workers {
-		addStats(&as.stats, &w.stats)
-		col.mergeFrom(w.col)
-		as.shardBusy[i] = w.busy
-		detectBusy += w.busy
+		as.stats.Accumulate(&w.stats)
+		as.stats.ReadHookCalls -= w.splitReads
+		as.stats.WriteHookCalls -= w.splitWrites
+		col.Merge(w.col)
+		as.shardBusy[i] = w.busy.Busy()
+		detectBusy += as.shardBusy[i]
 	}
-	as.stats.ReadHookCalls -= router.splitReads
-	as.stats.WriteHookCalls -= router.splitWrites
 	as.stats.PipelineDetectTime = detectBusy
-	as.strands = router.labels.StrandCount()
-	as.races = col.sorted()
-}
-
-// shardBatchCap sizes the per-shard batches from the main ring's batch
-// capacity so test geometries (tiny batches) propagate to the shard hop.
-func (as *asyncState) shardBatchCap() int {
-	if as.batchCap > 0 {
-		return as.batchCap
-	}
-	return defaultAsyncBatchEvents
-}
-
-// addStats accumulates a shard's detector counters into the merged totals.
-func addStats(dst *Stats, s *Stats) {
-	dst.ReadAccesses += s.ReadAccesses
-	dst.WriteAccesses += s.WriteAccesses
-	dst.ReadHookCalls += s.ReadHookCalls
-	dst.WriteHookCalls += s.WriteHookCalls
-	dst.ReadIntervals += s.ReadIntervals
-	dst.WriteIntervals += s.WriteIntervals
-	dst.ReadIntervalBytes += s.ReadIntervalBytes
-	dst.WriteIntervalBytes += s.WriteIntervalBytes
-	dst.HashOps += s.HashOps
-	dst.TreapOps += s.TreapOps
-	dst.TreapNodesVisited += s.TreapNodesVisited
-	dst.TreapOverlaps += s.TreapOverlaps
-	dst.AccessHistoryTime += s.AccessHistoryTime
-	dst.Races += s.Races
-	dst.AccessHistoryBytes += s.AccessHistoryBytes
+	as.strands = labels.StrandCount()
+	as.races = col.Sorted()
 }

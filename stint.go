@@ -28,7 +28,6 @@
 package stint
 
 import (
-	"errors"
 	"fmt"
 	"runtime/metrics"
 	"sync"
@@ -38,6 +37,7 @@ import (
 	"stint/internal/evstream"
 	"stint/internal/mem"
 	"stint/internal/spord"
+	"stint/internal/stage"
 )
 
 // Detector selects a race-detection engine.
@@ -127,12 +127,13 @@ type Options struct {
 	// with Parallel.
 	Async bool
 	// DetectShards, when n > 0, spreads the detector side of the Async
-	// pipeline over n shard workers. A single sequencer goroutine consumes
-	// the event stream, stamps each strand with an immutable DePa-style
-	// reachability label (internal/depa), and routes every access event by
-	// shadow-page hash to one of n per-shard SPSC rings; each worker owns
-	// the access history for a disjoint set of 64 KiB pages — its own page
-	// directory, treap node pool, and coalescing buffers — and answers
+	// pipeline over n shard workers behind a two-stage graph. A thin label
+	// stage consumes only the structure events, stamps each batch with an
+	// immutable DePa-style reachability label snapshot (internal/depa), and
+	// broadcasts the batch unmodified to all workers; each worker filters
+	// and page-splits the access events locally, keeping the 64 KiB shadow
+	// pages that hash to its shard — it owns their access history, its own
+	// page directory, treap node pool, and coalescing buffers — and answers
 	// reachability from the read-only labels. Race reports, counts, and
 	// Stats are canonical: independent of n and identical to the
 	// synchronous path. OnRace may be invoked from any worker (serialized,
@@ -166,34 +167,14 @@ type Runner struct {
 	asyncRingDepth   int
 }
 
-// NewRunner validates opts and returns a Runner with an empty Arena.
+// NewRunner validates opts (see options.go for the rule table) and returns
+// a Runner with an empty Arena.
 func NewRunner(opts Options) (*Runner, error) {
-	if opts.Parallel && opts.Detector != DetectorOff {
-		return nil, errors.New("stint: Parallel execution requires DetectorOff; race detection is sequential")
-	}
-	if opts.Parallel && opts.Tracer != nil {
-		return nil, errors.New("stint: tracing requires serial execution")
-	}
-	if opts.Async && opts.Parallel {
-		return nil, errors.New("stint: Async and Parallel are incompatible; Async pipelines the serial projection, Parallel abandons it")
-	}
-	if opts.MaxRacesRecorded < 0 {
-		return nil, fmt.Errorf("stint: MaxRacesRecorded must be non-negative, got %d", opts.MaxRacesRecorded)
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	if opts.MaxRacesRecorded == 0 {
 		opts.MaxRacesRecorded = 64
-	}
-	if opts.DetectShards < 0 {
-		return nil, fmt.Errorf("stint: DetectShards must be non-negative, got %d", opts.DetectShards)
-	}
-	if opts.DetectShards > 0 {
-		if !opts.Async {
-			return nil, errors.New("stint: DetectShards requires Async; sharding splits the pipelined detector")
-		}
-		switch opts.Detector {
-		case DetectorVanilla, DetectorCompiler:
-			return nil, fmt.Errorf("stint: DetectShards requires a runtime-coalescing detector (comp+rts or a stint variant), got %v", opts.Detector)
-		}
 	}
 	return &Runner{opts: opts, arena: mem.NewArena()}, nil
 }
@@ -218,9 +199,10 @@ type Report struct {
 	// Stats exposes the detector's internal counters.
 	Stats Stats
 	// SequencerBusy and ShardBusy report the sharded pipeline's utilization
-	// split (zero/nil otherwise): time the sequencer spent labeling and
-	// routing, and per-worker busy time. Stats.PipelineDetectTime is the
-	// sum of ShardBusy in sharded mode.
+	// split (zero/nil otherwise): time the label stage spent consuming
+	// structure events and stamping batches, and per-worker busy time
+	// (scanning, local page splitting, and detection). Stats.
+	// PipelineDetectTime is the sum of ShardBusy in sharded mode.
 	SequencerBusy time.Duration
 	ShardBusy     []time.Duration
 }
@@ -278,7 +260,7 @@ type Task struct {
 func (r *Runner) Run(root TaskFunc) (*Report, error) {
 	rep := &Report{}
 	rs := &runState{parallel: r.opts.Parallel, tracer: r.opts.Tracer}
-	var syncCol *raceCollector
+	var syncCol *stage.Collector
 	if r.opts.Detector != DetectorOff {
 		// ReachOnly isolates the reachability component: SP-Order is
 		// maintained but memory hooks are skipped at the dispatch layer,
@@ -292,9 +274,10 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 		maxRec := r.opts.MaxRacesRecorded
 		if r.opts.Async {
 			// Pipelined detection: SP-Order (or the depa labels, when
-			// sharded) and the engine(s) live behind the event stream; the
-			// consumer owns the race collector and user OnRace calls. rep
-			// is safe to read once drain() has joined the goroutine(s).
+			// sharded) and the engine(s) live behind the event stream as a
+			// stage graph; the consumer stages own the race collectors and
+			// user OnRace calls. rep is safe to read once drain() has
+			// waited out the graph.
 			depth, bcap := r.asyncRingDepth, r.asyncBatchEvents
 			if depth == 0 {
 				depth = defaultAsyncRingDepth
@@ -304,16 +287,16 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 			}
 			rs.async = newAsyncState(depth, bcap)
 			if n := r.opts.DetectShards; n > 0 && rs.hooks {
-				go rs.async.consumeSharded(cfg, n, maxRec, user)
+				rs.async.startSharded(cfg, n, maxRec, user)
 			} else {
-				go rs.async.consume(cfg, r.newEngine, maxRec, user)
+				rs.async.startConsume(cfg, r.newEngine, maxRec, user)
 			}
 		} else {
 			rs.sp = spord.New()
-			col := newRaceCollector(maxRec)
+			col := stage.NewCollector(maxRec)
 			syncCol = col
 			cfg.OnRace = func(race Race) {
-				col.add(rs.sp.SeqRank(race.Cur), race)
+				col.Add(rs.sp.SeqRank(race.Cur), race)
 				if user != nil {
 					user(race)
 				}
@@ -354,7 +337,7 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 		rep.Stats = rs.async.stats
 		rep.RaceCount = rep.Stats.Races
 		rep.Races = rs.async.races
-		rep.SequencerBusy = rs.async.seqBusy
+		rep.SequencerBusy = rs.async.seqBusy.Busy()
 		rep.ShardBusy = rs.async.shardBusy
 	} else {
 		if rs.sp != nil {
@@ -365,7 +348,7 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 			rep.RaceCount = rep.Stats.Races
 		}
 		if syncCol != nil {
-			rep.Races = syncCol.sorted()
+			rep.Races = syncCol.Sorted()
 		}
 	}
 	rep.Stats.AllocObjects = after[0].Value.Uint64() - before[0].Value.Uint64()

@@ -159,8 +159,10 @@ type Options struct {
 	// of detecting inline. The Report is identical either way.
 	Async bool
 	// Shards > 0 additionally partitions detection across that many workers
-	// (stint.Options.DetectShards; implies Async). Subject to the same
-	// detector restrictions as the live option.
+	// (stint.Options.DetectShards; implies Async): replay then runs the
+	// same stage graph a live run does — label stage, broadcast ring, and
+	// worker-side page splitting. Subject to the same detector restrictions
+	// as the live option.
 	Shards int
 }
 
