@@ -21,11 +21,11 @@ bench:
 # Hot-path microbenchmarks only: the open-addressed page directory vs the
 # seed's Go map, slab-pooled vs heap-allocated treap nodes, the async event
 # ring and its broadcast sibling, the workers' local page-split/filter scan,
-# the sync-vs-async per-access hook cost, and the sharded main-table
-# measurement.
+# the producer-side summary stamp and the worker skip-scan it buys, the
+# sync-vs-async per-access hook cost, and the sharded main-table measurement.
 bench-hot:
 	$(GO) test -run '^$$' -bench 'BenchmarkTreapInsert|BenchmarkShadowDirectory' -benchmem ./internal/core ./internal/shadow
-	$(GO) test -run '^$$' -bench 'BenchmarkRing|BenchmarkBcastRing|BenchmarkWorkerSplit|BenchmarkWorkerScan' -benchmem ./internal/evstream
+	$(GO) test -run '^$$' -bench 'BenchmarkRing|BenchmarkBcastRing|BenchmarkWorkerSplit|BenchmarkWorkerScan|BenchmarkSummaryStamp|BenchmarkWorkerSkipScan' -benchmem ./internal/evstream
 	$(GO) test -run '^$$' -bench 'BenchmarkHookOverhead' -benchmem .
 	$(GO) test -run '^$$' -bench 'BenchmarkFig5Sharded' -benchtime 10x -benchmem .
 

@@ -13,15 +13,27 @@
 // sequential algorithm, and the pipeline reports byte-identical races and
 // stats.
 //
+// In sharded mode the producer additionally stamps each batch's Summary as
+// it appends: the structure-event offsets (always) and, unless summaries
+// are disabled, the shard-occupancy mask of every access event. The stamp
+// costs a mask OR per access on the hot path and lets workers skip whole
+// batches they own no pages of (see shards.go).
+//
 // All detector-side goroutines hang off one stage.Graph: Run wires the
 // stages, drain closes the stream and waits for the graph's merge, and the
-// results fields below are written before the graph reports done.
+// results fields below are written before the graph reports done. A stage
+// failure (a user OnRace panic, a guard tripping) fires the graph's abort
+// hook, which closes the rings: blocked stages unwind, the producer's
+// publishes start reporting false (flush then drops events on the floor —
+// the run is already doomed), and graph.Wait re-raises the failure on the
+// producer so it propagates out of Run exactly as in synchronous mode.
 
 package stint
 
 import (
 	"time"
 
+	"stint/internal/coalesce"
 	"stint/internal/detect"
 	"stint/internal/evstream"
 	"stint/internal/spord"
@@ -42,18 +54,24 @@ const (
 // completes and read only after drain returns.
 type asyncState struct {
 	ring      *evstream.Ring
-	batch     []evstream.Event
+	batch     *evstream.Batch
 	batchCap  int // immutable copy of the batch capacity for the consumer side
 	ringDepth int // immutable copy of the ring depth, sizing downstream rings
 	graph     *stage.Graph
+	// Summary stamping (sharded mode): shards is the worker count PickShard
+	// targets, summarize whether access masks are computed (false for plain
+	// async and when Options.DisableBatchSummaries is set — unsummarized
+	// batches carry MaskAll so no worker skips them).
+	shards    int
+	summarize bool
 	// Written by the detector-side stages, read after graph.Wait().
 	strands int
 	stats   Stats
 	races   []Race
 	// Pipeline utilization split: seqBusy is the label stage's busy time
-	// and shardBusy the per-worker busy times (sharded mode only).
+	// and shardLoad the per-worker load breakdown (sharded mode only).
 	seqBusy   stage.Meter
-	shardBusy []time.Duration
+	shardLoad []ShardLoad
 }
 
 func newAsyncState(ringDepth, batchEvents int) *asyncState {
@@ -67,37 +85,82 @@ func newAsyncState(ringDepth, batchEvents int) *asyncState {
 	}
 }
 
-// emit appends one event to the working batch, publishing it when full.
-// This is the producer's entire hot path: an append, and one ring handoff
-// per batch. The full-batch slow path lives in flush so emit stays under
-// the inlining budget and disappears into the access hooks.
-func (as *asyncState) emit(ev evstream.Event) {
-	if len(as.batch) == cap(as.batch) {
+// setSharded fixes the summary-stamping mode before the program starts
+// emitting. It must run before the first emit: the working batch obtained
+// in newAsyncState starts with a zero mask, which means "skippable by
+// everyone" — correct only when the producer maintains it.
+func (as *asyncState) setSharded(shards int, summarize bool) {
+	as.shards = shards
+	as.summarize = summarize
+	if !summarize {
+		as.batch.Sum.Mask = evstream.MaskAll
+	}
+}
+
+// emitCtl appends one structure event to the working batch, publishing it
+// when full, and records the event's offset in the batch summary so
+// skip-scanning workers can replay the structure stream without touching
+// the access events.
+func (as *asyncState) emitCtl(ev evstream.Event) {
+	if len(as.batch.Ev) == cap(as.batch.Ev) {
 		as.flush()
 	}
-	as.batch = append(as.batch, ev)
+	as.batch.Sum.AddCtl(len(as.batch.Ev))
+	as.batch.Ev = append(as.batch.Ev, ev)
+}
+
+// emitAccess appends one access or range event, publishing the batch when
+// full, and ORs the event's page mask into the batch summary when stamping
+// is on. This is the producer's entire per-access hot path: an append, a
+// predictable branch, and one ring handoff per batch.
+func (as *asyncState) emitAccess(ev evstream.Event) {
+	if len(as.batch.Ev) == cap(as.batch.Ev) {
+		as.flush()
+	}
+	if as.summarize {
+		as.batch.Sum.Mask |= evstream.AccessMask(ev, coalesce.PageBytesBits, as.shards)
+	}
+	as.batch.Ev = append(as.batch.Ev, ev)
 }
 
 // flush publishes the working batch and takes a fresh one from the ring's
-// free list. Kept out of emit so the latter inlines.
+// free list. Kept out of the emit paths so they stay under the inlining
+// budget. A false Publish means the graph aborted and closed the ring
+// underneath us: the working batch is reset and reused, events are dropped
+// (the failure, re-raised by drain, is the run's result), and the producer
+// keeps running to its natural unwind point.
 func (as *asyncState) flush() {
-	as.ring.Publish(as.batch)
+	if !as.ring.Publish(as.batch) {
+		as.batch.Ev = as.batch.Ev[:0]
+		as.batch.Sum.Reset()
+		if !as.summarize {
+			as.batch.Sum.Mask = evstream.MaskAll
+		}
+		return
+	}
 	as.batch = as.ring.Get()
+	if !as.summarize {
+		as.batch.Sum.Mask = evstream.MaskAll
+	}
 }
 
 // drain flushes the final (possibly partial, possibly empty) batch,
-// signals end-of-stream, and waits for the stage graph to finish. After
-// drain returns, strands, stats, and races are exact.
+// signals end-of-stream, and waits for the stage graph to finish — re-
+// panicking the first stage failure, if any, on the producer goroutine.
+// After drain returns normally, strands, stats, and races are exact.
 func (as *asyncState) drain() {
-	as.ring.Publish(as.batch)
+	as.ring.Publish(as.batch) // a false return means the graph aborted; Wait surfaces why
 	as.batch = nil
 	as.ring.Close()
 	as.graph.Wait()
 }
 
 // startConsume wires the single-stage pipeline: one replay stage consuming
-// the main ring. Used for plain Async (no sharding).
+// the main ring. Used for plain Async (no sharding). The abort hook closes
+// the ring so a panic in the stage (a user OnRace callback) unblocks the
+// producer instead of deadlocking the run.
 func (as *asyncState) startConsume(cfg detect.Config, newEngine func(detect.Config, *spord.SP) detect.Engine, maxRec int, user func(Race)) {
+	as.graph.OnAbort(as.ring.Close)
 	as.graph.Go(func() { as.consume(cfg, newEngine, maxRec, user) })
 	as.graph.Seal(nil)
 }
@@ -138,7 +201,7 @@ func (as *asyncState) consume(cfg detect.Config, newEngine func(detect.Config, *
 			break
 		}
 		t0 := time.Now()
-		for _, ev := range batch {
+		for _, ev := range batch.Ev {
 			switch ev.EvOp() {
 			case evstream.OpSpawn:
 				engine.StrandEnd()

@@ -92,7 +92,7 @@ func TestAsyncStatsMatchSync(t *testing.T) {
 		// Everything except the timing and allocation fields must be
 		// byte-identical: same events, same serial order, same engine.
 		norm := func(s Stats) Stats {
-			s.AccessHistoryTime, s.AllocObjects, s.AllocBytes, s.PipelineDetectTime = 0, 0, 0, 0
+			s.AccessHistoryTime, s.AllocObjects, s.AllocBytes, s.PipelineDetectTime, s.BatchesSkipped = 0, 0, 0, 0, 0
 			return s
 		}
 		if norm(async.Stats) != norm(sync.Stats) {
@@ -142,6 +142,35 @@ func TestAsyncOnRaceDeliveredBeforeRunReturns(t *testing.T) {
 	if len(rep.Races) == 0 {
 		t.Error("no races recorded in the drained report")
 	}
+}
+
+// TestAsyncOnRacePanicPropagates hardens the single-stage pipeline's
+// teardown: a panicking user OnRace callback on the detector goroutine must
+// close the ring (unblocking a producer stuck in Publish), and re-panic out
+// of Run on the mutator side — not deadlock and not get swallowed.
+func TestAsyncOnRacePanicPropagates(t *testing.T) {
+	r, err := NewRunner(Options{
+		Detector: DetectorSTINT, Async: true,
+		OnRace: func(Race) { panic("user callback exploded") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny geometry keeps the producer publishing long after the first race
+	// fires, so the abort path must actually unblock it.
+	r.asyncBatchEvents, r.asyncRingDepth = 1, 1
+	buf := r.Arena().AllocWords("buf", 4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("user OnRace panic did not propagate out of Run")
+		}
+	}()
+	r.Run(func(task *Task) {
+		for i := 0; i < 8; i++ {
+			task.Spawn(func(c *Task) { c.StoreRange(buf, 0, 2048) })
+		}
+		task.Sync()
+	})
 }
 
 func TestAsyncReachOnly(t *testing.T) {

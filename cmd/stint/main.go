@@ -4,7 +4,7 @@
 // Usage:
 //
 //	stint -workload mmul -detector stint [-scale 2] [-races 10] [-timing]
-//	      [-async] [-shards N]
+//	      [-async] [-shards N] [-no-summaries]
 //
 // Detectors: off, reach, vanilla, compiler, comp+rts, stint,
 // stint-unbalanced, stint-skiplist.
@@ -27,16 +27,17 @@ import (
 
 func main() {
 	var (
-		workload   = flag.String("workload", "mmul", "benchmark: "+strings.Join(workloads.Names(), ", "))
-		detector   = flag.String("detector", "stint", "detector mode (off, reach, vanilla, compiler, comp+rts, stint, stint-unbalanced, stint-skiplist)")
-		scale      = flag.Int("scale", 1, "problem-size multiplier")
-		races      = flag.Int("races", 10, "max races to print")
-		timing     = flag.Bool("timing", false, "measure access-history time separately")
-		async      = flag.Bool("async", false, "pipeline detection on a dedicated goroutine (overlaps compute with the access history)")
-		shards     = flag.Int("shards", 0, "partition pipelined detection across N workers by shadow page (implies -async; comp+rts and stint variants only)")
-		traceOut   = flag.String("trace-out", "", "record the execution to this trace file (replay with stint-replay)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the detection run to this file")
-		memProfile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
+		workload    = flag.String("workload", "mmul", "benchmark: "+strings.Join(workloads.Names(), ", "))
+		detector    = flag.String("detector", "stint", "detector mode (off, reach, vanilla, compiler, comp+rts, stint, stint-unbalanced, stint-skiplist)")
+		scale       = flag.Int("scale", 1, "problem-size multiplier")
+		races       = flag.Int("races", 10, "max races to print")
+		timing      = flag.Bool("timing", false, "measure access-history time separately")
+		async       = flag.Bool("async", false, "pipeline detection on a dedicated goroutine (overlaps compute with the access history)")
+		shards      = flag.Int("shards", 0, "partition pipelined detection across N workers by shadow page (implies -async; comp+rts and stint variants only)")
+		noSummaries = flag.Bool("no-summaries", false, "disable per-batch page summaries in sharded mode (workers scan every batch; for before/after measurement)")
+		traceOut    = flag.String("trace-out", "", "record the execution to this trace file (replay with stint-replay)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the detection run to this file")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
 	flag.Parse()
 	if *cpuProfile != "" {
@@ -52,7 +53,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(*workload, *detector, *scale, *races, *timing, *async || *shards > 0, *shards, *traceOut)
+	err := run(*workload, *detector, *scale, *races, *timing, *async || *shards > 0, *shards, *noSummaries, *traceOut)
 	if *memProfile != "" {
 		if perr := writeMemProfile(*memProfile); perr != nil {
 			fmt.Fprintln(os.Stderr, "stint: memprofile:", perr)
@@ -74,7 +75,7 @@ func writeMemProfile(path string) error {
 	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
-func run(workload, detector string, scale, maxRaces int, timing, async bool, shards int, traceOut string) error {
+func run(workload, detector string, scale, maxRaces int, timing, async bool, shards int, noSummaries bool, traceOut string) error {
 	factory, err := workloads.ByName(workload, scale)
 	if err != nil {
 		return err
@@ -88,11 +89,12 @@ func run(workload, detector string, scale, maxRaces int, timing, async bool, sha
 	}
 	w := factory()
 	opts := stint.Options{
-		Detector:          mode,
-		MaxRacesRecorded:  maxRaces,
-		TimeAccessHistory: timing,
-		Async:             async,
-		DetectShards:      shards,
+		Detector:              mode,
+		MaxRacesRecorded:      maxRaces,
+		TimeAccessHistory:     timing,
+		Async:                 async,
+		DetectShards:          shards,
+		DisableBatchSummaries: noSummaries,
 	}
 	var rec *trace.Recorder
 	if traceOut != "" {

@@ -161,8 +161,15 @@ func wordSetDiff(a, b map[Addr]bool) string {
 // returns the full Report, using the same tiny pipeline geometry as
 // racingWordsFor.
 func reportFor(t *testing.T, d Detector, shards int, acts []act) *Report {
+	return reportForOpts(t, d, shards, false, acts)
+}
+
+// reportForOpts is reportFor with batch summaries optionally disabled, so
+// the suite can assert the skip fast path never changes a byte of the
+// Report.
+func reportForOpts(t *testing.T, d Detector, shards int, nosum bool, acts []act) *Report {
 	t.Helper()
-	opts := Options{Detector: d, MaxRacesRecorded: 1 << 20}
+	opts := Options{Detector: d, MaxRacesRecorded: 1 << 20, DisableBatchSummaries: nosum}
 	if shards >= 0 {
 		opts.Async = true
 		opts.DetectShards = shards
@@ -185,28 +192,38 @@ func reportFor(t *testing.T, d Detector, shards int, acts []act) *Report {
 // checkCanonicalReports asserts the satellite guarantee: the Report —
 // races in canonical order, counts, strands, deterministic stats — is
 // identical across sync, async, and (for supported detectors) shard counts
-// {1, 2, 4}.
+// {1, 2, 4}, with batch summaries both on and off.
 func checkCanonicalReports(t *testing.T, seed int64, d Detector, acts []act) {
 	t.Helper()
 	sync := reportFor(t, d, -1, acts)
-	modes := []int{0}
-	switch d {
-	case DetectorCompRTS, DetectorSTINT, DetectorSTINTUnbalanced, DetectorSTINTSkiplist:
-		modes = append(modes, 1, 2, 4)
-	}
-	for _, n := range modes {
-		got := reportFor(t, d, n, acts)
+	check := func(name string, got *Report) {
+		t.Helper()
 		if got.RaceCount != sync.RaceCount || got.Strands != sync.Strands {
-			t.Fatalf("seed %d: %v shards=%d: RaceCount/Strands %d/%d, sync %d/%d\nprogram: %+v",
-				seed, d, n, got.RaceCount, got.Strands, sync.RaceCount, sync.Strands, acts)
+			t.Fatalf("seed %d: %v %s: RaceCount/Strands %d/%d, sync %d/%d\nprogram: %+v",
+				seed, d, name, got.RaceCount, got.Strands, sync.RaceCount, sync.Strands, acts)
 		}
 		if !reflect.DeepEqual(got.Races, sync.Races) {
-			t.Fatalf("seed %d: %v shards=%d: Races differ from sync\n got: %v\nsync: %v\nprogram: %+v",
-				seed, d, n, got.Races, sync.Races, acts)
+			t.Fatalf("seed %d: %v %s: Races differ from sync\n got: %v\nsync: %v\nprogram: %+v",
+				seed, d, name, got.Races, sync.Races, acts)
 		}
 		if ns, ng := normStats(sync.Stats), normStats(got.Stats); ns != ng {
-			t.Fatalf("seed %d: %v shards=%d: stats differ\n got: %+v\nsync: %+v\nprogram: %+v",
-				seed, d, n, ng, ns, acts)
+			t.Fatalf("seed %d: %v %s: stats differ\n got: %+v\nsync: %+v\nprogram: %+v",
+				seed, d, name, ng, ns, acts)
+		}
+	}
+	check("async", reportFor(t, d, 0, acts))
+	switch d {
+	case DetectorCompRTS, DetectorSTINT, DetectorSTINTUnbalanced, DetectorSTINTSkiplist:
+		for _, n := range []int{1, 2, 4} {
+			check(fmt.Sprintf("shards=%d", n), reportFor(t, d, n, acts))
+			// Summaries are a pure scan elision: disabling them must not
+			// change a byte of the report, and without them nothing skips.
+			nosum := reportForOpts(t, d, n, true, acts)
+			if nosum.Stats.BatchesSkipped != 0 {
+				t.Fatalf("seed %d: %v shards=%d: summaries disabled but BatchesSkipped = %d",
+					seed, d, n, nosum.Stats.BatchesSkipped)
+			}
+			check(fmt.Sprintf("shards=%d nosum", n), nosum)
 		}
 	}
 }

@@ -23,7 +23,8 @@ func fuzzAllocBufs(r *Runner) ([]*Buffer, []int) {
 // FuzzAsyncAgainstSync decodes arbitrary bytes into a fork-join program
 // and pipeline geometry — batch capacity, ring depth, and a detection
 // shard count — runs it once synchronously, once through the plain async
-// pipeline, and (when the shard byte asks for it) once sharded, and
+// pipeline, and (when the shard byte asks for it) twice sharded — once
+// with producer batch summaries, once with them disabled — and
 // requires identical racing-word sets, canonical race reports, strand
 // counts, and (timing-normalized) stats. Tiny batch capacities and ring
 // depths force the batch-boundary edge cases: events split across batches,
@@ -52,8 +53,15 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 	// same straddling range, so the race itself spans the boundary too.
 	f.Add([]byte{0x01, 0x01, 0x02, 0x00, 0x06, 0x03, 0x33, 0xfe, 0x00, 0x03, 0x01, 0x06, 0x03, 0x33, 0xfe, 0x00, 0x03, 0x02})
 	// All-events-one-page skew: 4 shards but every access on one page, so a
-	// single worker carries the whole load and the others drain empty.
+	// single worker carries the whole load, the others skip-scan off the
+	// batch summaries, and the summaries-off leg re-runs it with every
+	// worker on the slow path.
 	f.Add([]byte{0x00, 0x00, 0x04, 0x00, 0x04, 0x00, 0x05, 0x01, 0x04, 0x00, 0x05, 0x02})
+	// All-ones fallback: the two racing range writes span the full 128 KiB
+	// wide buffer (> 2 pages), so AccessMask gives up and stamps MaskAll —
+	// all 4 workers must take the full-scan path even though each owns only
+	// a slice of the pages.
+	f.Add([]byte{0x01, 0x01, 0x04, 0x00, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x01, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x02})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 4096 {
@@ -68,9 +76,11 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 			stats   Stats
 		}
 		// mode: -1 = synchronous, 0 = plain async, n > 0 = n-sharded async.
-		run := func(mode int) result {
+		// nosum disables the producer batch summaries, forcing every worker
+		// onto the full-scan path.
+		run := func(mode int, nosum bool) result {
 			words := make(map[Addr]bool)
-			opts := Options{Detector: DetectorSTINT, OnRace: func(rc Race) {
+			opts := Options{Detector: DetectorSTINT, DisableBatchSummaries: nosum, OnRace: func(rc Race) {
 				for a := rc.Addr &^ 3; a < rc.Addr+rc.Size; a += 4 {
 					words[a] = true
 				}
@@ -94,7 +104,7 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 			return result{words: words, races: rep.Races, strands: rep.Strands, stats: normStats(rep.Stats)}
 		}
 
-		sync := run(-1)
+		sync := run(-1, false)
 		check := func(name string, got result) {
 			if got.strands != sync.strands {
 				t.Fatalf("strands: %s %d, sync %d (batch=%d depth=%d shards=%d)\nprogram: %+v",
@@ -117,9 +127,12 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 				}
 			}
 		}
-		check("async", run(0))
+		check("async", run(0, false))
 		if shards > 0 {
-			check("sharded", run(shards))
+			check("sharded", run(shards, false))
+			// Summaries are a pure scan elision: disabling them must not
+			// change a byte of the normalized result.
+			check("sharded-nosum", run(shards, true))
 		}
 	})
 }

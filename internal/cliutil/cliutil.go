@@ -72,8 +72,42 @@ func PipelineReport(rep *stint.Report) []string {
 		rep.WallTime.Round(time.Microsecond),
 		label.Round(time.Microsecond))}
 	for i, busy := range rep.ShardBusy {
-		lines = append(lines, fmt.Sprintf("  shard %d busy %v (%s of detect work)",
-			i, busy.Round(time.Microsecond), pct(busy, workers)))
+		line := fmt.Sprintf("  shard %d busy %v (%s of detect work)",
+			i, busy.Round(time.Microsecond), pct(busy, workers))
+		if rep.ShardLoad != nil {
+			l := rep.ShardLoad[i]
+			line += fmt.Sprintf(", scanned %d/%d batches (skipped %s), %d ring waits",
+				l.BatchesScanned, l.BatchesScanned+l.BatchesSkipped,
+				pctCount(l.BatchesSkipped, l.BatchesScanned+l.BatchesSkipped),
+				l.RingWaits)
+		}
+		lines = append(lines, line)
+	}
+	if rep.ShardLoad != nil {
+		// Wait attribution: per-consumer waits distinguish a uniformly
+		// starved fleet (the label stage is the bottleneck) from one
+		// straggler pacing everyone (the low-wait outlier never waits — the
+		// ring's backpressure makes the others wait on it).
+		minW, maxW := rep.ShardLoad[0].RingWaits, rep.ShardLoad[0].RingWaits
+		for _, l := range rep.ShardLoad[1:] {
+			if l.RingWaits < minW {
+				minW = l.RingWaits
+			}
+			if l.RingWaits > maxW {
+				maxW = l.RingWaits
+			}
+		}
+		lines = append(lines, fmt.Sprintf(
+			"  ring waits per worker: max %d, min %d (uniform waits = label stage is the bottleneck; a low-wait outlier is the straggler)",
+			maxW, minW))
 	}
 	return lines
+}
+
+// pctCount formats part as a percentage of whole for plain counters.
+func pctCount(part, whole uint64) string {
+	if whole == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(part)/float64(whole))
 }

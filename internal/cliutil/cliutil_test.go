@@ -81,7 +81,40 @@ func TestPipelineReportFromRealShardedRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := PipelineReport(rep)
-	if len(lines) != 3 {
-		t.Fatalf("want 3 lines from a 2-shard run, got %v", lines)
+	if len(lines) != 4 {
+		t.Fatalf("want header + 2 shard lines + waits line from a 2-shard run, got %v", lines)
+	}
+	for _, line := range lines[1:3] {
+		if !strings.Contains(line, "scanned") || !strings.Contains(line, "ring waits") {
+			t.Errorf("shard line missing scan/skip readout: %q", line)
+		}
+	}
+	if !strings.Contains(lines[3], "ring waits per worker") {
+		t.Errorf("missing per-worker waits line: %q", lines[3])
+	}
+}
+
+// TestPipelineReportShardLoad pins the scan-vs-skip readout rendering from
+// a hand-built report.
+func TestPipelineReportShardLoad(t *testing.T) {
+	rep := &stint.Report{WallTime: 10 * time.Millisecond, SequencerBusy: time.Millisecond}
+	rep.ShardBusy = []time.Duration{3 * time.Millisecond, time.Millisecond}
+	rep.ShardLoad = []stint.ShardLoad{
+		{Busy: 3 * time.Millisecond, BatchesScanned: 10, BatchesSkipped: 0, RingWaits: 1},
+		{Busy: time.Millisecond, BatchesScanned: 2, BatchesSkipped: 8, RingWaits: 7},
+	}
+	rep.Stats.PipelineDetectTime = 4 * time.Millisecond
+	lines := PipelineReport(rep)
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %v", lines)
+	}
+	if !strings.Contains(lines[1], "scanned 10/10 batches (skipped 0%)") || !strings.Contains(lines[1], "1 ring waits") {
+		t.Errorf("shard 0 line: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "scanned 2/10 batches (skipped 80%)") || !strings.Contains(lines[2], "7 ring waits") {
+		t.Errorf("shard 1 line: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "max 7") || !strings.Contains(lines[3], "min 1") {
+		t.Errorf("waits line: %q", lines[3])
 	}
 }

@@ -30,6 +30,7 @@ type BcastRing[M any] struct {
 	tail     uint64   // absolute sequence of the next publish
 	cursors  []uint64 // per-consumer absolute sequence of the next read
 	released []uint64 // per-consumer absolute sequence of the next release
+	waits    []uint64 // per-consumer blocking episodes in Next
 	closed   bool
 	onFree   func(M)
 	stats    Stats
@@ -55,6 +56,7 @@ func NewBcastRing[M any](depth, consumers int, onFree func(M)) *BcastRing[M] {
 		slots:    make([]bcastSlot[M], depth),
 		cursors:  make([]uint64, consumers),
 		released: make([]uint64, consumers),
+		waits:    make([]uint64, consumers),
 		onFree:   onFree,
 	}
 	r.notEmpty.L = &r.mu
@@ -67,9 +69,13 @@ func (r *BcastRing[M]) Consumers() int { return len(r.cursors) }
 
 // Publish broadcasts m to every consumer, blocking while the target slot is
 // still referenced — i.e. until the slowest consumer is fewer than depth
-// messages behind and has released the slot's previous occupant. Publishing
-// on a closed ring panics.
-func (r *BcastRing[M]) Publish(m M) {
+// messages behind and has released the slot's previous occupant. It reports
+// false — and drops m without delivering it — when the ring was closed,
+// including while Publish was blocked waiting for the slot: during an early
+// teardown (a consumer aborting mid-stream) Close must unblock a stuck
+// producer rather than strand it, and the producer uses the false return to
+// unwind and recycle what it still holds.
+func (r *BcastRing[M]) Publish(m M) (ok bool) {
 	r.mu.Lock()
 	slot := &r.slots[r.tail%uint64(len(r.slots))]
 	for slot.refs > 0 && !r.closed {
@@ -78,7 +84,7 @@ func (r *BcastRing[M]) Publish(m M) {
 	}
 	if r.closed {
 		r.mu.Unlock()
-		panic("evstream: Publish on closed BcastRing")
+		return false
 	}
 	slot.m = m
 	slot.refs = len(r.cursors)
@@ -86,6 +92,7 @@ func (r *BcastRing[M]) Publish(m M) {
 	r.stats.BatchesPublished++
 	r.notEmpty.Broadcast()
 	r.mu.Unlock()
+	return true
 }
 
 // Close signals end-of-stream. Consumers drain the messages already
@@ -105,6 +112,7 @@ func (r *BcastRing[M]) Next(i int) (m M, ok bool) {
 	r.mu.Lock()
 	for r.cursors[i] == r.tail && !r.closed {
 		r.stats.ConsumerWaits++
+		r.waits[i]++
 		r.notEmpty.Wait()
 	}
 	if r.cursors[i] == r.tail { // closed and drained for this consumer
@@ -145,10 +153,22 @@ func (r *BcastRing[M]) Release(i int) {
 }
 
 // Stats returns a snapshot of the ring counters. Call it after the pipeline
-// has drained for exact values.
+// has drained for exact values. Stats.ConsumerWaits aggregates every
+// consumer; use ConsumerWaits(i) to attribute waits to one consumer (a
+// uniformly waiting fleet means the producer is the bottleneck, a single
+// low-wait outlier is the straggler the rest are pacing behind).
 func (r *BcastRing[M]) Stats() Stats {
 	r.mu.Lock()
 	s := r.stats
 	r.mu.Unlock()
 	return s
+}
+
+// ConsumerWaits returns the number of blocking episodes consumer i spent in
+// Next waiting for a publish.
+func (r *BcastRing[M]) ConsumerWaits(i int) uint64 {
+	r.mu.Lock()
+	w := r.waits[i]
+	r.mu.Unlock()
+	return w
 }

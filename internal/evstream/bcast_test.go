@@ -166,8 +166,8 @@ func TestBcastRingCloseDrains(t *testing.T) {
 }
 
 // TestBcastRingMisuse pins the guard rails: releasing without a matching
-// Next panics, publishing after Close panics, and constructor arguments are
-// clamped.
+// Next panics, publishing after Close reports false, and constructor
+// arguments are clamped.
 func TestBcastRingMisuse(t *testing.T) {
 	expectPanic := func(name string, f func()) {
 		t.Helper()
@@ -181,14 +181,79 @@ func TestBcastRingMisuse(t *testing.T) {
 	expectPanic("release without next", func() {
 		NewBcastRing[int](2, 1, nil).Release(0)
 	})
-	expectPanic("publish after close", func() {
-		r := NewBcastRing[int](2, 1, nil)
-		r.Close()
-		r.Publish(1)
-	})
+	r := NewBcastRing[int](2, 1, nil)
+	if !r.Publish(1) {
+		t.Fatal("Publish on an open ring reported false")
+	}
+	r.Close()
+	if r.Publish(2) {
+		t.Fatal("Publish after Close reported ok")
+	}
 	if r := NewBcastRing[int](0, 0, nil); r.Consumers() != 1 {
 		t.Fatalf("Consumers() = %d after clamping, want 1", r.Consumers())
 	}
+}
+
+// TestBcastRingCloseUnblocksStuckPublish pins the teardown path the label
+// stage depends on: a Publish blocked on a slot a consumer never releases
+// (e.g. the consumer aborted) must return false when Close fires, instead
+// of panicking or blocking forever.
+func TestBcastRingCloseUnblocksStuckPublish(t *testing.T) {
+	r := NewBcastRing[int](1, 1, nil)
+	r.Publish(1)
+	if m, ok := r.Next(0); !ok || m != 1 {
+		t.Fatalf("Next = %d,%v, want 1,true", m, ok)
+	}
+	// Consumer holds the slot (no Release) — the aborted-worker shape.
+	result := make(chan bool)
+	go func() {
+		result <- r.Publish(2)
+	}()
+	select {
+	case <-result:
+		t.Fatal("Publish completed while the slot was held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r.Close()
+	select {
+	case ok := <-result:
+		if ok {
+			t.Fatal("Publish unblocked by Close reported ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock the stuck Publish")
+	}
+}
+
+// TestBcastRingPerConsumerWaits checks wait attribution: a consumer that
+// polls an empty ring accumulates waits on its own counter, not its idle
+// peer's, while Stats still aggregates both.
+func TestBcastRingPerConsumerWaits(t *testing.T) {
+	r := NewBcastRing[int](2, 2, nil)
+	got := make(chan int)
+	go func() {
+		m, ok := r.Next(0) // blocks: nothing published yet
+		if !ok {
+			m = -1
+		}
+		got <- m
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Publish(7)
+	if m := <-got; m != 7 {
+		t.Fatalf("consumer 0 got %d, want 7", m)
+	}
+	r.Release(0)
+	if w := r.ConsumerWaits(0); w == 0 {
+		t.Error("consumer 0 blocked but its wait counter is zero")
+	}
+	if w := r.ConsumerWaits(1); w != 0 {
+		t.Errorf("consumer 1 never called Next but has %d waits", w)
+	}
+	if s := r.Stats(); s.ConsumerWaits != r.ConsumerWaits(0) {
+		t.Errorf("aggregate ConsumerWaits = %d, want %d", s.ConsumerWaits, r.ConsumerWaits(0))
+	}
+	r.Close()
 }
 
 // BenchmarkBcastRing measures the per-message broadcast handoff cost for

@@ -19,7 +19,7 @@ func BenchmarkRingThroughput(b *testing.B) {
 					if !ok {
 						break
 					}
-					n += uint64(len(batch))
+					n += uint64(len(batch.Ev))
 					r.Recycle(batch)
 				}
 				done <- n
@@ -27,11 +27,11 @@ func BenchmarkRingThroughput(b *testing.B) {
 			b.ResetTimer()
 			batch := r.Get()
 			for i := 0; i < b.N; i++ {
-				if len(batch) == cap(batch) {
+				if len(batch.Ev) == cap(batch.Ev) {
 					r.Publish(batch)
 					batch = r.Get()
 				}
-				batch = append(batch, Access(OpRead, uint64(i), 4))
+				batch.Ev = append(batch.Ev, Access(OpRead, uint64(i), 4))
 			}
 			r.Publish(batch)
 			r.Close()
@@ -58,12 +58,26 @@ func BenchmarkRingUncontended(b *testing.B) {
 	b.ResetTimer()
 	batch := r.Get()
 	for i := 0; i < b.N; i++ {
-		if len(batch) == cap(batch) {
+		if len(batch.Ev) == cap(batch.Ev) {
 			r.Publish(batch)
 			batch = r.Get()
 		}
-		batch = append(batch, Access(OpWrite, uint64(i), 4))
+		batch.Ev = append(batch.Ev, Access(OpWrite, uint64(i), 4))
 	}
 	r.Publish(batch)
 	r.Close()
+}
+
+// BenchmarkSummaryStamp measures the producer-side cost of stamping one
+// access into a batch summary — the incremental hot-path price of letting
+// workers skip-scan.
+func BenchmarkSummaryStamp(b *testing.B) {
+	var sum Summary
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum.Mask |= AccessMask(Access(OpWrite, uint64(i)*8, 8), 16, 4)
+	}
+	if sum.Mask == 0 {
+		b.Fatal("mask never set")
+	}
 }

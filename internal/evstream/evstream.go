@@ -69,10 +69,27 @@ func Access(op Op, addr, size uint64) Event {
 	return Event{word: uint64(op) | size<<8, addr: addr}
 }
 
+// MaxRangeCount and MaxRangeElem bound what a range event can encode: the
+// count rides in the word's high 32 bits and the element size in the 24
+// bits above the op byte. Values beyond them would silently truncate into
+// the neighboring field, so Range rejects them; callers (the stint hook
+// layer, the trace decoder) validate before encoding.
+const (
+	MaxRangeCount = 1<<32 - 1
+	MaxRangeElem  = 1<<24 - 1
+)
+
 // Range builds a compiler-coalesced range event (OpReadRange/OpWriteRange):
 // elem is the element size in bytes (low 24 bits above the op byte), count
-// the element count (high 32 bits).
+// the element count (high 32 bits). Operands outside those fields panic
+// rather than truncate — a truncated range would mis-split silently.
 func Range(op Op, addr uint64, count int, elem uint64) Event {
+	if count < 0 || uint64(count) > MaxRangeCount {
+		panic("evstream: range count does not fit the 32-bit count field")
+	}
+	if elem > MaxRangeElem {
+		panic("evstream: range element size does not fit the 24-bit elem field")
+	}
 	return Event{word: uint64(op) | elem<<8 | uint64(count)<<32, addr: addr}
 }
 
@@ -110,6 +127,15 @@ type Stats struct {
 	ConsumerWaits uint64
 }
 
+// Batch is the unit the ring moves: a slice of packed events plus the
+// producer-stamped Summary that lets shard workers skip batches whose
+// accesses cannot map to them. The producer owns a batch from Get to
+// Publish; consumers own it from Next to Recycle.
+type Batch struct {
+	Ev  []Event
+	Sum Summary
+}
+
 // Ring is a bounded SPSC queue of event batches with an integrated batch
 // free list. All methods are safe for the one-producer/one-consumer
 // pattern; none may be called concurrently from two producers or two
@@ -118,11 +144,11 @@ type Ring struct {
 	mu       sync.Mutex
 	notEmpty sync.Cond
 	notFull  sync.Cond
-	buf      [][]Event // circular queue of published batches
-	head     int       // index of the oldest published batch
-	count    int       // published batches currently in the ring
+	buf      []*Batch // circular queue of published batches
+	head     int      // index of the oldest published batch
+	count    int      // published batches currently in the ring
 	closed   bool
-	free     [][]Event // recycled batches awaiting reuse
+	free     []*Batch // recycled batches awaiting reuse
 	batchCap int
 	stats    Stats
 }
@@ -136,7 +162,7 @@ func NewRing(depth, batchCap int) *Ring {
 	if batchCap < 1 {
 		batchCap = 1
 	}
-	r := &Ring{buf: make([][]Event, depth), batchCap: batchCap}
+	r := &Ring{buf: make([]*Batch, depth), batchCap: batchCap}
 	r.notEmpty.L = &r.mu
 	r.notFull.L = &r.mu
 	return r
@@ -145,9 +171,12 @@ func NewRing(depth, batchCap int) *Ring {
 // BatchCap returns the per-batch event capacity.
 func (r *Ring) BatchCap() int { return r.batchCap }
 
-// Get returns an empty batch with BatchCap capacity for the producer to
-// fill, reusing a recycled batch when one is available.
-func (r *Ring) Get() []Event {
+// Get returns an empty batch with BatchCap event capacity for the producer
+// to fill, reusing a recycled batch when one is available. The batch's
+// summary starts zeroed (empty mask, no structure offsets); a producer that
+// does not stamp summaries must set Sum.Mask = MaskAll before Publish so no
+// worker mistakes the zero mask for "skippable by everyone".
+func (r *Ring) Get() *Batch {
 	r.mu.Lock()
 	if n := len(r.free); n > 0 {
 		b := r.free[n-1]
@@ -155,17 +184,21 @@ func (r *Ring) Get() []Event {
 		r.free = r.free[:n-1]
 		r.stats.BatchesReused++
 		r.mu.Unlock()
-		return b[:0]
+		b.Ev = b.Ev[:0]
+		b.Sum.Reset()
+		return b
 	}
 	r.mu.Unlock()
-	return make([]Event, 0, r.batchCap)
+	return &Batch{Ev: make([]Event, 0, r.batchCap)}
 }
 
 // Publish hands a filled batch to the consumer, blocking while the ring is
-// full (backpressure). Empty batches are legal and flow through like any
-// other. Publishing on a closed ring panics: it means the producer kept
-// running after signalling end-of-stream.
-func (r *Ring) Publish(b []Event) {
+// full (backpressure). Empty and nil batches are legal and flow through
+// like any other. Publish reports false — and drops the batch — when the
+// ring was closed underneath a blocked or late producer, so teardown paths
+// (an abort closing the ring while the producer is mid-flush) unwind
+// cleanly instead of panicking.
+func (r *Ring) Publish(b *Batch) (ok bool) {
 	r.mu.Lock()
 	for r.count == len(r.buf) && !r.closed {
 		r.stats.ProducerWaits++
@@ -173,14 +206,17 @@ func (r *Ring) Publish(b []Event) {
 	}
 	if r.closed {
 		r.mu.Unlock()
-		panic("evstream: Publish on closed ring")
+		return false
 	}
 	r.buf[(r.head+r.count)%len(r.buf)] = b
 	r.count++
 	r.stats.BatchesPublished++
-	r.stats.EventsPublished += uint64(len(b))
+	if b != nil {
+		r.stats.EventsPublished += uint64(len(b.Ev))
+	}
 	r.notEmpty.Signal()
 	r.mu.Unlock()
+	return true
 }
 
 // Close signals end-of-stream. The consumer drains the batches already
@@ -195,7 +231,7 @@ func (r *Ring) Close() {
 
 // Next returns the oldest published batch, blocking while the ring is
 // empty. It returns ok=false once the ring is closed and fully drained.
-func (r *Ring) Next() (b []Event, ok bool) {
+func (r *Ring) Next() (b *Batch, ok bool) {
 	r.mu.Lock()
 	for r.count == 0 && !r.closed {
 		r.stats.ConsumerWaits++
@@ -220,13 +256,13 @@ func (r *Ring) Next() (b []Event, ok bool) {
 // methods, Recycle is safe to call from any goroutine — the sharded
 // pipeline recycles batches from whichever worker releases a broadcast
 // slot last.
-func (r *Ring) Recycle(b []Event) {
-	if cap(b) == 0 {
+func (r *Ring) Recycle(b *Batch) {
+	if b == nil || cap(b.Ev) == 0 {
 		return
 	}
 	r.mu.Lock()
 	if len(r.free) < len(r.buf)+1 {
-		r.free = append(r.free, b[:0])
+		r.free = append(r.free, b)
 	}
 	r.mu.Unlock()
 }

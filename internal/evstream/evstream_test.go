@@ -16,7 +16,7 @@ func TestRingDeliversInOrder(t *testing.T) {
 			if !ok {
 				break
 			}
-			for _, ev := range b {
+			for _, ev := range b.Ev {
 				got = append(got, ev.Addr())
 			}
 			r.Recycle(b)
@@ -25,11 +25,11 @@ func TestRingDeliversInOrder(t *testing.T) {
 	}()
 	b := r.Get()
 	for i := uint64(0); i < n; i++ {
-		if len(b) == cap(b) {
+		if len(b.Ev) == cap(b.Ev) {
 			r.Publish(b)
 			b = r.Get()
 		}
-		b = append(b, Access(OpRead, i, 4))
+		b.Ev = append(b.Ev, Access(OpRead, i, 4))
 	}
 	r.Publish(b)
 	r.Close()
@@ -46,10 +46,10 @@ func TestRingDeliversInOrder(t *testing.T) {
 
 func TestRingBackpressureBlocksProducer(t *testing.T) {
 	r := NewRing(1, 1)
-	r.Publish([]Event{Ctl(OpRead)}) // fills the ring
+	r.Publish(&Batch{Ev: []Event{Ctl(OpRead)}}) // fills the ring
 	published := make(chan struct{})
 	go func() {
-		r.Publish([]Event{Ctl(OpWrite)}) // must block until Next drains a slot
+		r.Publish(&Batch{Ev: []Event{Ctl(OpWrite)}}) // must block until Next drains a slot
 		close(published)
 	}()
 	select {
@@ -81,8 +81,8 @@ func TestRingEmptyBatchesFlow(t *testing.T) {
 		if !ok {
 			t.Fatalf("batch %d: premature done", i)
 		}
-		if len(b) != 0 {
-			t.Fatalf("batch %d has %d events, want 0", i, len(b))
+		if b != nil && len(b.Ev) != 0 {
+			t.Fatalf("batch %d has %d events, want 0", i, len(b.Ev))
 		}
 		r.Recycle(b)
 	}
@@ -114,10 +114,12 @@ func TestRingReusesBatches(t *testing.T) {
 	r := NewRing(2, 16)
 	for i := 0; i < 50; i++ {
 		b := r.Get()
-		b = append(b, Access(OpRead, uint64(i), 4))
+		b.Ev = append(b.Ev, Access(OpRead, uint64(i), 4))
+		b.Sum.Mask = MaskAll
+		b.Sum.AddCtl(0)
 		r.Publish(b)
 		got, ok := r.Next()
-		if !ok || len(got) != 1 {
+		if !ok || len(got.Ev) != 1 {
 			t.Fatalf("round %d: bad batch", i)
 		}
 		r.Recycle(got)
@@ -129,18 +131,42 @@ func TestRingReusesBatches(t *testing.T) {
 	if s.EventsPublished != 50 || s.BatchesPublished != 50 {
 		t.Errorf("stats = %+v, want 50 events in 50 batches", s)
 	}
+	// Get must hand back reused batches with a cleared summary.
+	b := r.Get()
+	if b.Sum.Mask != 0 || len(b.Sum.Ctl) != 0 {
+		t.Errorf("reused batch summary not reset: %+v", b.Sum)
+	}
 	r.Close()
 }
 
-func TestPublishAfterClosePanics(t *testing.T) {
+func TestPublishAfterCloseReportsFalse(t *testing.T) {
 	r := NewRing(2, 4)
+	if !r.Publish(&Batch{Ev: []Event{Ctl(OpRead)}}) {
+		t.Fatal("Publish on an open ring reported false")
+	}
 	r.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Publish after Close did not panic")
-		}
+	if r.Publish(&Batch{Ev: []Event{Ctl(OpRead)}}) {
+		t.Fatal("Publish after Close reported ok")
+	}
+}
+
+func TestCloseUnblocksBlockedPublish(t *testing.T) {
+	r := NewRing(1, 1)
+	r.Publish(&Batch{Ev: []Event{Ctl(OpRead)}}) // fills the ring
+	result := make(chan bool)
+	go func() {
+		result <- r.Publish(&Batch{Ev: []Event{Ctl(OpWrite)}}) // blocks on full ring
 	}()
-	r.Publish([]Event{Ctl(OpRead)})
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	select {
+	case ok := <-result:
+		if ok {
+			t.Fatal("Publish unblocked by Close reported ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock the stuck Publish")
+	}
 }
 
 func TestNewRingClampsArguments(t *testing.T) {
@@ -148,9 +174,34 @@ func TestNewRingClampsArguments(t *testing.T) {
 	if r.BatchCap() != 1 {
 		t.Errorf("BatchCap = %d, want clamp to 1", r.BatchCap())
 	}
-	r.Publish([]Event{Ctl(OpRead)})
-	if b, ok := r.Next(); !ok || len(b) != 1 {
+	r.Publish(&Batch{Ev: []Event{Ctl(OpRead)}})
+	if b, ok := r.Next(); !ok || len(b.Ev) != 1 {
 		t.Error("clamped ring does not deliver")
 	}
 	r.Close()
+}
+
+func TestRangeRejectsOversizeOperands(t *testing.T) {
+	// In-range operands at the field boundaries must round-trip exactly.
+	ev := Range(OpReadRange, 64, MaxRangeCount, MaxRangeElem)
+	if ev.Count() != MaxRangeCount || ev.Elem() != MaxRangeElem {
+		t.Fatalf("boundary range decoded as count=%d elem=%d", ev.Count(), ev.Elem())
+	}
+	for _, tc := range []struct {
+		name  string
+		count int
+		elem  uint64
+	}{
+		{"negative count", -1, 8},
+		{"oversize elem", 4, MaxRangeElem + 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Range did not panic", tc.name)
+				}
+			}()
+			Range(OpReadRange, 0, tc.count, tc.elem)
+		}()
+	}
 }

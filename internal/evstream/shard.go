@@ -21,11 +21,16 @@ func PageSplit(ev Event, pageBits uint, emit func(page uint64, piece Event)) int
 	case OpRead, OpWrite:
 		size = ev.Size()
 	case OpReadRange:
-		op, size = OpRead, uint64(ev.Count())*ev.Elem()
+		op, size = OpRead, rangeBytes(ev)
 	case OpWriteRange:
-		op, size = OpWrite, uint64(ev.Count())*ev.Elem()
+		op, size = OpWrite, rangeBytes(ev)
 	default:
 		panic("evstream: PageSplit on a non-access event")
+	}
+	if size > 1 && addr+size-1 < addr {
+		// A wrapping span would emit pieces on bogus low pages; the hook
+		// layer rejects such ranges, so hitting this means a corrupt event.
+		panic("evstream: PageSplit range wraps the address space")
 	}
 	pageBytes := uint64(1) << pageBits
 	if size == 0 {
@@ -45,6 +50,20 @@ func PageSplit(ev Event, pageBits uint, emit func(page uint64, piece Event)) int
 		pieces++
 	}
 	return pieces
+}
+
+// rangeBytes returns count*elem for a range event, panicking if the
+// product overflows uint64. Range's encode-time field checks already cap
+// count below 2^32 and elem below 2^24, so the product fits in 56 bits;
+// the guard catches events that bypassed Range (hand-packed or corrupted)
+// before a silently truncated size mis-splits the range.
+func rangeBytes(ev Event) uint64 {
+	count, elem := uint64(ev.Count()), ev.Elem()
+	size := count * elem
+	if elem != 0 && size/elem != count {
+		panic("evstream: range count*elem overflows uint64")
+	}
+	return size
 }
 
 // PickShard maps a page index to one of n shards with a Fibonacci

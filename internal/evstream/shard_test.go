@@ -139,6 +139,39 @@ func TestPageSplitShardPartition(t *testing.T) {
 	}
 }
 
+// TestPageSplitRejectsWrappingSpan pins the overflow guards: a span that
+// wraps the address space must panic with a clear message instead of
+// silently emitting pieces on bogus low pages, and a hand-packed range
+// whose count*elem product overflows uint64 must be caught by the multiply
+// guard rather than mis-split.
+func TestPageSplitRejectsWrappingSpan(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("access wrapping the address space", func() {
+		PageSplit(Access(OpRead, ^uint64(0)-7, 16), 16, func(uint64, Event) {})
+	})
+	expectPanic("range wrapping the address space", func() {
+		// count*elem itself cannot overflow uint64 through Range's checked
+		// fields (32-bit count x 24-bit elem tops out at 56 bits), so the
+		// reachable failure is the span wrapping past the address space.
+		PageSplit(Range(OpReadRange, ^uint64(0)-1024, MaxRangeCount, 1024), 16, func(uint64, Event) {})
+	})
+	// The boundary product (max count x max elem) fits in 56 bits and must
+	// split fine from address 0 — the guard must not fire on legal input.
+	n := 0
+	PageSplit(Range(OpReadRange, 0, 1<<20, 8), 16, func(uint64, Event) { n++ })
+	if n != (1<<20)*8/(1<<16) {
+		t.Fatalf("legal wide range split into %d pieces", n)
+	}
+}
+
 func TestPickShardBoundsAndSpread(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 4, 7} {
 		counts := make([]int, n)

@@ -18,9 +18,22 @@ import (
 // sealed graph has fully finished. The zero wiring (no Go calls, Seal(nil))
 // is legal and makes Wait return as soon as the finalizer runs — the
 // degenerate graph of the synchronous path.
+//
+// Teardown is first-failure-wins: when a stage panics (a user OnRace
+// callback aborting the run, a guard tripping), the recover fires the
+// OnAbort hook exactly once — the runner uses it to close the pipeline's
+// rings so peer stages blocked in Publish/Next unwind instead of
+// deadlocking — the merge is skipped, and Wait re-panics the failure on the
+// producer goroutine so it propagates out of Run exactly as it would have
+// in synchronous mode.
 type Graph struct {
 	wg   sync.WaitGroup
 	done chan struct{}
+
+	mu      sync.Mutex
+	failure any  // first stage or merge panic value
+	failed  bool // distinguishes panic(nil) from no failure
+	abort   func()
 }
 
 // NewGraph returns an empty graph.
@@ -28,11 +41,49 @@ func NewGraph() *Graph {
 	return &Graph{done: make(chan struct{})}
 }
 
-// Go launches fn as one stage goroutine of the graph.
+// OnAbort installs the hook fired once, on the first stage failure. Set it
+// before launching stages that can fail; typically it closes the graph's
+// rings so blocked peers drain out.
+func (g *Graph) OnAbort(fn func()) {
+	g.mu.Lock()
+	g.abort = fn
+	g.mu.Unlock()
+}
+
+// fail records the first failure and fires the abort hook once.
+func (g *Graph) fail(r any) {
+	g.mu.Lock()
+	first := !g.failed
+	if first {
+		g.failed = true
+		g.failure = r
+	}
+	abort := g.abort
+	g.mu.Unlock()
+	if first && abort != nil {
+		abort()
+	}
+}
+
+// Failed reports whether any stage or the merge has panicked so far.
+func (g *Graph) Failed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.failed
+}
+
+// Go launches fn as one stage goroutine of the graph. A panic in fn is
+// captured as the graph's failure (first failure wins) instead of crashing
+// the process; Wait re-raises it.
 func (g *Graph) Go(fn func()) {
 	g.wg.Add(1)
 	go func() {
 		defer g.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				g.fail(r)
+			}
+		}()
 		fn()
 	}()
 }
@@ -40,32 +91,70 @@ func (g *Graph) Go(fn func()) {
 // Seal launches the graph's finalizer: after every stage launched so far
 // has returned, it runs merge (which may be nil) and marks the graph done.
 // Results written by stages before returning are visible to merge, and
-// results written by merge are visible after Wait. Seal must be called
-// exactly once, after all Go calls.
+// results written by merge are visible after Wait. When a stage failed, the
+// merge is skipped — its inputs are incomplete — and the failure is
+// re-raised by Wait instead. Seal must be called exactly once, after all Go
+// calls.
 func (g *Graph) Seal(merge func()) {
 	go func() {
 		g.wg.Wait()
-		if merge != nil {
-			merge()
+		if merge != nil && !g.Failed() {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						g.fail(r)
+					}
+				}()
+				merge()
+			}()
 		}
 		close(g.done)
 	}()
 }
 
 // Wait blocks until the sealed graph has finished: all stages joined and
-// the merge complete.
-func (g *Graph) Wait() { <-g.done }
+// the merge complete. If a stage or the merge panicked, Wait re-panics the
+// first failure on the caller's goroutine.
+func (g *Graph) Wait() {
+	<-g.done
+	g.mu.Lock()
+	failed, failure := g.failed, g.failure
+	g.mu.Unlock()
+	if failed {
+		panic(failure)
+	}
+}
 
 // Meter accumulates one stage's busy time at batch granularity: the wall
 // clock spent processing, excluding blocking waits on the stage's rings.
 // Start a lap with time.Now() before processing and Add the start once the
-// batch is done, before any blocking publish or next.
+// batch is done, before any blocking publish or next. AddBatch additionally
+// tallies the scanned-vs-skipped split for stages with a summary fast path.
 type Meter struct {
-	busy time.Duration
+	busy    time.Duration
+	scanned uint64
+	skipped uint64
 }
 
 // Add accumulates the time elapsed since t0.
 func (m *Meter) Add(t0 time.Time) { m.busy += time.Since(t0) }
 
+// AddBatch accumulates the time elapsed since t0 and counts the batch as
+// skipped (summary fast path: structure events only) or scanned in full.
+func (m *Meter) AddBatch(t0 time.Time, skipped bool) {
+	m.busy += time.Since(t0)
+	if skipped {
+		m.skipped++
+	} else {
+		m.scanned++
+	}
+}
+
 // Busy returns the accumulated busy time.
 func (m *Meter) Busy() time.Duration { return m.busy }
+
+// Scanned returns the number of batches processed in full.
+func (m *Meter) Scanned() uint64 { return m.scanned }
+
+// Skipped returns the number of batches taken on the summary fast path.
+func (m *Meter) Skipped() uint64 { return m.skipped }

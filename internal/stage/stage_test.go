@@ -42,6 +42,68 @@ func TestGraphEmpty(t *testing.T) {
 	g.Wait()
 }
 
+// TestGraphStagePanicPropagatesThroughWait pins the teardown contract: a
+// panicking stage fires OnAbort exactly once, the merge is skipped, and
+// Wait re-panics the first failure on the caller's goroutine.
+func TestGraphStagePanicPropagatesThroughWait(t *testing.T) {
+	g := NewGraph()
+	var aborts atomic.Int32
+	g.OnAbort(func() { aborts.Add(1) })
+	g.Go(func() { panic("stage failure") })
+	g.Go(func() { panic("second failure") })
+	merged := false
+	g.Seal(func() { merged = true })
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		g.Wait()
+	}()
+	if got != "stage failure" && got != "second failure" {
+		t.Fatalf("Wait re-panicked %v, want one of the stage failures", got)
+	}
+	if n := aborts.Load(); n != 1 {
+		t.Fatalf("OnAbort fired %d times, want exactly 1", n)
+	}
+	if merged {
+		t.Fatal("merge ran despite a failed stage")
+	}
+	if !g.Failed() {
+		t.Fatal("Failed() = false after a stage panic")
+	}
+}
+
+// TestGraphMergePanicPropagates checks a panic in the merge itself is also
+// captured and re-raised by Wait.
+func TestGraphMergePanicPropagates(t *testing.T) {
+	g := NewGraph()
+	g.Go(func() {})
+	g.Seal(func() { panic("merge failure") })
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		g.Wait()
+	}()
+	if got != "merge failure" {
+		t.Fatalf("Wait re-panicked %v, want merge failure", got)
+	}
+}
+
+// TestGraphCleanRunDoesNotAbort checks the hook stays quiet on success.
+func TestGraphCleanRunDoesNotAbort(t *testing.T) {
+	g := NewGraph()
+	var aborts atomic.Int32
+	g.OnAbort(func() { aborts.Add(1) })
+	g.Go(func() {})
+	g.Seal(nil)
+	g.Wait()
+	if aborts.Load() != 0 {
+		t.Fatal("OnAbort fired on a clean run")
+	}
+	if g.Failed() {
+		t.Fatal("Failed() = true on a clean run")
+	}
+}
+
 func TestMeterAccumulates(t *testing.T) {
 	var m Meter
 	t0 := time.Now().Add(-10 * time.Millisecond)
@@ -49,6 +111,17 @@ func TestMeterAccumulates(t *testing.T) {
 	m.Add(t0)
 	if b := m.Busy(); b < 20*time.Millisecond {
 		t.Fatalf("Busy() = %v, want >= 20ms", b)
+	}
+}
+
+func TestMeterBatchSplit(t *testing.T) {
+	var m Meter
+	t0 := time.Now()
+	m.AddBatch(t0, false)
+	m.AddBatch(t0, true)
+	m.AddBatch(t0, true)
+	if m.Scanned() != 1 || m.Skipped() != 2 {
+		t.Fatalf("scanned/skipped = %d/%d, want 1/2", m.Scanned(), m.Skipped())
 	}
 }
 

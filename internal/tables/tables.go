@@ -471,18 +471,21 @@ func (s *Suite) Async() error {
 
 // Util reports the sharded stage graph's per-stage utilization on every
 // workload: wall clock, label-stage busy time, the busiest worker's busy
-// time, and their ratio. With worker-side page splitting the label stage
-// only consumes structure events, so lbl/wrk far below 1 means the
-// sequencer has stopped being the scaling bottleneck — adding shards keeps
-// dividing the detection critical path. Not one of the paper's figures, so
-// Suite.All leaves it out.
+// time, their ratio, and the fleet-wide share of broadcast batches the
+// workers skipped via batch summaries. With worker-side page splitting the
+// label stage only consumes structure events, so lbl/wrk far below 1 means
+// the sequencer has stopped being the scaling bottleneck — adding shards
+// keeps dividing the detection critical path — while a high skip%
+// means the per-worker full-stream scan floor is gone too: workers only
+// scan the batches whose pages hash to them. Not one of the paper's
+// figures, so Suite.All leaves it out.
 func (s *Suite) Util() error {
 	const shards = 4
 	modes := []stint.Detector{stint.DetectorCompRTS, stint.DetectorSTINT}
 	s.printf("== Stage utilization: label stage vs %d shard workers ==\n", shards)
 	s.printf("%-6s |", "")
 	for _, m := range modes {
-		s.printf(" %-9s %10s %10s %10s %8s |", m, "wall", "label", "max-wrk", "lbl/wrk")
+		s.printf(" %-9s %10s %10s %10s %8s %6s |", m, "wall", "label", "max-wrk", "lbl/wrk", "skip%")
 	}
 	s.printf("\n")
 	for _, name := range workloads.Names() {
@@ -498,14 +501,24 @@ func (s *Suite) Util() error {
 			}
 			label, _, maxWorker, ok := cliutil.StageBusy(res.Report)
 			if !ok || maxWorker <= 0 {
-				s.printf(" %-9s %10v %10s %10s %8s |", "", res.Wall.Round(time.Millisecond), "-", "-", "-")
+				s.printf(" %-9s %10v %10s %10s %8s %6s |", "", res.Wall.Round(time.Millisecond), "-", "-", "-", "-")
 				continue
 			}
-			s.printf(" %-9s %10v %10v %10v %7.2fx |", "",
+			var scanned, skipped uint64
+			for _, l := range res.Report.ShardLoad {
+				scanned += l.BatchesScanned
+				skipped += l.BatchesSkipped
+			}
+			skipPct := "-"
+			if total := scanned + skipped; total > 0 {
+				skipPct = fmt.Sprintf("%.0f%%", 100*float64(skipped)/float64(total))
+			}
+			s.printf(" %-9s %10v %10v %10v %7.2fx %6s |", "",
 				res.Wall.Round(time.Millisecond),
 				label.Round(time.Microsecond),
 				maxWorker.Round(time.Microsecond),
-				float64(label)/float64(maxWorker))
+				float64(label)/float64(maxWorker),
+				skipPct)
 		}
 		s.printf("\n")
 	}

@@ -13,7 +13,8 @@
 // **unmodified** onto a single-producer/multi-consumer broadcast ring
 // (evstream.BcastRing). It never splits, copies, or routes access events —
 // the per-event work that made the PR 3 sequencer the multi-core critical
-// path.
+// path. With producer summaries on it does not even scan the batch: the
+// structure events are exactly the offsets in the batch's Summary.Ctl.
 //
 // Page splitting and shard filtering happen on the workers instead: every
 // worker scans the same labeled batch, replays the structure events through
@@ -24,14 +25,23 @@
 // the runtime-coalescing engines treat an access as nothing but its set of
 // touched words.
 //
+// The batch Summary stamped by the producer gives workers a fast path: a
+// worker whose mask bit is clear skips the access events entirely — the
+// clear bit proves no piece of any access in the batch maps to its shard
+// (see evstream.Summary) — and replays only the structure events through
+// Summary.Ctl, so its tracker state and strand-boundary flushes stay
+// byte-identical to a full scan. Split-surplus accounting is untouched by
+// skipping: a skipped batch contributes no pieces to this worker, exactly
+// as a full scan of it would have.
+//
 // Workers never share mutable detector state: each owns the page
 // directory, treap pools, and coalesce buffers for its page subset, and
 // answers Parallel/LeftOf from the immutable label snapshot carried inside
 // each batch. The only cross-goroutine data are the rings, the read-only
-// labels (published before the events that reference them), and the batch
-// slices themselves, which are read-only between Publish and the broadcast
-// ring's last Release (the refcounted recycle hands them back to the main
-// ring's free list).
+// labels (published before the events that reference them), and the
+// batches themselves, which are read-only between Publish and the
+// broadcast ring's last Release (the refcounted recycle hands them back to
+// the main ring's free list).
 //
 // Correctness argument (see DESIGN.md "Why sharding is exact"): the access
 // history is independent per page, every flushed interval is page-
@@ -57,10 +67,10 @@ import (
 )
 
 // labeledBatch is one broadcast message: the producer's event batch,
-// untouched, plus the label snapshot covering every strand its events
-// reference.
+// untouched (events and summary), plus the label snapshot covering every
+// strand its events reference.
 type labeledBatch struct {
-	events []evstream.Event
+	batch  *evstream.Batch
 	labels depa.View
 }
 
@@ -68,7 +78,10 @@ type labeledBatch struct {
 // ring, applies the structure events to the label Builder, and broadcasts
 // each batch with a fresh label snapshot. The snapshot is taken after the
 // batch's own structure events, so it covers every strand any event in the
-// batch belongs to.
+// batch belongs to. A false broadcast Publish means the graph aborted and
+// closed the rings; the stage recycles the batch it still owns and exits
+// cleanly — the failure that caused the abort is the one worth reporting,
+// not a secondary panic here.
 func (as *asyncState) labelStage(labels *depa.Builder, bcast *evstream.BcastRing[labeledBatch]) {
 	for {
 		batch, ok := as.ring.Next()
@@ -76,21 +89,38 @@ func (as *asyncState) labelStage(labels *depa.Builder, bcast *evstream.BcastRing
 			break
 		}
 		t0 := time.Now()
-		for _, ev := range batch {
-			switch ev.EvOp() {
-			case evstream.OpSpawn:
-				labels.Spawn()
-			case evstream.OpRestore:
-				labels.Restore()
-			case evstream.OpSync:
-				labels.Sync()
+		if as.summarize {
+			// The producer indexed the structure events; no need to scan
+			// the access events at all.
+			for _, off := range batch.Sum.Ctl {
+				applyCtl(labels, batch.Ev[off].EvOp())
+			}
+		} else {
+			for _, ev := range batch.Ev {
+				applyCtl(labels, ev.EvOp())
 			}
 		}
-		m := labeledBatch{events: batch, labels: labels.View()}
+		m := labeledBatch{batch: batch, labels: labels.View()}
 		as.seqBusy.Add(t0) // busy excludes the blocking publish below
-		bcast.Publish(m)
+		if !bcast.Publish(m) {
+			as.ring.Recycle(batch)
+			break
+		}
 	}
 	bcast.Close()
+}
+
+// applyCtl advances the label builder for one structure event; access
+// events fall through.
+func applyCtl(labels *depa.Builder, op evstream.Op) {
+	switch op {
+	case evstream.OpSpawn:
+		labels.Spawn()
+	case evstream.OpRestore:
+		labels.Restore()
+	case evstream.OpSync:
+		labels.Sync()
+	}
 }
 
 // shardWorker consumes the broadcast stream for one shard. It implements
@@ -133,7 +163,29 @@ func (w *shardWorker) run(cfg detect.Config) {
 		}
 		t0 := time.Now()
 		w.view = m.labels
-		for _, ev := range m.events {
+		if m.batch.Sum.SkippableBy(w.id) {
+			// Fast path: the batch's mask proves no piece of any access
+			// maps to this shard. Jump through the structure-event offsets
+			// so the tracker and the strand-boundary flushes advance
+			// exactly as a full scan would, and never touch the accesses.
+			for _, off := range m.batch.Sum.Ctl {
+				switch m.batch.Ev[off].EvOp() {
+				case evstream.OpSpawn:
+					engine.StrandEnd()
+					w.track.Spawn()
+				case evstream.OpRestore:
+					engine.StrandEnd() // the child's final strand ends here
+					w.track.Restore()
+				case evstream.OpSync:
+					engine.StrandEnd()
+					w.track.Sync()
+				}
+			}
+			w.busy.AddBatch(t0, true)
+			w.bcast.Release(w.id)
+			continue
+		}
+		for _, ev := range m.batch.Ev {
 			switch ev.EvOp() {
 			case evstream.OpSpawn:
 				// A strand boundary: flush the ending strand's page-local
@@ -151,7 +203,7 @@ func (w *shardWorker) run(cfg detect.Config) {
 				w.access(engine, ev)
 			}
 		}
-		w.busy.Add(t0)
+		w.busy.AddBatch(t0, false)
 		w.bcast.Release(w.id)
 	}
 	t0 := time.Now()
@@ -200,14 +252,25 @@ func (w *shardWorker) access(engine detect.Engine, ev evstream.Event) {
 // startSharded wires the sharded stage graph: label stage, N workers over
 // the broadcast ring, and the merge finalizer. User OnRace calls are
 // serialized with a mutex — across workers their order is nondeterministic
-// (documented), but the recorded Report is canonical regardless.
-func (as *asyncState) startSharded(cfg detect.Config, shards, maxRec int, user func(Race)) {
+// (documented), but the recorded Report is canonical regardless. summarize
+// controls producer batch summaries (the worker skip fast path); with it
+// off, batches carry MaskAll and every worker scans everything.
+func (as *asyncState) startSharded(cfg detect.Config, shards, maxRec int, user func(Race), summarize bool) {
+	as.setSharded(shards, summarize)
 	labels := depa.NewBuilder()
 	bcast := evstream.NewBcastRing(as.ringDepth, shards, func(m labeledBatch) {
 		// Last release: the batch is no longer referenced by any worker, so
 		// it can rejoin the main ring's free list. Ring.Recycle is safe from
 		// any goroutine.
-		as.ring.Recycle(m.events)
+		as.ring.Recycle(m.batch)
+	})
+	// First failure anywhere (a user OnRace panic in a worker, a guard in
+	// the label stage): close both rings so every peer blocked in a
+	// Publish/Next unwinds, the producer's flushes turn into no-ops, and
+	// drain's graph.Wait re-raises the failure on the producer.
+	as.graph.OnAbort(func() {
+		as.ring.Close()
+		bcast.Close()
 	})
 	var raceMu sync.Mutex
 	workers := make([]*shardWorker, shards)
@@ -224,32 +287,43 @@ func (as *asyncState) startSharded(cfg detect.Config, shards, maxRec int, user f
 			w.col.Add(w.view.SeqRank(race.Cur), race)
 			if user != nil {
 				raceMu.Lock()
+				// Unlock via defer: a panicking user callback must release
+				// the mutex on its way out or the other workers deadlock on
+				// it instead of unwinding through the abort.
+				defer raceMu.Unlock()
 				user(race)
-				raceMu.Unlock()
 			}
 		}
 		workers[i] = w
 		as.graph.Go(func() { w.run(wcfg) })
 	}
 	as.graph.Go(func() { as.labelStage(labels, bcast) })
-	as.graph.Seal(func() { as.mergeSharded(labels, workers, maxRec) })
+	as.graph.Seal(func() { as.mergeSharded(labels, workers, bcast, maxRec) })
 }
 
 // mergeSharded folds the workers' results into canonical totals: counters
 // partition exactly across shards (pages are disjoint and intervals page-
 // contained), except the hook-call counts, which grew by one per page
-// split and are corrected by the workers' surplus counters.
-func (as *asyncState) mergeSharded(labels *depa.Builder, workers []*shardWorker, maxRec int) {
+// split and are corrected by the workers' surplus counters. It also
+// assembles the per-worker load breakdown (busy, scanned/skipped batches,
+// broadcast-ring waits) behind Report.ShardLoad.
+func (as *asyncState) mergeSharded(labels *depa.Builder, workers []*shardWorker, bcast *evstream.BcastRing[labeledBatch], maxRec int) {
 	col := stage.NewCollector(maxRec)
-	as.shardBusy = make([]time.Duration, len(workers))
+	as.shardLoad = make([]ShardLoad, len(workers))
 	var detectBusy time.Duration
 	for i, w := range workers {
 		as.stats.Accumulate(&w.stats)
 		as.stats.ReadHookCalls -= w.splitReads
 		as.stats.WriteHookCalls -= w.splitWrites
+		as.stats.BatchesSkipped += w.busy.Skipped()
 		col.Merge(w.col)
-		as.shardBusy[i] = w.busy.Busy()
-		detectBusy += as.shardBusy[i]
+		as.shardLoad[i] = ShardLoad{
+			Busy:           w.busy.Busy(),
+			BatchesScanned: w.busy.Scanned(),
+			BatchesSkipped: w.busy.Skipped(),
+			RingWaits:      bcast.ConsumerWaits(i),
+		}
+		detectBusy += w.busy.Busy()
 	}
 	as.stats.PipelineDetectTime = detectBusy
 	as.strands = labels.StrandCount()

@@ -4,6 +4,9 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"stint/internal/coalesce"
+	"stint/internal/evstream"
 )
 
 // shardTestDetectors are the detectors DetectShards supports.
@@ -11,13 +14,17 @@ var shardTestDetectors = []Detector{
 	DetectorCompRTS, DetectorSTINT, DetectorSTINTUnbalanced, DetectorSTINTSkiplist,
 }
 
-// normStats zeroes the timing- and allocation-dependent fields so the
-// deterministic counters can be compared across execution modes.
+// normStats zeroes the timing-, allocation-, and scheduling-dependent
+// fields so the deterministic counters can be compared across execution
+// modes. BatchesSkipped is scheduling-dependent by construction: it counts
+// elided scan work, which varies with shard count and batch geometry while
+// every detection counter stays identical.
 func normStats(s Stats) Stats {
 	s.AccessHistoryTime = 0
 	s.AllocObjects = 0
 	s.AllocBytes = 0
 	s.PipelineDetectTime = 0
+	s.BatchesSkipped = 0
 	return s
 }
 
@@ -227,6 +234,157 @@ func TestShardedIgnoredForReachOnlyAndOff(t *testing.T) {
 	if rep.Racy() {
 		t.Error("DetectorOff reported races")
 	}
+}
+
+// skewShards is the shard count the skip-scan skew tests run under.
+const skewShards = 4
+
+// skewProgram builds a one-hot-page workload: every access lands on a
+// single 64 KiB shadow page, so under 4-shard detection exactly one worker
+// owns all access work and the batch summaries let the other three skip
+// every batch. It returns the program and the owning shard index.
+func skewProgram(r *Runner) (TaskFunc, int) {
+	buf := r.Arena().AllocWords("hot", 48<<10)
+	base := buf.Base()
+	pageSize := Addr(1) << coalesce.PageBytesBits
+	// First word index whose enclosing page is fully inside the buffer, so
+	// the whole index range below stays on that one page.
+	start := 0
+	if off := base % pageSize; off != 0 {
+		start = int((pageSize - off) / 4)
+	}
+	page := uint64(base+Addr(start)*4) >> coalesce.PageBytesBits
+	owner := evstream.PickShard(page, skewShards)
+	prog := func(t *Task) {
+		for i := 0; i < 4; i++ {
+			i := i
+			t.Spawn(func(c *Task) {
+				c.StoreRange(buf, start+i*512, 1024) // overlapping writes: races
+				for j := 0; j < 200; j++ {
+					c.Load(buf, start+(i*389+j*7)%8192)
+				}
+			})
+		}
+		t.Sync()
+		t.LoadRange(buf, start, 4096)
+	}
+	return prog, owner
+}
+
+// TestShardedSkewSkipScan is the tentpole's payoff case: on a one-hot-page
+// workload the non-owning workers must skip (not scan) at least 80% of
+// their batches, the skip counters must reconcile, and the Report must stay
+// byte-identical to both the synchronous run and a summaries-off run.
+func TestShardedSkewSkipScan(t *testing.T) {
+	runSkew := func(nosum bool) (*Report, int) {
+		t.Helper()
+		r, err := NewRunner(Options{
+			Detector: DetectorSTINT, Async: true, DetectShards: skewShards,
+			MaxRacesRecorded: 1 << 20, DisableBatchSummaries: nosum,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Small batches so the run spans many batches and the skip ratio is
+		// meaningful.
+		r.asyncBatchEvents, r.asyncRingDepth = 64, 4
+		prog, owner := skewProgram(r)
+		rep, err := r.Run(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, owner
+	}
+
+	rep, owner := runSkew(false)
+	if rep.RaceCount == 0 {
+		t.Fatal("skew program produced no races; test is vacuous")
+	}
+	if rep.Stats.BatchesSkipped == 0 {
+		t.Fatal("summaries on, one-hot-page workload, but no batch was skipped")
+	}
+	var sum uint64
+	for i, l := range rep.ShardLoad {
+		sum += l.BatchesSkipped
+		if i == owner {
+			continue
+		}
+		total := l.BatchesScanned + l.BatchesSkipped
+		if total == 0 {
+			t.Fatalf("non-owner shard %d saw no batches", i)
+		}
+		if ratio := float64(l.BatchesSkipped) / float64(total); ratio < 0.8 {
+			t.Errorf("non-owner shard %d skipped only %.0f%% of %d batches", i, 100*ratio, total)
+		}
+	}
+	if sum != rep.Stats.BatchesSkipped {
+		t.Errorf("ShardLoad skip counters sum to %d, Stats.BatchesSkipped = %d", sum, rep.Stats.BatchesSkipped)
+	}
+
+	// Summaries off: nothing skips, and the report is still byte-identical.
+	nosum, _ := runSkew(true)
+	if nosum.Stats.BatchesSkipped != 0 {
+		t.Errorf("summaries disabled but BatchesSkipped = %d", nosum.Stats.BatchesSkipped)
+	}
+	for i, l := range nosum.ShardLoad {
+		if l.BatchesSkipped != 0 {
+			t.Errorf("summaries disabled but shard %d skipped %d batches", i, l.BatchesSkipped)
+		}
+	}
+
+	rSync, err := NewRunner(Options{Detector: DetectorSTINT, MaxRacesRecorded: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progSync, _ := skewProgram(rSync)
+	sync, err := rSync.Run(progSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		got  *Report
+	}{{"summaries-on", rep}, {"summaries-off", nosum}} {
+		if c.got.RaceCount != sync.RaceCount || c.got.Strands != sync.Strands {
+			t.Errorf("%s: RaceCount/Strands %d/%d, sync %d/%d",
+				c.name, c.got.RaceCount, c.got.Strands, sync.RaceCount, sync.Strands)
+		}
+		if !reflect.DeepEqual(c.got.Races, sync.Races) {
+			t.Errorf("%s: Races differ from sync", c.name)
+		}
+		if ns, ng := normStats(sync.Stats), normStats(c.got.Stats); ns != ng {
+			t.Errorf("%s: stats differ\n got: %+v\nsync: %+v", c.name, ng, ns)
+		}
+	}
+}
+
+// TestShardedOnRacePanicPropagates hardens teardown: a panicking user
+// OnRace callback in a worker must abort the stage graph, unblock the
+// producer (possibly stuck publishing into a full ring), and re-panic out
+// of Run — not deadlock and not get swallowed.
+func TestShardedOnRacePanicPropagates(t *testing.T) {
+	r, err := NewRunner(Options{
+		Detector: DetectorSTINT, Async: true, DetectShards: 2,
+		OnRace: func(Race) { panic("user callback exploded") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny geometry keeps the producer publishing long after the first race
+	// fires, so the abort path must actually unblock it.
+	r.asyncBatchEvents, r.asyncRingDepth = 1, 1
+	buf := r.Arena().AllocWords("buf", 4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("user OnRace panic did not propagate out of Run")
+		}
+	}()
+	r.Run(func(task *Task) {
+		for i := 0; i < 8; i++ {
+			task.Spawn(func(c *Task) { c.StoreRange(buf, 0, 2048) })
+		}
+		task.Sync()
+	})
 }
 
 // TestShardedMultipleRunsIndependent reuses one sharded Runner.

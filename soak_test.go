@@ -48,8 +48,12 @@ func soakRunMode(t *testing.T, acts []act, sizes []int, d Detector, async bool) 
 }
 
 func soakRunShards(t *testing.T, acts []act, sizes []int, d Detector, async bool, shards int) *Report {
+	return soakRunOpts(t, acts, sizes, Options{Detector: d, MaxRacesRecorded: 1, Async: async, DetectShards: shards})
+}
+
+func soakRunOpts(t *testing.T, acts []act, sizes []int, opts Options) *Report {
 	t.Helper()
-	r, err := NewRunner(Options{Detector: d, MaxRacesRecorded: 1, Async: async, DetectShards: shards})
+	r, err := NewRunner(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +94,7 @@ func TestSoakAsyncDeterminismAndSyncAgreement(t *testing.T) {
 	// batches, it never reorders) and must match the synchronous path on
 	// every counter that is not timing- or allocation-dependent.
 	norm := func(s Stats) Stats {
-		s.AccessHistoryTime, s.AllocObjects, s.AllocBytes, s.PipelineDetectTime = 0, 0, 0, 0
+		s.AccessHistoryTime, s.AllocObjects, s.AllocBytes, s.PipelineDetectTime, s.BatchesSkipped = 0, 0, 0, 0, 0
 		return s
 	}
 	for seed := int64(20); seed < 26; seed++ {
@@ -119,7 +123,7 @@ func TestSoakShardedDeterminismAndSyncAgreement(t *testing.T) {
 	// counter) and must match the synchronous path on every deterministic
 	// counter, for every supported detector and shard count.
 	norm := func(s Stats) Stats {
-		s.AccessHistoryTime, s.AllocObjects, s.AllocBytes, s.PipelineDetectTime = 0, 0, 0, 0
+		s.AccessHistoryTime, s.AllocObjects, s.AllocBytes, s.PipelineDetectTime, s.BatchesSkipped = 0, 0, 0, 0, 0
 		return s
 	}
 	for seed := int64(30); seed < 34; seed++ {
@@ -136,6 +140,21 @@ func TestSoakShardedDeterminismAndSyncAgreement(t *testing.T) {
 				if norm(a.Stats) != norm(sync.Stats) || a.Strands != sync.Strands || a.RaceCount != sync.RaceCount {
 					t.Fatalf("seed %d %v shards=%d: sharded diverges from sync\nsharded: %+v\nsync:    %+v",
 						seed, d, n, norm(a.Stats), norm(sync.Stats))
+				}
+				// Batch summaries are a pure scan elision: with them disabled
+				// nothing skips and the report still matches sync byte for
+				// byte on every deterministic counter.
+				c := soakRunOpts(t, acts, sizes, Options{
+					Detector: d, MaxRacesRecorded: 1, Async: true,
+					DetectShards: n, DisableBatchSummaries: true,
+				})
+				if c.Stats.BatchesSkipped != 0 {
+					t.Fatalf("seed %d %v shards=%d: summaries disabled but BatchesSkipped = %d",
+						seed, d, n, c.Stats.BatchesSkipped)
+				}
+				if norm(c.Stats) != norm(sync.Stats) || c.Strands != sync.Strands || c.RaceCount != sync.RaceCount {
+					t.Fatalf("seed %d %v shards=%d: summaries-off run diverges from sync\nnosum: %+v\nsync:  %+v",
+						seed, d, n, norm(c.Stats), norm(sync.Stats))
 				}
 			}
 		}

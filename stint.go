@@ -145,6 +145,14 @@ type Options struct {
 	// ignored for DetectorOff/DetectorReachOnly (nothing page-partitioned
 	// to shard). n = 1 runs the full sharded machinery with one worker.
 	DetectShards int
+	// DisableBatchSummaries turns off the producer's per-batch page
+	// summaries in sharded mode, forcing every worker to scan every
+	// broadcast batch instead of skipping batches whose page mask proves
+	// they own no piece of any access (Stats.BatchesSkipped stays zero).
+	// Reports are identical either way — the summaries only elide provably
+	// irrelevant scan work. Exists for measurement (the before/after in
+	// EXPERIMENTS.md) and as an escape hatch; ignored outside sharded mode.
+	DisableBatchSummaries bool
 	// Tracer, if set, receives every execution event (see Tracer); use
 	// stint/trace to record replayable traces. Incompatible with Parallel.
 	Tracer Tracer
@@ -205,6 +213,27 @@ type Report struct {
 	// PipelineDetectTime is the sum of ShardBusy in sharded mode.
 	SequencerBusy time.Duration
 	ShardBusy     []time.Duration
+	// ShardLoad breaks each worker's load down further (sharded mode only,
+	// nil otherwise): busy time (ShardBusy[i] == ShardLoad[i].Busy), the
+	// scanned-vs-skipped batch split from the summary fast path, and the
+	// worker's broadcast-ring wait count. A worker with many waits was
+	// starved (ahead of the stream); the low-wait outlier is the straggler
+	// the ring's backpressure paces everyone else behind.
+	ShardLoad []ShardLoad
+}
+
+// ShardLoad is one shard worker's load breakdown; see Report.ShardLoad.
+type ShardLoad struct {
+	// Busy is the worker's processing time, excluding ring waits.
+	Busy time.Duration
+	// BatchesScanned counts broadcast batches the worker scanned in full;
+	// BatchesSkipped counts those its summary mask let it skip (structure
+	// events only). Their sum is the number of batches broadcast.
+	BatchesScanned uint64
+	BatchesSkipped uint64
+	// RingWaits counts the worker's blocking episodes waiting on the
+	// broadcast ring for the label stage to publish.
+	RingWaits uint64
 }
 
 // Racy reports whether any race was found.
@@ -287,7 +316,7 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 			}
 			rs.async = newAsyncState(depth, bcap)
 			if n := r.opts.DetectShards; n > 0 && rs.hooks {
-				rs.async.startSharded(cfg, n, maxRec, user)
+				rs.async.startSharded(cfg, n, maxRec, user, !r.opts.DisableBatchSummaries)
 			} else {
 				rs.async.startConsume(cfg, r.newEngine, maxRec, user)
 			}
@@ -338,7 +367,13 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 		rep.RaceCount = rep.Stats.Races
 		rep.Races = rs.async.races
 		rep.SequencerBusy = rs.async.seqBusy.Busy()
-		rep.ShardBusy = rs.async.shardBusy
+		if load := rs.async.shardLoad; load != nil {
+			rep.ShardLoad = load
+			rep.ShardBusy = make([]time.Duration, len(load))
+			for i, l := range load {
+				rep.ShardBusy[i] = l.Busy
+			}
+		}
 	} else {
 		if rs.sp != nil {
 			rep.Strands = rs.sp.StrandCount()
@@ -380,12 +415,12 @@ func (t *Task) Spawn(f TaskFunc) {
 	if as := rs.async; as != nil {
 		// Pipelined: the structure events travel the stream; SP-Order is
 		// maintained by the consumer. Execution stays depth-first serial.
-		as.emit(evstream.Ctl(evstream.OpSpawn))
+		as.emitCtl(evstream.Ctl(evstream.OpSpawn))
 		child := rs.getTask()
 		f(child)
 		child.Sync()
 		rs.putTask(child)
-		as.emit(evstream.Ctl(evstream.OpRestore))
+		as.emitCtl(evstream.Ctl(evstream.OpRestore))
 		if rs.tracer != nil {
 			rs.tracer.Restore()
 		}
@@ -429,7 +464,7 @@ func (t *Task) Sync() {
 		// Only strand-creating syncs travel the stream; tracePending
 		// mirrors frame.Pending for exactly this purpose.
 		if t.tracePending {
-			as.emit(evstream.Ctl(evstream.OpSync))
+			as.emitCtl(evstream.Ctl(evstream.OpSync))
 		}
 		t.tracePending = false
 		return
@@ -454,7 +489,7 @@ func (t *Task) Load(b *Buffer, i int) {
 	addr, size := b.Addr(i), uint64(b.ElemBytes())
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emit(evstream.Access(evstream.OpRead, addr, size))
+			as.emitAccess(evstream.Access(evstream.OpRead, addr, size))
 		} else {
 			rs.engine.ReadHook(addr, size)
 		}
@@ -473,7 +508,7 @@ func (t *Task) Store(b *Buffer, i int) {
 	addr, size := b.Addr(i), uint64(b.ElemBytes())
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emit(evstream.Access(evstream.OpWrite, addr, size))
+			as.emitAccess(evstream.Access(evstream.OpWrite, addr, size))
 		} else {
 			rs.engine.WriteHook(addr, size)
 		}
@@ -494,7 +529,7 @@ func (t *Task) LoadRange(b *Buffer, i, n int) {
 	addr, _ := b.Range(i, n)
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emit(evstream.Range(evstream.OpReadRange, addr, n, uint64(b.ElemBytes())))
+			as.emitAccess(evstream.Range(evstream.OpReadRange, addr, n, uint64(b.ElemBytes())))
 		} else {
 			rs.engine.ReadRangeHook(addr, n, uint64(b.ElemBytes()))
 		}
@@ -513,7 +548,7 @@ func (t *Task) StoreRange(b *Buffer, i, n int) {
 	addr, _ := b.Range(i, n)
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emit(evstream.Range(evstream.OpWriteRange, addr, n, uint64(b.ElemBytes())))
+			as.emitAccess(evstream.Range(evstream.OpWriteRange, addr, n, uint64(b.ElemBytes())))
 		} else {
 			rs.engine.WriteRangeHook(addr, n, uint64(b.ElemBytes()))
 		}
@@ -529,7 +564,7 @@ func (t *Task) LoadAt(addr Addr, size uint64) {
 	rs := t.rs
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emit(evstream.Access(evstream.OpRead, addr, size))
+			as.emitAccess(evstream.Access(evstream.OpRead, addr, size))
 		} else {
 			rs.engine.ReadHook(addr, size)
 		}
@@ -544,7 +579,7 @@ func (t *Task) StoreAt(addr Addr, size uint64) {
 	rs := t.rs
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emit(evstream.Access(evstream.OpWrite, addr, size))
+			as.emitAccess(evstream.Access(evstream.OpWrite, addr, size))
 		} else {
 			rs.engine.WriteHook(addr, size)
 		}
@@ -554,17 +589,40 @@ func (t *Task) StoreAt(addr Addr, size uint64) {
 	}
 }
 
+// checkRange rejects range-hook operands the pipeline cannot represent: a
+// count or element size outside the event encoding's fields (which would
+// silently truncate into a different, smaller range) or a span wrapping the
+// address space (which would mis-split across bogus low pages). The
+// arena-backed LoadRange/StoreRange can never trip it — Buffer.Range bounds
+// the span — so the guard lives only on the raw-address hooks, where the
+// caller manages its own layout.
+func checkRange(addr Addr, count int, elemBytes uint64) {
+	if count < 0 || uint64(count) > evstream.MaxRangeCount {
+		panic(fmt.Sprintf("stint: range count %d outside [0, 2^32)", count))
+	}
+	if elemBytes > evstream.MaxRangeElem {
+		panic(fmt.Sprintf("stint: range element size %d outside [0, 2^24)", elemBytes))
+	}
+	if size := uint64(count) * elemBytes; size > 0 && addr+size-1 < addr {
+		panic(fmt.Sprintf("stint: range [%#x, %#x+%d) wraps the address space", addr, addr, size))
+	}
+}
+
 // LoadRangeAt reports a compiler-coalesced read of count elements of
 // elemBytes each starting at a raw address, for callers managing their own
 // layout on top of the Arena (the raw-address sibling of LoadRange).
+// Operands the detector cannot represent — a negative or 2^32+ count, an
+// element size of 2^24+ bytes, or a span wrapping the address space —
+// panic.
 func (t *Task) LoadRangeAt(addr Addr, count int, elemBytes uint64) {
 	rs := t.rs
 	if count == 0 {
 		return
 	}
+	checkRange(addr, count, elemBytes)
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emit(evstream.Range(evstream.OpReadRange, addr, count, elemBytes))
+			as.emitAccess(evstream.Range(evstream.OpReadRange, addr, count, elemBytes))
 		} else {
 			rs.engine.ReadRangeHook(addr, count, elemBytes)
 		}
@@ -575,15 +633,16 @@ func (t *Task) LoadRangeAt(addr Addr, count int, elemBytes uint64) {
 }
 
 // StoreRangeAt reports a compiler-coalesced write at a raw address; see
-// LoadRangeAt.
+// LoadRangeAt (including its operand guards).
 func (t *Task) StoreRangeAt(addr Addr, count int, elemBytes uint64) {
 	rs := t.rs
 	if count == 0 {
 		return
 	}
+	checkRange(addr, count, elemBytes)
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emit(evstream.Range(evstream.OpWriteRange, addr, count, elemBytes))
+			as.emitAccess(evstream.Range(evstream.OpWriteRange, addr, count, elemBytes))
 		} else {
 			rs.engine.WriteRangeHook(addr, count, elemBytes)
 		}

@@ -33,6 +33,7 @@ import (
 	"io"
 
 	"stint"
+	"stint/internal/evstream"
 	"stint/internal/mem"
 )
 
@@ -266,6 +267,17 @@ func (d *decoder) replayBody(t *stint.Task, depth int) {
 			}
 			if err != nil {
 				d.fail(fmt.Errorf("trace: range event: %w", err))
+				return
+			}
+			// Validate before handing to the hook layer: LoadRangeAt panics
+			// on unrepresentable ranges, but a corrupt or adversarial trace
+			// must surface as a decode error, not a panic.
+			if count > evstream.MaxRangeCount || elem > evstream.MaxRangeElem {
+				d.fail(fmt.Errorf("trace: range event count %d elem %d outside the representable fields", count, elem))
+				return
+			}
+			if size := count * elem; size > 0 && addr+size-1 < addr {
+				d.fail(fmt.Errorf("trace: range event at %#x spanning %d bytes wraps the address space", addr, size))
 				return
 			}
 			if code == opReadRange {
