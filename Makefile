@@ -20,26 +20,29 @@ bench:
 
 # Hot-path microbenchmarks only: the open-addressed page directory vs the
 # seed's Go map, slab-pooled vs heap-allocated treap nodes, the async event
-# ring and its broadcast sibling, the workers' local page-split/filter scan,
-# the producer-side summary stamp and the worker skip-scan it buys, the
+# ring and its broadcast sibling, the compact-vs-fixed event codec, the
+# workers' local page-split/filter scan, the producer-side summary stamp and
+# the worker skip-scan it buys, the per-refill label snapshot, the
 # sync-vs-async per-access hook cost, and the sharded main-table measurement.
 bench-hot:
 	$(GO) test -run '^$$' -bench 'BenchmarkTreapInsert|BenchmarkShadowDirectory' -benchmem ./internal/core ./internal/shadow
-	$(GO) test -run '^$$' -bench 'BenchmarkRing|BenchmarkBcastRing|BenchmarkWorkerSplit|BenchmarkWorkerScan|BenchmarkSummaryStamp|BenchmarkWorkerSkipScan' -benchmem ./internal/evstream
+	$(GO) test -run '^$$' -bench 'BenchmarkRing|BenchmarkBcastRing|BenchmarkEventEncode|BenchmarkEventDecode|BenchmarkWorkerSplit|BenchmarkWorkerScan|BenchmarkSummaryStamp|BenchmarkWorkerSkipScan' -benchmem ./internal/evstream
+	$(GO) test -run '^$$' -bench 'BenchmarkViewPerRefill' -benchmem ./internal/depa
 	$(GO) test -run '^$$' -bench 'BenchmarkHookOverhead' -benchmem .
 	$(GO) test -run '^$$' -bench 'BenchmarkFig5Sharded' -benchtime 10x -benchmem .
 
 # Machine-readable benchmark snapshot: one JSON line per benchmark, written
 # to BENCH_<date>.json. Compare two snapshots with scripts/benchdiff.sh diff.
 bench-json:
-	./scripts/benchdiff.sh emit 'BenchmarkFig5' . > BENCH_$$(date +%Y%m%d).json
+	./scripts/benchdiff.sh emit 'BenchmarkFig5|BenchmarkEventEncode|BenchmarkEventDecode|BenchmarkViewPerRefill' . ./internal/evstream ./internal/depa > BENCH_$$(date +%Y%m%d).json
 	@echo wrote BENCH_$$(date +%Y%m%d).json
 
 # Re-run every Fig5 benchmark (sync, async, and sharded modes share one
-# snapshot schema) and fail if any mode regressed ns/op by more than 10%
-# against the union of the checked-in snapshots.
+# snapshot schema) plus the event-codec and label-snapshot microbenchmarks,
+# and fail if any mode regressed ns/op by more than 10% against the union
+# of the checked-in snapshots.
 bench-diff-all:
-	./scripts/benchdiff.sh emit 'BenchmarkFig5' . > /tmp/stint_bench_head.json
+	./scripts/benchdiff.sh emit 'BenchmarkFig5|BenchmarkEventEncode|BenchmarkEventDecode|BenchmarkViewPerRefill' . ./internal/evstream ./internal/depa > /tmp/stint_bench_head.json
 	./scripts/benchdiff.sh check /tmp/stint_bench_head.json BENCH_*.json
 
 # Regenerate every table of the paper's evaluation (see EXPERIMENTS.md).
@@ -50,6 +53,7 @@ tables:
 fuzz:
 	$(GO) test -fuzz=FuzzTreeAgainstOracle -fuzztime=30s ./internal/core
 	$(GO) test -fuzz=FuzzSetRangeFlush -fuzztime=30s ./internal/coalesce
+	$(GO) test -fuzz=FuzzEventCodec -fuzztime=30s ./internal/evstream
 	$(GO) test -fuzz=FuzzReplay -fuzztime=30s ./trace
 	$(GO) test -fuzz=FuzzAsyncAgainstSync -fuzztime=30s .
 

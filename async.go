@@ -13,11 +13,13 @@
 // sequential algorithm, and the pipeline reports byte-identical races and
 // stats.
 //
-// In sharded mode the producer additionally stamps each batch's Summary as
-// it appends: the structure-event offsets (always) and, unless summaries
-// are disabled, the shard-occupancy mask of every access event. The stamp
-// costs a mask OR per access on the hot path and lets workers skip whole
-// batches they own no pages of (see shards.go).
+// In sharded mode each batch's Summary — the structure-event offsets plus,
+// unless summaries are disabled, the shard-occupancy mask of every access
+// event — is stamped by one of two stages (Options.SummaryStamping): the
+// producer, as it appends (a mask OR per access on the mutator's hot
+// path), or the label stage, which then decodes each batch once and stamps
+// while it advances the label builder (shards.go). Either way the stamp
+// lets workers skip whole batches they own no pages of.
 //
 // All detector-side goroutines hang off one stage.Graph: Run wires the
 // stages, drain closes the stream and waits for the graph's merge, and the
@@ -61,9 +63,17 @@ type asyncState struct {
 	// Summary stamping (sharded mode): shards is the worker count PickShard
 	// targets, summarize whether access masks are computed (false for plain
 	// async and when Options.DisableBatchSummaries is set — unsummarized
-	// batches carry MaskAll so no worker skips them).
+	// batches carry MaskAll so no worker skips them), and prodStamp whether
+	// the producer stamps Ctl offsets and masks as it appends. With
+	// prodStamp false in sharded mode the label stage stamps instead,
+	// scanning each batch once; plain async stamps nothing at all (no stage
+	// reads the Summary).
 	shards    int
 	summarize bool
+	prodStamp bool
+	// viewSnaps counts the label stage's depa.View snapshots (sharded mode;
+	// written by the label stage, read after graph.Wait).
+	viewSnaps uint64
 	// Written by the detector-side stages, read after graph.Wait().
 	strands int
 	stats   Stats
@@ -74,8 +84,13 @@ type asyncState struct {
 	shardLoad []ShardLoad
 }
 
-func newAsyncState(ringDepth, batchEvents int) *asyncState {
-	ring := evstream.NewRing(ringDepth, batchEvents)
+func newAsyncState(ringDepth, batchEvents int, compact bool) *asyncState {
+	var ring *evstream.Ring
+	if compact {
+		ring = evstream.NewCompactRing(ringDepth, batchEvents)
+	} else {
+		ring = evstream.NewRing(ringDepth, batchEvents)
+	}
 	return &asyncState{
 		ring:      ring,
 		batch:     ring.Get(),
@@ -85,42 +100,57 @@ func newAsyncState(ringDepth, batchEvents int) *asyncState {
 	}
 }
 
-// setSharded fixes the summary-stamping mode before the program starts
-// emitting. It must run before the first emit: the working batch obtained
-// in newAsyncState starts with a zero mask, which means "skippable by
-// everyone" — correct only when the producer maintains it.
-func (as *asyncState) setSharded(shards int, summarize bool) {
+// setSharded fixes the summary-stamping split before the program starts
+// emitting: which masks are computed (summarize) and which stage computes
+// them (prodStamp). Producer stamping without masks would stamp nothing a
+// worker reads — the label stage owns the MaskAll stamp when summaries are
+// off — so prodStamp implies summarize.
+func (as *asyncState) setSharded(shards int, summarize, prodStamp bool) {
 	as.shards = shards
 	as.summarize = summarize
-	if !summarize {
-		as.batch.Sum.Mask = evstream.MaskAll
-	}
+	as.prodStamp = prodStamp && summarize
 }
 
 // emitCtl appends one structure event to the working batch, publishing it
-// when full, and records the event's offset in the batch summary so
-// skip-scanning workers can replay the structure stream without touching
-// the access events.
-func (as *asyncState) emitCtl(ev evstream.Event) {
-	if len(as.batch.Ev) == cap(as.batch.Ev) {
+// when full, and — when the producer is the stamping stage — records the
+// event's offset in the batch summary so skip-scanning workers can replay
+// the structure stream without touching the access events.
+func (as *asyncState) emitCtl(op evstream.Op) {
+	if as.batch.Full() {
 		as.flush()
 	}
-	as.batch.Sum.AddCtl(len(as.batch.Ev))
-	as.batch.Ev = append(as.batch.Ev, ev)
+	off := as.batch.AppendCtl(op)
+	if as.prodStamp {
+		as.batch.Sum.AddCtl(off)
+	}
 }
 
-// emitAccess appends one access or range event, publishing the batch when
-// full, and ORs the event's page mask into the batch summary when stamping
-// is on. This is the producer's entire per-access hot path: an append, a
-// predictable branch, and one ring handoff per batch.
-func (as *asyncState) emitAccess(ev evstream.Event) {
-	if len(as.batch.Ev) == cap(as.batch.Ev) {
+// emitAccess appends one per-access event, publishing the batch when full,
+// and ORs the access's page mask into the batch summary when the producer
+// is the stamping stage. This is the producer's entire per-access hot
+// path: an encode, two predictable branches, and one ring handoff per
+// batch.
+func (as *asyncState) emitAccess(op evstream.Op, addr, size uint64) {
+	if as.batch.Full() {
 		as.flush()
 	}
-	if as.summarize {
-		as.batch.Sum.Mask |= evstream.AccessMask(ev, coalesce.PageBytesBits, as.shards)
+	if as.prodStamp {
+		as.batch.Sum.Mask |= evstream.SpanMask(addr, size, coalesce.PageBytesBits, as.shards)
 	}
-	as.batch.Ev = append(as.batch.Ev, ev)
+	as.batch.AppendAccess(op, addr, size)
+}
+
+// emitRange is emitAccess for compiler-coalesced range events. The span
+// for the mask is count*elem bytes; the hook layer's field validation
+// (count < 2^32, elem < 2^24) keeps the product inside 56 bits.
+func (as *asyncState) emitRange(op evstream.Op, addr uint64, count int, elem uint64) {
+	if as.batch.Full() {
+		as.flush()
+	}
+	if as.prodStamp {
+		as.batch.Sum.Mask |= evstream.SpanMask(addr, uint64(count)*elem, coalesce.PageBytesBits, as.shards)
+	}
+	as.batch.AppendRange(op, addr, count, elem)
 }
 
 // flush publishes the working batch and takes a fresh one from the ring's
@@ -131,28 +161,25 @@ func (as *asyncState) emitAccess(ev evstream.Event) {
 // keeps running to its natural unwind point.
 func (as *asyncState) flush() {
 	if !as.ring.Publish(as.batch) {
-		as.batch.Ev = as.batch.Ev[:0]
-		as.batch.Sum.Reset()
-		if !as.summarize {
-			as.batch.Sum.Mask = evstream.MaskAll
-		}
+		as.batch.Reset()
 		return
 	}
 	as.batch = as.ring.Get()
-	if !as.summarize {
-		as.batch.Sum.Mask = evstream.MaskAll
-	}
 }
 
 // drain flushes the final (possibly partial, possibly empty) batch,
 // signals end-of-stream, and waits for the stage graph to finish — re-
 // panicking the first stage failure, if any, on the producer goroutine.
-// After drain returns normally, strands, stats, and races are exact.
+// After drain returns normally, strands, stats, and races are exact, and
+// the ring's stream totals are folded into them.
 func (as *asyncState) drain() {
 	as.ring.Publish(as.batch) // a false return means the graph aborted; Wait surfaces why
 	as.batch = nil
 	as.ring.Close()
 	as.graph.Wait()
+	rs := as.ring.Stats()
+	as.stats.EventsStreamed = rs.EventsPublished
+	as.stats.StreamBytes = rs.StreamBytes
 }
 
 // startConsume wires the single-stage pipeline: one replay stage consuming
@@ -201,7 +228,12 @@ func (as *asyncState) consume(cfg detect.Config, newEngine func(detect.Config, *
 			break
 		}
 		t0 := time.Now()
-		for _, ev := range batch.Ev {
+		it := batch.Iter()
+		for {
+			ev, ok := it.Next()
+			if !ok {
+				break
+			}
 			switch ev.EvOp() {
 			case evstream.OpSpawn:
 				engine.StrandEnd()

@@ -93,6 +93,7 @@ func TestAsyncStatsMatchSync(t *testing.T) {
 		// byte-identical: same events, same serial order, same engine.
 		norm := func(s Stats) Stats {
 			s.AccessHistoryTime, s.AllocObjects, s.AllocBytes, s.PipelineDetectTime, s.BatchesSkipped = 0, 0, 0, 0, 0
+			s.EventsStreamed, s.StreamBytes = 0, 0
 			return s
 		}
 		if norm(async.Stats) != norm(sync.Stats) {

@@ -108,7 +108,8 @@ func BenchmarkFig5(b *testing.B) {
 
 // BenchmarkFig5Async repeats the Figure 5 measurement for the two runtime
 // detectors with Options.Async on, pipelining detection behind the batched
-// event stream. Each run also reports detect-busy-ms — the detector
+// event stream. Each run also reports bytes-per-event — the compact wire
+// footprint of the stream — and detect-busy-ms — the detector
 // goroutine's processing time — because the headline ns/op only shows the
 // overlap win when GOMAXPROCS >= 2: on a single core the producer and the
 // detector timeshare, so wall clock is the sum of the two sides plus the
@@ -121,6 +122,9 @@ func BenchmarkFig5Async(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%v", wl.name, mode), func(b *testing.B) {
 				rep := runDetectionOpts(b, wl.f, stint.Options{Detector: mode, Async: true})
 				b.ReportMetric(float64(rep.Stats.PipelineDetectTime.Nanoseconds())/1e6, "detect-busy-ms")
+				if n := rep.Stats.EventsStreamed; n > 0 {
+					b.ReportMetric(float64(rep.Stats.StreamBytes)/float64(n), "bytes-per-event")
+				}
 			})
 		}
 	}
@@ -142,6 +146,9 @@ func BenchmarkFig5Sharded(b *testing.B) {
 				rep := runDetectionOpts(b, wl.f, stint.Options{Detector: mode, Async: true, DetectShards: 4})
 				b.ReportMetric(float64(rep.Stats.PipelineDetectTime.Nanoseconds())/1e6, "detect-busy-ms")
 				b.ReportMetric(float64(rep.SequencerBusy.Nanoseconds())/1e6, "seq-busy-ms")
+				if n := rep.Stats.EventsStreamed; n > 0 {
+					b.ReportMetric(float64(rep.Stats.StreamBytes)/float64(n), "bytes-per-event")
+				}
 				var max time.Duration
 				for _, d := range rep.ShardBusy {
 					if d > max {

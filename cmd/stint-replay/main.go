@@ -22,24 +22,25 @@ import (
 
 func main() {
 	var (
-		detector = flag.String("detector", "stint", "detector mode for the replay")
-		races    = flag.Int("races", 10, "max races to print")
-		timing   = flag.Bool("timing", false, "measure access-history time separately")
-		async    = flag.Bool("async", false, "replay through the pipelined detector (decoder and detector on separate goroutines)")
-		shards   = flag.Int("shards", 0, "partition pipelined detection across N workers by shadow page (implies -async; comp+rts and stint variants only)")
+		detector  = flag.String("detector", "stint", "detector mode for the replay")
+		races     = flag.Int("races", 10, "max races to print")
+		timing    = flag.Bool("timing", false, "measure access-history time separately")
+		async     = flag.Bool("async", false, "replay through the pipelined detector (decoder and detector on separate goroutines)")
+		shards    = flag.Int("shards", 0, "partition pipelined detection across N workers by shadow page (implies -async; comp+rts and stint variants only)")
+		noCompact = flag.Bool("no-compact", false, "stream fixed 16-byte events instead of the compact delta encoding (for before/after measurement)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: stint-replay [flags] TRACEFILE")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *detector, *races, *timing, *async, *shards); err != nil {
+	if err := run(flag.Arg(0), *detector, *races, *timing, *async, *shards, *noCompact); err != nil {
 		fmt.Fprintln(os.Stderr, "stint-replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, detector string, maxRaces int, timing, async bool, shards int) error {
+func run(path, detector string, maxRaces int, timing, async bool, shards int, noCompact bool) error {
 	mode, err := stint.ParseDetector(detector)
 	if err != nil {
 		return err
@@ -56,6 +57,7 @@ func run(path, detector string, maxRaces int, timing, async bool, shards int) er
 		TimeAccessHistory: timing,
 		Async:             async,
 		Shards:            shards,
+		NoCompact:         noCompact,
 	})
 	if err != nil {
 		return err

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	stint -workload mmul -detector stint [-scale 2] [-races 10] [-timing]
-//	      [-async] [-shards N] [-no-summaries]
+//	      [-async] [-shards N] [-no-summaries] [-no-compact] [-stamp auto|producer|label]
 //
 // Detectors: off, reach, vanilla, compiler, comp+rts, stint,
 // stint-unbalanced, stint-skiplist.
@@ -35,6 +35,8 @@ func main() {
 		async       = flag.Bool("async", false, "pipeline detection on a dedicated goroutine (overlaps compute with the access history)")
 		shards      = flag.Int("shards", 0, "partition pipelined detection across N workers by shadow page (implies -async; comp+rts and stint variants only)")
 		noSummaries = flag.Bool("no-summaries", false, "disable per-batch page summaries in sharded mode (workers scan every batch; for before/after measurement)")
+		noCompact   = flag.Bool("no-compact", false, "stream fixed 16-byte events instead of the compact delta encoding (for before/after measurement)")
+		stamp       = flag.String("stamp", "auto", "which stage stamps batch summaries in sharded mode: auto, producer, or label")
 		traceOut    = flag.String("trace-out", "", "record the execution to this trace file (replay with stint-replay)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the detection run to this file")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
@@ -53,7 +55,12 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(*workload, *detector, *scale, *races, *timing, *async || *shards > 0, *shards, *noSummaries, *traceOut)
+	stamping, err := parseStamp(*stamp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stint:", err)
+		os.Exit(2)
+	}
+	err = run(*workload, *detector, *scale, *races, *timing, *async || *shards > 0, *shards, *noSummaries, *noCompact, stamping, *traceOut)
 	if *memProfile != "" {
 		if perr := writeMemProfile(*memProfile); perr != nil {
 			fmt.Fprintln(os.Stderr, "stint: memprofile:", perr)
@@ -63,6 +70,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stint:", err)
 		os.Exit(1)
 	}
+}
+
+func parseStamp(s string) (stint.SummaryStamping, error) {
+	switch s {
+	case "auto":
+		return stint.StampAuto, nil
+	case "producer":
+		return stint.StampProducer, nil
+	case "label":
+		return stint.StampLabelStage, nil
+	}
+	return 0, fmt.Errorf("unknown -stamp %q (want auto, producer, or label)", s)
 }
 
 func writeMemProfile(path string) error {
@@ -75,7 +94,7 @@ func writeMemProfile(path string) error {
 	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
-func run(workload, detector string, scale, maxRaces int, timing, async bool, shards int, noSummaries bool, traceOut string) error {
+func run(workload, detector string, scale, maxRaces int, timing, async bool, shards int, noSummaries, noCompact bool, stamping stint.SummaryStamping, traceOut string) error {
 	factory, err := workloads.ByName(workload, scale)
 	if err != nil {
 		return err
@@ -95,6 +114,8 @@ func run(workload, detector string, scale, maxRaces int, timing, async bool, sha
 		Async:                 async,
 		DetectShards:          shards,
 		DisableBatchSummaries: noSummaries,
+		DisableCompactEvents:  noCompact,
+		SummaryStamping:       stamping,
 	}
 	var rec *trace.Recorder
 	if traceOut != "" {

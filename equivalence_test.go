@@ -161,15 +161,30 @@ func wordSetDiff(a, b map[Addr]bool) string {
 // returns the full Report, using the same tiny pipeline geometry as
 // racingWordsFor.
 func reportFor(t *testing.T, d Detector, shards int, acts []act) *Report {
-	return reportForOpts(t, d, shards, false, acts)
+	return reportForOpts(t, d, shards, pipeOpts{}, acts)
 }
 
-// reportForOpts is reportFor with batch summaries optionally disabled, so
-// the suite can assert the skip fast path never changes a byte of the
-// Report.
-func reportForOpts(t *testing.T, d Detector, shards int, nosum bool, acts []act) *Report {
+// pipeOpts selects the pipeline knobs an equivalence leg toggles: batch
+// summaries, the compact event encoding, and which stage stamps summaries.
+// Every combination must produce the identical Report.
+type pipeOpts struct {
+	nosum     bool
+	nocompact bool
+	stamp     SummaryStamping
+}
+
+// reportForOpts is reportFor with the pipeline knobs exposed, so the suite
+// can assert that neither the skip fast path, nor the wire encoding, nor
+// the stamping stage changes a byte of the Report.
+func reportForOpts(t *testing.T, d Detector, shards int, po pipeOpts, acts []act) *Report {
 	t.Helper()
-	opts := Options{Detector: d, MaxRacesRecorded: 1 << 20, DisableBatchSummaries: nosum}
+	opts := Options{
+		Detector:              d,
+		MaxRacesRecorded:      1 << 20,
+		DisableBatchSummaries: po.nosum,
+		DisableCompactEvents:  po.nocompact,
+		SummaryStamping:       po.stamp,
+	}
 	if shards >= 0 {
 		opts.Async = true
 		opts.DetectShards = shards
@@ -192,7 +207,10 @@ func reportForOpts(t *testing.T, d Detector, shards int, nosum bool, acts []act)
 // checkCanonicalReports asserts the satellite guarantee: the Report —
 // races in canonical order, counts, strands, deterministic stats — is
 // identical across sync, async, and (for supported detectors) shard counts
-// {1, 2, 4}, with batch summaries both on and off.
+// {1, 2, 4}, with batch summaries both on and off, with the compact event
+// encoding both on and off, and regardless of which stage stamps summaries
+// (the stamping choice rotates across shard counts to keep the leg count
+// bounded: producer at n=1, label stage at n=2, auto at n=4).
 func checkCanonicalReports(t *testing.T, seed int64, d Detector, acts []act) {
 	t.Helper()
 	sync := reportFor(t, d, -1, acts)
@@ -212,13 +230,20 @@ func checkCanonicalReports(t *testing.T, seed int64, d Detector, acts []act) {
 		}
 	}
 	check("async", reportFor(t, d, 0, acts))
+	check("async nocompact", reportForOpts(t, d, 0, pipeOpts{nocompact: true}, acts))
 	switch d {
 	case DetectorCompRTS, DetectorSTINT, DetectorSTINTUnbalanced, DetectorSTINTSkiplist:
+		stampFor := map[int]SummaryStamping{1: StampProducer, 2: StampLabelStage, 4: StampAuto}
 		for _, n := range []int{1, 2, 4} {
-			check(fmt.Sprintf("shards=%d", n), reportFor(t, d, n, acts))
+			stamp := stampFor[n]
+			check(fmt.Sprintf("shards=%d", n), reportForOpts(t, d, n, pipeOpts{stamp: stamp}, acts))
+			// The wire encoding is invisible above the ring: the fixed
+			// 16-byte form must reproduce the compact form's report.
+			check(fmt.Sprintf("shards=%d nocompact", n),
+				reportForOpts(t, d, n, pipeOpts{nocompact: true, stamp: stamp}, acts))
 			// Summaries are a pure scan elision: disabling them must not
 			// change a byte of the report, and without them nothing skips.
-			nosum := reportForOpts(t, d, n, true, acts)
+			nosum := reportForOpts(t, d, n, pipeOpts{nosum: true, stamp: stamp}, acts)
 			if nosum.Stats.BatchesSkipped != 0 {
 				t.Fatalf("seed %d: %v shards=%d: summaries disabled but BatchesSkipped = %d",
 					seed, d, n, nosum.Stats.BatchesSkipped)

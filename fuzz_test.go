@@ -21,10 +21,11 @@ func fuzzAllocBufs(r *Runner) ([]*Buffer, []int) {
 }
 
 // FuzzAsyncAgainstSync decodes arbitrary bytes into a fork-join program
-// and pipeline geometry — batch capacity, ring depth, and a detection
-// shard count — runs it once synchronously, once through the plain async
+// and pipeline geometry — batch capacity, ring depth, a detection shard
+// count, and a flags byte toggling the compact encoding and the summary-
+// stamping stage — runs it once synchronously, once through the plain async
 // pipeline, and (when the shard byte asks for it) twice sharded — once
-// with producer batch summaries, once with them disabled — and
+// with batch summaries, once with them disabled — and
 // requires identical racing-word sets, canonical race reports, strand
 // counts, and (timing-normalized) stats. Tiny batch capacities and ring
 // depths force the batch-boundary edge cases: events split across batches,
@@ -34,40 +35,45 @@ func fuzzAllocBufs(r *Runner) ([]*Buffer, []int) {
 func FuzzAsyncAgainstSync(f *testing.F) {
 	f.Add([]byte{})
 	// Geometry 1x1 (max handoffs), unsharded, racy spawn/store/store/sync.
-	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x03, 0x00, 0x05, 0x01, 0x04, 0x00, 0x05, 0x02})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0x00, 0x05, 0x01, 0x04, 0x00, 0x05, 0x02})
 	// Range accesses split across 2-event batches, 2 shards.
-	f.Add([]byte{0x01, 0x01, 0x02, 0x00, 0x05, 0x01, 0x00, 0x00, 0x00, 0x20, 0x01, 0x06, 0x01, 0x00, 0x10, 0x00, 0x30, 0x02})
+	f.Add([]byte{0x01, 0x01, 0x02, 0x00, 0x00, 0x05, 0x01, 0x00, 0x00, 0x00, 0x20, 0x01, 0x06, 0x01, 0x00, 0x10, 0x00, 0x30, 0x02})
 	// Drain mid-strand: spawn body never terminated, accesses buffered at
 	// stream end.
-	f.Add([]byte{0x02, 0x00, 0x00, 0x00, 0x04, 0x02, 0x07, 0x03, 0x00, 0x01})
+	f.Add([]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x04, 0x02, 0x07, 0x03, 0x00, 0x01})
 	// Deep nesting with interleaved syncs.
-	f.Add([]byte{0x03, 0x01, 0x00, 0x00, 0x00, 0x00, 0x04, 0x01, 0x02, 0x01, 0x02, 0x01, 0x04, 0x02, 0x08, 0x02})
+	f.Add([]byte{0x03, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x01, 0x02, 0x01, 0x02, 0x01, 0x04, 0x02, 0x08, 0x02})
 	// Cross-shard racy pair: two strands write the same 128 KiB span of the
 	// wide buffer, so the racing pieces land on different shards.
-	f.Add([]byte{0x01, 0x01, 0x02, 0x00, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x01, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x02})
+	f.Add([]byte{0x01, 0x01, 0x02, 0x00, 0x00, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x01, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x02})
 	// Worker-side split of one page-straddling access: a 16-byte range write
 	// at wide index 13310 crosses the 64 KiB boundary at index 13312, so each
 	// worker page-splits the event locally, keeps only its own piece, and the
 	// hook-call adjustment (only the first piece's owner counts the original
 	// call) must reconcile across two shards. Two parallel strands write the
 	// same straddling range, so the race itself spans the boundary too.
-	f.Add([]byte{0x01, 0x01, 0x02, 0x00, 0x06, 0x03, 0x33, 0xfe, 0x00, 0x03, 0x01, 0x06, 0x03, 0x33, 0xfe, 0x00, 0x03, 0x02})
+	f.Add([]byte{0x01, 0x01, 0x02, 0x00, 0x00, 0x06, 0x03, 0x33, 0xfe, 0x00, 0x03, 0x01, 0x06, 0x03, 0x33, 0xfe, 0x00, 0x03, 0x02})
 	// All-events-one-page skew: 4 shards but every access on one page, so a
 	// single worker carries the whole load, the others skip-scan off the
 	// batch summaries, and the summaries-off leg re-runs it with every
 	// worker on the slow path.
-	f.Add([]byte{0x00, 0x00, 0x04, 0x00, 0x04, 0x00, 0x05, 0x01, 0x04, 0x00, 0x05, 0x02})
+	f.Add([]byte{0x00, 0x00, 0x04, 0x00, 0x00, 0x04, 0x00, 0x05, 0x01, 0x04, 0x00, 0x05, 0x02})
+	// The same skew under the fixed 16-byte encoding (flags bit 0)...
+	f.Add([]byte{0x00, 0x00, 0x04, 0x01, 0x00, 0x04, 0x00, 0x05, 0x01, 0x04, 0x00, 0x05, 0x02})
+	// ...and with both forced stamping stages (flags bits 1-2).
+	f.Add([]byte{0x00, 0x00, 0x04, 0x02, 0x00, 0x04, 0x00, 0x05, 0x01, 0x04, 0x00, 0x05, 0x02})
+	f.Add([]byte{0x00, 0x00, 0x04, 0x04, 0x00, 0x04, 0x00, 0x05, 0x01, 0x04, 0x00, 0x05, 0x02})
 	// All-ones fallback: the two racing range writes span the full 128 KiB
 	// wide buffer (> 2 pages), so AccessMask gives up and stamps MaskAll —
 	// all 4 workers must take the full-scan path even though each owns only
 	// a slice of the pages.
-	f.Add([]byte{0x01, 0x01, 0x04, 0x00, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x01, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x02})
+	f.Add([]byte{0x01, 0x01, 0x04, 0x00, 0x00, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x01, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x02})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 4096 {
 			return // keep individual executions fast
 		}
-		prog, batchEvents, ringDepth, shards := decodeFuzzProgram(data)
+		prog, batchEvents, ringDepth, shards, po := decodeFuzzProgram(data)
 
 		type result struct {
 			words   map[Addr]bool
@@ -80,11 +86,17 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 		// onto the full-scan path.
 		run := func(mode int, nosum bool) result {
 			words := make(map[Addr]bool)
-			opts := Options{Detector: DetectorSTINT, DisableBatchSummaries: nosum, OnRace: func(rc Race) {
-				for a := rc.Addr &^ 3; a < rc.Addr+rc.Size; a += 4 {
-					words[a] = true
-				}
-			}}
+			opts := Options{
+				Detector:              DetectorSTINT,
+				DisableBatchSummaries: nosum,
+				DisableCompactEvents:  po.nocompact,
+				SummaryStamping:       po.stamp,
+				OnRace: func(rc Race) {
+					for a := rc.Addr &^ 3; a < rc.Addr+rc.Size; a += 4 {
+						words[a] = true
+					}
+				},
+			}
 			if mode >= 0 {
 				opts.Async = true
 				opts.DetectShards = mode
@@ -138,12 +150,15 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 }
 
 // decodeFuzzProgram turns raw bytes into (program, batchEvents, ringDepth,
-// shards). The first three bytes pick a tiny pipeline geometry — shards of
-// zero means "compare the plain async pipeline only" — and the rest is a
-// byte-code for act programs. Every input decodes to a valid program — the
-// fuzzer explores program shapes, not parser rejections.
-func decodeFuzzProgram(data []byte) ([]act, int, int, int) {
+// shards, pipeline flags). The first four bytes pick a tiny pipeline
+// geometry — shards of zero means "compare the plain async pipeline only";
+// the flags byte toggles the fixed encoding (bit 0) and picks the summary-
+// stamping stage (bits 1-2) — and the rest is a byte-code for act programs.
+// Every input decodes to a valid program — the fuzzer explores program
+// shapes, not parser rejections.
+func decodeFuzzProgram(data []byte) ([]act, int, int, int, pipeOpts) {
 	batchEvents, ringDepth, shards := 1, 1, 0
+	var po pipeOpts
 	if len(data) > 0 {
 		batchEvents = int(data[0]%16) + 1
 		data = data[1:]
@@ -154,6 +169,11 @@ func decodeFuzzProgram(data []byte) ([]act, int, int, int) {
 	}
 	if len(data) > 0 {
 		shards = int(data[0] % 5)
+		data = data[1:]
+	}
+	if len(data) > 0 {
+		po.nocompact = data[0]&1 != 0
+		po.stamp = SummaryStamping((data[0] >> 1) % 3)
 		data = data[1:]
 	}
 	pos := 0
@@ -216,5 +236,5 @@ func decodeFuzzProgram(data []byte) ([]act, int, int, int) {
 		}
 		return acts
 	}
-	return parse(0), batchEvents, ringDepth, shards
+	return parse(0), batchEvents, ringDepth, shards, po
 }

@@ -58,19 +58,27 @@ func PipelineReport(rep *stint.Report) []string {
 	if !ok {
 		return nil
 	}
+	var stream []string
+	if st := rep.Stats; st.EventsStreamed > 0 {
+		stream = []string{fmt.Sprintf(
+			"event stream: %d events in %d bytes (%.2f B/event)",
+			st.EventsStreamed, st.StreamBytes,
+			float64(st.StreamBytes)/float64(st.EventsStreamed))}
+	}
 	if rep.ShardBusy == nil {
-		return []string{fmt.Sprintf(
+		return append(stream, fmt.Sprintf(
 			"detector-goroutine busy %v of %v wall (%s; multi-core floor is max of the two sides)",
 			workers.Round(time.Microsecond),
 			rep.WallTime.Round(time.Microsecond),
-			pct(workers, rep.WallTime))}
+			pct(workers, rep.WallTime)))
 	}
-	lines := []string{fmt.Sprintf(
-		"sharded detection: %d workers busy %v total of %v wall (label stage busy %v; multi-core floor is max of any side)",
+	lines := append(stream, fmt.Sprintf(
+		"sharded detection: %d workers busy %v total of %v wall (label stage busy %v, %d label snapshots; multi-core floor is max of any side)",
 		len(rep.ShardBusy),
 		workers.Round(time.Microsecond),
 		rep.WallTime.Round(time.Microsecond),
-		label.Round(time.Microsecond))}
+		label.Round(time.Microsecond),
+		rep.LabelViewSnapshots))
 	for i, busy := range rep.ShardBusy {
 		line := fmt.Sprintf("  shard %d busy %v (%s of detect work)",
 			i, busy.Round(time.Microsecond), pct(busy, workers))

@@ -81,16 +81,22 @@ func TestPipelineReportFromRealShardedRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := PipelineReport(rep)
-	if len(lines) != 4 {
-		t.Fatalf("want header + 2 shard lines + waits line from a 2-shard run, got %v", lines)
+	if len(lines) != 5 {
+		t.Fatalf("want stream line + header + 2 shard lines + waits line from a 2-shard run, got %v", lines)
 	}
-	for _, line := range lines[1:3] {
+	if !strings.Contains(lines[0], "event stream") || !strings.Contains(lines[0], "B/event") {
+		t.Errorf("missing stream readout: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "label snapshots") {
+		t.Errorf("header missing snapshot count: %q", lines[1])
+	}
+	for _, line := range lines[2:4] {
 		if !strings.Contains(line, "scanned") || !strings.Contains(line, "ring waits") {
 			t.Errorf("shard line missing scan/skip readout: %q", line)
 		}
 	}
-	if !strings.Contains(lines[3], "ring waits per worker") {
-		t.Errorf("missing per-worker waits line: %q", lines[3])
+	if !strings.Contains(lines[4], "ring waits per worker") {
+		t.Errorf("missing per-worker waits line: %q", lines[4])
 	}
 }
 

@@ -167,6 +167,28 @@ func TestViewSnapshotStability(t *testing.T) {
 	}
 }
 
+// BenchmarkViewPerRefill measures the cost of taking one View snapshot —
+// what the label stage used to pay per ring refill, and now pays only for
+// batches whose structure events grew the strand set. Keeping this cheap is
+// what makes the demand-driven policy a strict win.
+func BenchmarkViewPerRefill(b *testing.B) {
+	bl := NewBuilder()
+	for i := 0; i < 1024; i++ {
+		bl.Spawn()
+		bl.Restore()
+		bl.Sync()
+	}
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		v := bl.View()
+		n += v.StrandCount()
+	}
+	if n == 0 {
+		b.Fatal("snapshot covered no strands")
+	}
+}
+
 func BenchmarkPrecedes(b *testing.B) {
 	rng := rand.New(rand.NewSource(11))
 	tw := newTwin()

@@ -174,6 +174,14 @@ type Stats struct {
 	// merge (summed across workers), not by the engines, and — like the
 	// other runner-populated fields — deliberately not Accumulated.
 	BatchesSkipped uint64
+	// EventsStreamed and StreamBytes describe the async event stream:
+	// logical events published through the pipeline ring and the wire bytes
+	// they occupied (StreamBytes/EventsStreamed is the stream's bytes-per-
+	// event — 16 under the fixed encoding, typically 2-3 under the compact
+	// delta encoding). Zero in synchronous mode. Populated by the stint
+	// runner's drain, not by the engines, and not Accumulated.
+	EventsStreamed uint64
+	StreamBytes    uint64
 }
 
 // Accumulate adds o's deterministic detection counters into s. It is the

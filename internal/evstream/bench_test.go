@@ -68,6 +68,86 @@ func BenchmarkRingUncontended(b *testing.B) {
 	r.Close()
 }
 
+// benchAppendEvent appends a representative event mix: mostly sequential
+// word accesses (the hot path), with a range write every 16 events and a
+// structure event every 64.
+func benchAppendEvent(batch *Batch, j int) {
+	addr := uint64(0x1000 + 8*(j%512))
+	switch {
+	case j%64 == 63:
+		batch.AppendCtl(OpSync)
+	case j%16 == 15:
+		batch.AppendRange(OpWriteRange, addr, 16, 8)
+	case j%2 == 0:
+		batch.AppendAccess(OpRead, addr, 8)
+	default:
+		batch.AppendAccess(OpWrite, addr, 8)
+	}
+}
+
+// benchBatch returns an empty batch in the requested encoding with room
+// for n events.
+func benchBatch(enc string, n int) *Batch {
+	if enc == "compact" {
+		return &Batch{Buf: make([]byte, 0, (n+1)*MaxEventBytes), compact: true}
+	}
+	return &Batch{Ev: make([]Event, 0, n)}
+}
+
+// BenchmarkEventEncode measures the producer-side append cost per event for
+// both encodings, and reports the wire footprint of the representative mix
+// as bytes-per-event.
+func BenchmarkEventEncode(b *testing.B) {
+	const n = 4096
+	for _, enc := range []string{"compact", "fixed"} {
+		b.Run(enc, func(b *testing.B) {
+			batch := benchBatch(enc, n)
+			for j := 0; j < n; j++ {
+				benchAppendEvent(batch, j)
+			}
+			perEvent := float64(batch.WireBytes()) / float64(batch.Len())
+			b.ResetTimer()
+			for i := 0; i < b.N; {
+				batch.Reset()
+				for j := 0; j < n && i < b.N; j, i = j+1, i+1 {
+					benchAppendEvent(batch, j)
+				}
+			}
+			b.ReportMetric(perEvent, "bytes-per-event")
+		})
+	}
+}
+
+// BenchmarkEventDecode measures the consumer-side iteration cost per event
+// for both encodings — the price every sharded worker pays per batch it
+// cannot skip.
+func BenchmarkEventDecode(b *testing.B) {
+	const n = 4096
+	for _, enc := range []string{"compact", "fixed"} {
+		b.Run(enc, func(b *testing.B) {
+			batch := benchBatch(enc, n)
+			for j := 0; j < n; j++ {
+				benchAppendEvent(batch, j)
+			}
+			b.ResetTimer()
+			var sink uint64
+			for i := 0; i < b.N; i += n {
+				it := batch.Iter()
+				for {
+					ev, ok := it.Next()
+					if !ok {
+						break
+					}
+					sink += ev.Addr()
+				}
+			}
+			if sink == 0 {
+				b.Fatal("decoded no addresses")
+			}
+		})
+	}
+}
+
 // BenchmarkSummaryStamp measures the producer-side cost of stamping one
 // access into a batch summary — the incremental hot-path price of letting
 // workers skip-scan.

@@ -1,0 +1,288 @@
+package evstream
+
+import "encoding/binary"
+
+// Compact wire format. A compact Batch stores its events delta-packed in
+// Buf instead of as 16-byte Event structs in Ev, exploiting the two
+// regularities real event streams have in abundance: op and size repeat
+// (almost every access is a 4- or 8-byte load/store) and addresses move in
+// small strides (loops walk buffers). The layout per event:
+//
+//	tag byte:  bits 0-2  Op (1..7 — the Op constants fill exactly 3 bits)
+//	           bits 3-7  inline operand: the access size (OpRead/OpWrite)
+//	                     or element size (range ops), values 0..30;
+//	                     31 means "operand follows as a uvarint escape"
+//
+//	OpSpawn/OpRestore/OpSync:  tag only (1 byte, operand bits zero)
+//	OpRead/OpWrite:            tag [size uvarint] addrDelta varint
+//	OpReadRange/OpWriteRange:  tag [elem uvarint] count uvarint addrDelta varint
+//
+// addrDelta is the zig-zag varint of the address's movement since the
+// previous access in the same batch, computed in wrapping (mod 2^64)
+// arithmetic — so an address-space wrap (prev 2^64-1 → addr 0) is a tiny
+// +1 delta, and a "wild jump" anywhere in the address space costs at most
+// a full-width 10-byte varint, never an error. The sequential fast path —
+// a small-size access a small stride from its predecessor — is 2 bytes,
+// against the fixed encoding's 16.
+//
+// The delta base resets to zero with every batch (Batch.Reset clears
+// prev): each batch decodes independently of every other. That is load-
+// bearing, not just convenient — shard workers skip batches wholesale on
+// the Summary fast path, and the label stage may stamp summaries by
+// decoding batches the producer already finished, so no decoder can rely
+// on state carried over from a batch someone else may never have scanned.
+//
+// Summary.Ctl offsets in a compact batch are byte offsets of the structure
+// events' tag bytes (AppendCtl returns them); since the op occupies the
+// tag's low 3 bits, skip-scan replay reads the op straight from the tag
+// without decoding anything else (Batch.CtlOp).
+const (
+	tagOpMask   = 0b111 // low three bits of the tag byte: the Op
+	tagArgShift = 3     // the inline operand sits above the op bits
+	tagArgMax   = 30    // largest inline size/elem
+	tagArgEsc   = 31    // operand follows as a uvarint
+)
+
+// MaxEventBytes bounds one encoded event: tag (1) + escaped operand (≤10)
+// + range count (≤5: counts fit 32 bits) + address delta (≤10), rounded
+// up. Batch.Full publishes while at least this much capacity remains, so
+// an append never grows a recycled batch's buffer.
+const MaxEventBytes = 32
+
+// MaxAccessSize bounds a plain access's size in bytes: the fixed Event
+// packs it in the 56 bits above the op byte, and the compact encoding
+// enforces the same limit so toggling the encoding cannot change which
+// programs are accepted. The stint hook layer validates raw-address
+// accesses before emitting.
+const MaxAccessSize = 1<<56 - 1
+
+// checkRangeFields is the shared range-operand validation: both encodings
+// (Range for the fixed form, AppendRange for the compact form) reject
+// operands outside the representable fields rather than truncate.
+func checkRangeFields(count int, elem uint64) {
+	if count < 0 || uint64(count) > MaxRangeCount {
+		panic("evstream: range count does not fit the 32-bit count field")
+	}
+	if elem > MaxRangeElem {
+		panic("evstream: range element size does not fit the 24-bit elem field")
+	}
+}
+
+// Compact reports which storage form the batch uses: delta-packed bytes in
+// Buf (true) or fixed 16-byte Events in Ev (false).
+func (b *Batch) Compact() bool { return b.compact }
+
+// Len returns the batch's logical event count, independent of encoding.
+func (b *Batch) Len() int {
+	if b.compact {
+		return b.n
+	}
+	return len(b.Ev)
+}
+
+// WireBytes returns the bytes the batch occupies on the ring: the packed
+// buffer's length, or 16 per event for the fixed encoding.
+func (b *Batch) WireBytes() int {
+	if b.compact {
+		return len(b.Buf)
+	}
+	return 16 * len(b.Ev)
+}
+
+// Full reports whether the producer should publish before the next append.
+// A fixed batch is full at capacity; a compact batch is full when the next
+// event might not fit (a worst-case MaxEventBytes encoding would exceed
+// the buffer's capacity) — but never while empty, so even a 16-byte batch
+// (the tests' one-event geometry) always carries at least one event.
+func (b *Batch) Full() bool {
+	if b.compact {
+		return len(b.Buf) > 0 && len(b.Buf)+MaxEventBytes > cap(b.Buf)
+	}
+	return len(b.Ev) == cap(b.Ev)
+}
+
+// Reset clears the batch for reuse under either encoding, keeping the
+// storage capacity and — via Summary.Reset — the Ctl capacity. It also
+// zeroes the delta base: every batch's addresses delta from zero, so
+// batches decode independently (see the wire-format comment).
+func (b *Batch) Reset() {
+	b.Ev = b.Ev[:0]
+	b.Buf = b.Buf[:0]
+	b.n = 0
+	b.prev = 0
+	b.Sum.Reset()
+}
+
+// AppendCtl appends one structure event and returns its offset in the form
+// Summary.AddCtl records: a byte offset into Buf for compact batches, an
+// event index into Ev otherwise.
+func (b *Batch) AppendCtl(op Op) int {
+	if b.compact {
+		off := len(b.Buf)
+		b.Buf = append(b.Buf, byte(op))
+		b.n++
+		return off
+	}
+	off := len(b.Ev)
+	b.Ev = append(b.Ev, Ctl(op))
+	return off
+}
+
+// AppendAccess appends one per-access event (OpRead/OpWrite).
+func (b *Batch) AppendAccess(op Op, addr, size uint64) {
+	if !b.compact {
+		b.Ev = append(b.Ev, Access(op, addr, size))
+		return
+	}
+	if size <= tagArgMax {
+		b.Buf = append(b.Buf, byte(op)|byte(size)<<tagArgShift)
+	} else {
+		if size > MaxAccessSize {
+			panic("evstream: access size does not fit the 56-bit size field")
+		}
+		b.Buf = append(b.Buf, byte(op)|tagArgEsc<<tagArgShift)
+		b.Buf = binary.AppendUvarint(b.Buf, size)
+	}
+	b.appendDelta(addr)
+	b.n++
+}
+
+// AppendRange appends one range event (OpReadRange/OpWriteRange),
+// enforcing the same operand limits as the fixed Range constructor.
+func (b *Batch) AppendRange(op Op, addr uint64, count int, elem uint64) {
+	if !b.compact {
+		b.Ev = append(b.Ev, Range(op, addr, count, elem))
+		return
+	}
+	checkRangeFields(count, elem)
+	if elem <= tagArgMax {
+		b.Buf = append(b.Buf, byte(op)|byte(elem)<<tagArgShift)
+	} else {
+		b.Buf = append(b.Buf, byte(op)|tagArgEsc<<tagArgShift)
+		b.Buf = binary.AppendUvarint(b.Buf, elem)
+	}
+	b.Buf = binary.AppendUvarint(b.Buf, uint64(count))
+	b.appendDelta(addr)
+	b.n++
+}
+
+// appendDelta writes the zig-zag varint of the wrapping address movement
+// since the previous access and advances the base. Strides within ±64
+// bytes — almost every loop over a buffer — take the inlined single-byte
+// path; anything wider falls back to the generic varint append.
+func (b *Batch) appendDelta(addr uint64) {
+	d := addr - b.prev
+	b.prev = addr
+	if zz := (d << 1) ^ uint64(int64(d)>>63); zz < 0x80 {
+		b.Buf = append(b.Buf, byte(zz))
+		return
+	}
+	b.Buf = binary.AppendVarint(b.Buf, int64(d))
+}
+
+// CtlOp returns the op of the i-th structure event recorded in the batch's
+// Summary.Ctl, resolving the offset against whichever storage form the
+// batch uses. For compact batches this reads one tag byte — skip-scan
+// replay never decodes operands.
+func (b *Batch) CtlOp(i int) Op {
+	off := b.Sum.Ctl[i]
+	if b.compact {
+		return Op(b.Buf[off] & tagOpMask)
+	}
+	return b.Ev[off].EvOp()
+}
+
+// Iter returns an iterator over the batch's events that yields each as a
+// standard Event value, so consumers scan both storage forms with one
+// loop and without materializing a []Event for compact batches.
+func (b *Batch) Iter() Iter {
+	return Iter{ev: b.Ev, buf: b.Buf, compact: b.compact}
+}
+
+// Iter decodes a batch sequentially. The zero Iter is empty; obtain one
+// from Batch.Iter. It carries its own delta base, so concurrent consumers
+// (every shard worker scans the same broadcast batch) each decode
+// independently.
+type Iter struct {
+	ev      []Event
+	buf     []byte
+	pos     int
+	prev    uint64
+	compact bool
+}
+
+// Pos returns the offset of the next event Next will yield, in the same
+// form Summary.Ctl records (byte offset or event index) — the label stage
+// stamps Ctl by reading Pos before each Next.
+func (it *Iter) Pos() int { return it.pos }
+
+// Next yields the next event, or ok=false at the end of the batch. Compact
+// buffers are trusted input — they are produced in-process by the Append
+// methods — so a malformed buffer panics rather than returning an error.
+func (it *Iter) Next() (Event, bool) {
+	if !it.compact {
+		if it.pos >= len(it.ev) {
+			return Event{}, false
+		}
+		ev := it.ev[it.pos]
+		it.pos++
+		return ev, true
+	}
+	if it.pos >= len(it.buf) {
+		return Event{}, false
+	}
+	tag := it.buf[it.pos]
+	it.pos++
+	op := Op(tag & tagOpMask)
+	arg := uint64(tag >> tagArgShift)
+	switch op {
+	case OpSpawn, OpRestore, OpSync:
+		return Event{word: uint64(op)}, true
+	case OpRead, OpWrite:
+		size := arg
+		if arg == tagArgEsc {
+			size = it.uvarint()
+		}
+		return Event{word: uint64(op) | size<<8, addr: it.delta()}, true
+	case OpReadRange, OpWriteRange:
+		elem := arg
+		if arg == tagArgEsc {
+			elem = it.uvarint()
+		}
+		count := it.uvarint()
+		return Event{word: uint64(op) | elem<<8 | count<<32, addr: it.delta()}, true
+	}
+	panic("evstream: corrupt compact event stream")
+}
+
+func (it *Iter) uvarint() uint64 {
+	if it.pos < len(it.buf) {
+		if b := it.buf[it.pos]; b < 0x80 { // single-byte fast path
+			it.pos++
+			return uint64(b)
+		}
+	}
+	v, n := binary.Uvarint(it.buf[it.pos:])
+	if n <= 0 {
+		panic("evstream: truncated compact event stream")
+	}
+	it.pos += n
+	return v
+}
+
+func (it *Iter) delta() uint64 {
+	if it.pos < len(it.buf) {
+		if zz := it.buf[it.pos]; zz < 0x80 { // single-byte fast path
+			it.pos++
+			it.prev += uint64(zz>>1) ^ -uint64(zz&1)
+			return it.prev
+		}
+	}
+	d, n := binary.Varint(it.buf[it.pos:])
+	if n <= 0 {
+		panic("evstream: truncated compact event stream")
+	}
+	it.pos += n
+	it.prev += uint64(d)
+	return it.prev
+}

@@ -1,0 +1,334 @@
+package evstream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// codecEvent is one appendable event for the round-trip tests: a structure
+// op, an access (addr+size), or a range (addr+count+elem, with elem in the
+// size field).
+type codecEvent struct {
+	op    Op
+	addr  uint64
+	size  uint64 // access size, or range element size
+	count int    // range ops only
+}
+
+func (c codecEvent) appendTo(b *Batch) {
+	switch c.op {
+	case OpSpawn, OpRestore, OpSync:
+		off := b.AppendCtl(c.op)
+		b.Sum.AddCtl(off)
+	case OpRead, OpWrite:
+		b.AppendAccess(c.op, c.addr, c.size)
+	default:
+		b.AppendRange(c.op, c.addr, c.count, c.size)
+	}
+}
+
+// newCompactBatch sizes a standalone compact batch so appending n events can
+// never overflow the buffer mid-test.
+func newCompactBatch(n int) *Batch {
+	return &Batch{Buf: make([]byte, 0, (n+1)*MaxEventBytes), compact: true}
+}
+
+// checkCodecRoundTrip appends the program to a fixed and a compact batch and
+// asserts both Iters yield identical Event values, that Pos tracks the
+// offsets Summary.Ctl records, and that CtlOp resolves every structure
+// event from the tag byte alone.
+func checkCodecRoundTrip(t *testing.T, events []codecEvent) {
+	t.Helper()
+	fixed := &Batch{Ev: make([]Event, 0, len(events)+1)}
+	compact := newCompactBatch(len(events))
+	for _, c := range events {
+		c.appendTo(fixed)
+		c.appendTo(compact)
+	}
+	if fixed.Len() != len(events) || compact.Len() != len(events) {
+		t.Fatalf("Len = %d (fixed) / %d (compact), want %d", fixed.Len(), compact.Len(), len(events))
+	}
+	fit, cit := fixed.Iter(), compact.Iter()
+	var ctlSeen int
+	for i := range events {
+		fpos, cpos := fit.Pos(), cit.Pos()
+		fe, fok := fit.Next()
+		ce, cok := cit.Next()
+		if !fok || !cok {
+			t.Fatalf("event %d: premature end (fixed ok=%v, compact ok=%v)", i, fok, cok)
+		}
+		if fe != ce {
+			t.Fatalf("event %d: fixed %+v != compact %+v", i, fe, ce)
+		}
+		if op := fe.EvOp(); op <= OpSync {
+			if fixed.Sum.Ctl[ctlSeen] != int32(fpos) || compact.Sum.Ctl[ctlSeen] != int32(cpos) {
+				t.Fatalf("ctl %d: Summary offsets (%d, %d) != Iter positions (%d, %d)",
+					ctlSeen, fixed.Sum.Ctl[ctlSeen], compact.Sum.Ctl[ctlSeen], fpos, cpos)
+			}
+			if fixed.CtlOp(ctlSeen) != op || compact.CtlOp(ctlSeen) != op {
+				t.Fatalf("ctl %d: CtlOp = %v (fixed) / %v (compact), want %v",
+					ctlSeen, fixed.CtlOp(ctlSeen), compact.CtlOp(ctlSeen), op)
+			}
+			ctlSeen++
+		}
+	}
+	if _, ok := fit.Next(); ok {
+		t.Fatal("fixed Iter yields past the end")
+	}
+	if _, ok := cit.Next(); ok {
+		t.Fatal("compact Iter yields past the end")
+	}
+	if fixed.WireBytes() != 16*len(events) {
+		t.Fatalf("fixed WireBytes = %d, want %d", fixed.WireBytes(), 16*len(events))
+	}
+	if compact.WireBytes() != len(compact.Buf) {
+		t.Fatalf("compact WireBytes = %d, want %d", compact.WireBytes(), len(compact.Buf))
+	}
+}
+
+func TestCompactRoundTripBasics(t *testing.T) {
+	checkCodecRoundTrip(t, []codecEvent{
+		{op: OpSpawn},
+		{op: OpRead, addr: 0x1000, size: 4},
+		{op: OpWrite, addr: 0x1004, size: 4},
+		{op: OpRestore},
+		{op: OpSync},
+		{op: OpReadRange, addr: 0x2000, count: 128, size: 8},
+		{op: OpWriteRange, addr: 0x8000, count: 1, size: 1},
+	})
+}
+
+func TestCompactRoundTripBoundaries(t *testing.T) {
+	checkCodecRoundTrip(t, []codecEvent{
+		// Inline/escape boundary: sizes 30 and 31 straddle tagArgMax.
+		{op: OpRead, addr: 0, size: tagArgMax},
+		{op: OpWrite, addr: 0, size: tagArgMax + 1},
+		{op: OpRead, addr: 0, size: 0},
+		// Largest representable operands.
+		{op: OpWrite, addr: 1, size: MaxAccessSize},
+		{op: OpReadRange, addr: 2, count: MaxRangeCount, size: MaxRangeElem},
+		{op: OpWriteRange, addr: 3, count: 0, size: 0},
+		// Wild jumps across the whole address space.
+		{op: OpRead, addr: 1<<64 - 1, size: 8},
+		{op: OpWrite, addr: 0, size: 8}, // wraps the delta base: 2^64-1 -> 0 is +1
+		{op: OpRead, addr: 1 << 63, size: 8},
+	})
+}
+
+// TestCompactAccessIsTwoBytes pins the fast path the format exists for: a
+// small-size access a small stride from its predecessor costs 2 bytes.
+func TestCompactAccessIsTwoBytes(t *testing.T) {
+	b := newCompactBatch(16)
+	b.AppendAccess(OpRead, 0x1000, 4)
+	base := len(b.Buf)
+	b.AppendAccess(OpRead, 0x1004, 4)
+	if got := len(b.Buf) - base; got != 2 {
+		t.Fatalf("sequential access encoded in %d bytes, want 2", got)
+	}
+}
+
+func TestCompactAppendRejectsOversizeOperands(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		append func(b *Batch)
+	}{
+		{"access size", func(b *Batch) { b.AppendAccess(OpRead, 0, MaxAccessSize+1) }},
+		{"range count", func(b *Batch) { b.AppendRange(OpReadRange, 0, -1, 8) }},
+		{"range elem", func(b *Batch) { b.AppendRange(OpReadRange, 0, 4, MaxRangeElem+1) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: compact append did not panic", tc.name)
+				}
+			}()
+			tc.append(newCompactBatch(4))
+		}()
+	}
+}
+
+// TestCompactDeltaBaseResetsPerBatch pins the independence property the
+// skip-scan path relies on: after Reset, addresses delta from zero again, so
+// a batch decodes identically whether or not anyone scanned its predecessor.
+func TestCompactDeltaBaseResetsPerBatch(t *testing.T) {
+	b := newCompactBatch(4)
+	b.AppendAccess(OpRead, 0x12345678, 4)
+	first := bytes.Clone(b.Buf)
+	b.Reset()
+	b.AppendAccess(OpRead, 0x12345678, 4)
+	if !bytes.Equal(first, b.Buf) {
+		t.Fatalf("same event encodes differently after Reset: %x vs %x", first, b.Buf)
+	}
+	it := b.Iter()
+	ev, ok := it.Next()
+	if !ok || ev.Addr() != 0x12345678 || ev.Size() != 4 {
+		t.Fatalf("decoded %+v after Reset", ev)
+	}
+}
+
+// TestCompactRingCarriesMoreEventsPerBatch checks the ring-level win: even
+// at a quarter of the fixed ring's per-batch footprint (4 bytes per event
+// slot, see NewCompactRing), a compact ring hands over more events per
+// publication, and the ring's stats count logical events and wire bytes.
+func TestCompactRingCarriesMoreEventsPerBatch(t *testing.T) {
+	const n = 4096
+	emit := func(r *Ring) Stats {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				b, ok := r.Next()
+				if !ok {
+					return
+				}
+				r.Recycle(b)
+			}
+		}()
+		b := r.Get()
+		for i := 0; i < n; i++ {
+			if b.Full() {
+				r.Publish(b)
+				b = r.Get()
+			}
+			b.AppendAccess(OpRead, 0x1000+uint64(4*i), 4)
+		}
+		r.Publish(b)
+		r.Close()
+		<-done
+		return r.Stats()
+	}
+	fixed := emit(NewRing(4, 64))
+	compact := emit(NewCompactRing(4, 64))
+	if fixed.EventsPublished != n || compact.EventsPublished != n {
+		t.Fatalf("EventsPublished = %d (fixed) / %d (compact), want %d logical events both ways",
+			fixed.EventsPublished, compact.EventsPublished, n)
+	}
+	if fixed.StreamBytes != 16*n {
+		t.Fatalf("fixed StreamBytes = %d, want %d", fixed.StreamBytes, 16*n)
+	}
+	if compact.StreamBytes*2 > fixed.StreamBytes {
+		t.Fatalf("compact StreamBytes = %d, want at least 2x below the fixed %d",
+			compact.StreamBytes, fixed.StreamBytes)
+	}
+	if compact.BatchesPublished*3 > fixed.BatchesPublished*2 {
+		t.Fatalf("compact used %d batches vs fixed %d: sequential accesses should cut handoffs by a third or more",
+			compact.BatchesPublished, fixed.BatchesPublished)
+	}
+}
+
+// decodeCodecProgram turns fuzz bytes into an append program. Every input is
+// valid by construction: operands are read from exactly as many bytes as
+// their wire fields hold, so sizes cap at MaxAccessSize (7 bytes), counts at
+// MaxRangeCount (4 bytes), and element sizes at MaxRangeElem (3 bytes) —
+// the boundary values are reachable, never exceedable.
+func decodeCodecProgram(data []byte) []codecEvent {
+	var evs []codecEvent
+	i := 0
+	u := func(n int) uint64 {
+		var v uint64
+		for j := 0; j < n; j++ {
+			v = v<<8 | uint64(data[i+j])
+		}
+		i += n
+		return v
+	}
+	for i < len(data) && len(evs) < 4096 {
+		op := Op(data[i]%7) + 1
+		i++
+		switch op {
+		case OpSpawn, OpRestore, OpSync:
+			evs = append(evs, codecEvent{op: op})
+		case OpRead, OpWrite:
+			if len(data)-i < 15 {
+				return evs
+			}
+			size := u(7)
+			addr := u(8)
+			evs = append(evs, codecEvent{op: op, addr: addr, size: size})
+		default:
+			if len(data)-i < 15 {
+				return evs
+			}
+			count := u(4)
+			elem := u(3)
+			addr := u(8)
+			evs = append(evs, codecEvent{op: op, addr: addr, size: elem, count: int(count)})
+		}
+	}
+	return evs
+}
+
+// FuzzEventCodec round-trips random append programs through both storage
+// forms twice: as one big batch (checkCodecRoundTrip, which also audits Ctl
+// offsets), and streamed through tiny-capacity rings so batch boundaries,
+// Reset reuse, and the per-batch delta-base reset are all exercised. The
+// decoded event sequences must be identical.
+func FuzzEventCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 0, 1, 2})                                  // structure only
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0x10, 0}) // one small read
+	// Boundary operands: a max-size access, then a max range.
+	f.Add(append(append([]byte{3},
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, // size = MaxAccessSize
+		0, 0, 0, 0, 0, 0, 0, 1), // addr
+		5, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 2))
+	// Address-wrap delta: access at 2^64-1 then at 0.
+	f.Add(append(append([]byte{4, 0, 0, 0, 0, 0, 0, 8},
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff),
+		3, 0, 0, 0, 0, 0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events := decodeCodecProgram(data)
+		checkCodecRoundTrip(t, events)
+
+		// Stream the same program through both ring encodings with a tiny
+		// batch capacity so the fuzzer hits flush boundaries constantly.
+		bcap := 1
+		if len(data) > 0 {
+			bcap = int(data[0]%8) + 1
+		}
+		stream := func(r *Ring) []Event {
+			out := make(chan []Event)
+			go func() {
+				var got []Event
+				for {
+					b, ok := r.Next()
+					if !ok {
+						break
+					}
+					it := b.Iter()
+					for {
+						ev, ok := it.Next()
+						if !ok {
+							break
+						}
+						got = append(got, ev)
+					}
+					r.Recycle(b)
+				}
+				out <- got
+			}()
+			b := r.Get()
+			for _, c := range events {
+				if b.Full() {
+					r.Publish(b)
+					b = r.Get()
+				}
+				c.appendTo(b)
+			}
+			r.Publish(b)
+			r.Close()
+			return <-out
+		}
+		fixed := stream(NewRing(2, bcap))
+		compact := stream(NewCompactRing(2, bcap))
+		if len(fixed) != len(events) || len(compact) != len(events) {
+			t.Fatalf("streamed %d (fixed) / %d (compact) events, want %d",
+				len(fixed), len(compact), len(events))
+		}
+		for i := range fixed {
+			if fixed[i] != compact[i] {
+				t.Fatalf("streamed event %d: fixed %+v != compact %+v", i, fixed[i], compact[i])
+			}
+		}
+	})
+}

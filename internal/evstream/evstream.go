@@ -1,7 +1,10 @@
 // Package evstream carries instrumentation events from an executing
 // fork-join program (the producer) to a detector goroutine (the consumer)
-// through a bounded single-producer/single-consumer ring of fixed-size
-// event batches.
+// through a bounded single-producer/single-consumer ring of event batches.
+// Batches store events either as fixed 16-byte structs or — the default at
+// the stint layer — in the delta-packed compact wire format of compact.go,
+// which exploits address locality to spend 2 bytes on the common access
+// instead of 16.
 //
 // The design goals mirror the runner's hot-path discipline:
 //
@@ -64,8 +67,13 @@ type Event struct {
 }
 
 // Access builds a per-access event (OpRead/OpWrite): size is the access
-// size in bytes (fits comfortably above the op byte).
+// size in bytes, carried in the 56 bits above the op byte. Sizes beyond
+// MaxAccessSize panic rather than truncate into the op; the stint hook
+// layer validates raw-address accesses before encoding.
 func Access(op Op, addr, size uint64) Event {
+	if size > MaxAccessSize {
+		panic("evstream: access size does not fit the 56-bit size field")
+	}
 	return Event{word: uint64(op) | size<<8, addr: addr}
 }
 
@@ -84,12 +92,7 @@ const (
 // the element count (high 32 bits). Operands outside those fields panic
 // rather than truncate — a truncated range would mis-split silently.
 func Range(op Op, addr uint64, count int, elem uint64) Event {
-	if count < 0 || uint64(count) > MaxRangeCount {
-		panic("evstream: range count does not fit the 32-bit count field")
-	}
-	if elem > MaxRangeElem {
-		panic("evstream: range element size does not fit the 24-bit elem field")
-	}
+	checkRangeFields(count, elem)
 	return Event{word: uint64(op) | elem<<8 | uint64(count)<<32, addr: addr}
 }
 
@@ -114,9 +117,17 @@ func (e Event) Elem() uint64 { return (e.word >> 8) & 0xffffff }
 // Stats counts ring activity, for observability and backpressure tuning.
 // Read it only after the pipeline has drained (Close + final Next).
 type Stats struct {
-	// EventsPublished and BatchesPublished count producer traffic.
+	// EventsPublished counts logical events (structure and access events
+	// alike) across all published batches, independent of how the batches
+	// encode them; BatchesPublished counts the batches. Their meanings are
+	// pinned by tests so the two cannot drift apart again when an encoding
+	// changes what a "slot" in a batch is.
 	EventsPublished  uint64
 	BatchesPublished uint64
+	// StreamBytes counts wire bytes: what the published batches actually
+	// occupy (len(Buf) for compact batches, 16 bytes per event otherwise).
+	// StreamBytes/EventsPublished is the stream's bytes-per-event figure.
+	StreamBytes uint64
 	// BatchesReused counts Get calls served from the free list rather than
 	// a fresh allocation; at steady state it tracks BatchesPublished.
 	BatchesReused uint64
@@ -127,13 +138,25 @@ type Stats struct {
 	ConsumerWaits uint64
 }
 
-// Batch is the unit the ring moves: a slice of packed events plus the
-// producer-stamped Summary that lets shard workers skip batches whose
-// accesses cannot map to them. The producer owns a batch from Get to
+// Batch is the unit the ring moves: the events in one of two storage
+// forms, plus the stamped Summary that lets shard workers skip batches
+// whose accesses cannot map to them. The producer owns a batch from Get to
 // Publish; consumers own it from Next to Recycle.
+//
+// Exactly one storage form is active per batch: fixed batches (from
+// NewRing, and zero-value Batch literals) hold 16-byte Events in Ev;
+// compact batches (from NewCompactRing) hold the delta-packed byte stream
+// in Buf — see compact.go for the wire format. The Append methods fill
+// whichever form is active, and Iter scans either; consumers written
+// against Iter and the Len/CtlOp accessors never care which form they got.
 type Batch struct {
 	Ev  []Event
+	Buf []byte
 	Sum Summary
+
+	n       int    // compact form: logical event count
+	prev    uint64 // compact form: delta base (last access address)
+	compact bool
 }
 
 // Ring is a bounded SPSC queue of event batches with an integrated batch
@@ -150,19 +173,37 @@ type Ring struct {
 	closed   bool
 	free     []*Batch // recycled batches awaiting reuse
 	batchCap int
+	compact  bool
 	stats    Stats
 }
 
 // NewRing returns a ring holding at most depth in-flight batches of
-// batchCap events each. Both are clamped to at least 1.
+// batchCap fixed-size events each. Both are clamped to at least 1.
 func NewRing(depth, batchCap int) *Ring {
+	return newRing(depth, batchCap, false)
+}
+
+// NewCompactRing returns a ring whose batches carry the delta-packed
+// compact encoding (see compact.go) in a buffer of 4*batchCap bytes — a
+// quarter of the fixed ring's per-batch footprint, yet at the ~2-byte
+// sequential encoding still roughly twice as many events per ring
+// synchronization. The 4-bytes-per-slot sizing is deliberate: larger
+// buffers amortize handoffs further but make batches coarser, and a batch
+// is summary-skippable only if no access in it touches a worker's shard —
+// measured on the Fig5 workloads, bigger batches lose more to forgone
+// skips (and to falling out of L1) than they save in synchronization.
+func NewCompactRing(depth, batchCap int) *Ring {
+	return newRing(depth, batchCap, true)
+}
+
+func newRing(depth, batchCap int, compact bool) *Ring {
 	if depth < 1 {
 		depth = 1
 	}
 	if batchCap < 1 {
 		batchCap = 1
 	}
-	r := &Ring{buf: make([]*Batch, depth), batchCap: batchCap}
+	r := &Ring{buf: make([]*Batch, depth), batchCap: batchCap, compact: compact}
 	r.notEmpty.L = &r.mu
 	r.notFull.L = &r.mu
 	return r
@@ -171,11 +212,13 @@ func NewRing(depth, batchCap int) *Ring {
 // BatchCap returns the per-batch event capacity.
 func (r *Ring) BatchCap() int { return r.batchCap }
 
-// Get returns an empty batch with BatchCap event capacity for the producer
-// to fill, reusing a recycled batch when one is available. The batch's
-// summary starts zeroed (empty mask, no structure offsets); a producer that
-// does not stamp summaries must set Sum.Mask = MaskAll before Publish so no
-// worker mistakes the zero mask for "skippable by everyone".
+// Get returns an empty batch for the producer to fill — BatchCap event
+// capacity on a fixed ring, 4*BatchCap bytes on a compact ring — reusing
+// a recycled batch when one is available. The batch's summary starts
+// zeroed (empty mask, no structure offsets); whichever stage stamps
+// summaries must leave Sum.Mask meaningful (MaskAll when not summarizing)
+// before workers see the batch, so none mistakes the zero mask for
+// "skippable by everyone".
 func (r *Ring) Get() *Batch {
 	r.mu.Lock()
 	if n := len(r.free); n > 0 {
@@ -184,11 +227,13 @@ func (r *Ring) Get() *Batch {
 		r.free = r.free[:n-1]
 		r.stats.BatchesReused++
 		r.mu.Unlock()
-		b.Ev = b.Ev[:0]
-		b.Sum.Reset()
+		b.Reset()
 		return b
 	}
 	r.mu.Unlock()
+	if r.compact {
+		return &Batch{Buf: make([]byte, 0, 4*r.batchCap), compact: true}
+	}
 	return &Batch{Ev: make([]Event, 0, r.batchCap)}
 }
 
@@ -212,7 +257,8 @@ func (r *Ring) Publish(b *Batch) (ok bool) {
 	r.count++
 	r.stats.BatchesPublished++
 	if b != nil {
-		r.stats.EventsPublished += uint64(len(b.Ev))
+		r.stats.EventsPublished += uint64(b.Len())
+		r.stats.StreamBytes += uint64(b.WireBytes())
 	}
 	r.notEmpty.Signal()
 	r.mu.Unlock()
@@ -257,7 +303,7 @@ func (r *Ring) Next() (b *Batch, ok bool) {
 // pipeline recycles batches from whichever worker releases a broadcast
 // slot last.
 func (r *Ring) Recycle(b *Batch) {
-	if b == nil || cap(b.Ev) == 0 {
+	if b == nil || (cap(b.Ev) == 0 && cap(b.Buf) == 0) {
 		return
 	}
 	r.mu.Lock()

@@ -139,6 +139,39 @@ func TestRingReusesBatches(t *testing.T) {
 	r.Close()
 }
 
+// TestStatsCountLogicalEventsAndWireBytes pins the meaning of the stream
+// counters across encodings: EventsPublished counts logical events no matter
+// how a batch stores them, and StreamBytes counts what the batches occupy on
+// the wire — 16 bytes per event fixed, len(Buf) compact. The two must never
+// drift toward "slots in a batch" again when an encoding changes.
+func TestStatsCountLogicalEventsAndWireBytes(t *testing.T) {
+	fixed := NewRing(2, 8)
+	fb := fixed.Get()
+	fb.AppendCtl(OpSpawn)
+	fb.AppendAccess(OpRead, 0x1000, 4)
+	fb.AppendRange(OpWriteRange, 0x2000, 16, 8)
+	fixed.Publish(fb)
+	if s := fixed.Stats(); s.EventsPublished != 3 || s.StreamBytes != 48 {
+		t.Errorf("fixed ring stats = %d events, %d bytes; want 3 events, 48 bytes", s.EventsPublished, s.StreamBytes)
+	}
+	fixed.Close()
+
+	compact := NewCompactRing(2, 8)
+	cb := compact.Get()
+	cb.AppendCtl(OpSpawn)
+	cb.AppendAccess(OpRead, 0x1000, 4)
+	cb.AppendRange(OpWriteRange, 0x2000, 16, 8)
+	wire := uint64(len(cb.Buf))
+	compact.Publish(cb)
+	if s := compact.Stats(); s.EventsPublished != 3 || s.StreamBytes != wire {
+		t.Errorf("compact ring stats = %d events, %d bytes; want 3 events, %d bytes", s.EventsPublished, s.StreamBytes, wire)
+	}
+	if s := compact.Stats(); s.StreamBytes >= 48 {
+		t.Errorf("compact batch occupies %d wire bytes, want under the fixed 48", s.StreamBytes)
+	}
+	compact.Close()
+}
+
 func TestPublishAfterCloseReportsFalse(t *testing.T) {
 	r := NewRing(2, 4)
 	if !r.Publish(&Batch{Ev: []Event{Ctl(OpRead)}}) {

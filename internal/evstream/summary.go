@@ -36,7 +36,11 @@ type Summary struct {
 	// also what unsummarized batches carry.
 	Mask uint64
 	// Ctl holds the batch-relative offsets of the structure events
-	// (OpSpawn/OpRestore/OpSync), in stream order.
+	// (OpSpawn/OpRestore/OpSync), in stream order. The offset unit follows
+	// the batch's storage form: an event index into Ev for fixed batches, a
+	// byte offset of the event's tag byte into Buf for compact batches —
+	// Batch.AppendCtl produces the right unit and Batch.CtlOp resolves it,
+	// so skip-scan replay never needs to know which form it got.
 	Ctl []int32
 }
 
@@ -67,7 +71,6 @@ func (s *Summary) SkippableBy(shard int) bool {
 // could hash to any shard) or wraps the address space (PageSplit rejects
 // such events; the stamp stays conservative rather than guessing).
 func AccessMask(ev Event, pageBits uint, shards int) uint64 {
-	addr := ev.Addr()
 	var size uint64
 	switch ev.EvOp() {
 	case OpRead, OpWrite:
@@ -77,6 +80,13 @@ func AccessMask(ev Event, pageBits uint, shards int) uint64 {
 	default:
 		panic("evstream: AccessMask on a non-access event")
 	}
+	return SpanMask(ev.Addr(), size, pageBits, shards)
+}
+
+// SpanMask is AccessMask over a raw (address, total size) span, for
+// producers that stamp summaries from the hook operands before encoding
+// the event — the compact encoding has no Event value to hand AccessMask.
+func SpanMask(addr, size uint64, pageBits uint, shards int) uint64 {
 	first := addr >> pageBits
 	last := first
 	if size > 1 {

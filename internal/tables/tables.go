@@ -477,15 +477,16 @@ func (s *Suite) Async() error {
 // the sequencer has stopped being the scaling bottleneck — adding shards
 // keeps dividing the detection critical path — while a high skip%
 // means the per-worker full-stream scan floor is gone too: workers only
-// scan the batches whose pages hash to them. Not one of the paper's
-// figures, so Suite.All leaves it out.
+// scan the batches whose pages hash to them. B/ev is the event stream's
+// wire cost under the compact delta encoding (16.00 with it disabled).
+// Not one of the paper's figures, so Suite.All leaves it out.
 func (s *Suite) Util() error {
 	const shards = 4
 	modes := []stint.Detector{stint.DetectorCompRTS, stint.DetectorSTINT}
 	s.printf("== Stage utilization: label stage vs %d shard workers ==\n", shards)
 	s.printf("%-6s |", "")
 	for _, m := range modes {
-		s.printf(" %-9s %10s %10s %10s %8s %6s |", m, "wall", "label", "max-wrk", "lbl/wrk", "skip%")
+		s.printf(" %-9s %10s %10s %10s %8s %6s %6s |", m, "wall", "label", "max-wrk", "lbl/wrk", "skip%", "B/ev")
 	}
 	s.printf("\n")
 	for _, name := range workloads.Names() {
@@ -501,7 +502,7 @@ func (s *Suite) Util() error {
 			}
 			label, _, maxWorker, ok := cliutil.StageBusy(res.Report)
 			if !ok || maxWorker <= 0 {
-				s.printf(" %-9s %10v %10s %10s %8s %6s |", "", res.Wall.Round(time.Millisecond), "-", "-", "-", "-")
+				s.printf(" %-9s %10v %10s %10s %8s %6s %6s |", "", res.Wall.Round(time.Millisecond), "-", "-", "-", "-", "-")
 				continue
 			}
 			var scanned, skipped uint64
@@ -513,12 +514,17 @@ func (s *Suite) Util() error {
 			if total := scanned + skipped; total > 0 {
 				skipPct = fmt.Sprintf("%.0f%%", 100*float64(skipped)/float64(total))
 			}
-			s.printf(" %-9s %10v %10v %10v %7.2fx %6s |", "",
+			bytesPerEv := "-"
+			if st := res.Report.Stats; st.EventsStreamed > 0 {
+				bytesPerEv = fmt.Sprintf("%.2f", float64(st.StreamBytes)/float64(st.EventsStreamed))
+			}
+			s.printf(" %-9s %10v %10v %10v %7.2fx %6s %6s |", "",
 				res.Wall.Round(time.Millisecond),
 				label.Round(time.Microsecond),
 				maxWorker.Round(time.Microsecond),
 				float64(label)/float64(maxWorker),
-				skipPct)
+				skipPct,
+				bytesPerEv)
 		}
 		s.printf("\n")
 	}

@@ -72,6 +72,14 @@ var optionsRules = []optionsRule{
 			return fmt.Errorf("stint: DetectShards requires a runtime-coalescing detector (comp+rts or a stint variant), got %v", o.Detector)
 		},
 	},
+	{
+		bad: func(o *Options) bool {
+			return o.SummaryStamping < StampAuto || o.SummaryStamping > StampLabelStage
+		},
+		err: func(o *Options) error {
+			return fmt.Errorf("stint: SummaryStamping %d is not one of StampAuto, StampProducer, StampLabelStage", o.SummaryStamping)
+		},
+	},
 }
 
 // validate checks opts against every rule, returning the first violation.

@@ -6,15 +6,18 @@
 //
 //	mutator ──main ring──▶ label stage ──broadcast ring──▶ N workers ──▶ merge
 //
-// The label stage is deliberately thin: it consumes only the structure
-// events (spawn/restore/sync), advances an internal/depa label Builder in
-// exactly the order the inline detector maintains SP-Order, stamps the
-// batch with an immutable label snapshot, and republishes the batch
-// **unmodified** onto a single-producer/multi-consumer broadcast ring
-// (evstream.BcastRing). It never splits, copies, or routes access events —
-// the per-event work that made the PR 3 sequencer the multi-core critical
-// path. With producer summaries on it does not even scan the batch: the
-// structure events are exactly the offsets in the batch's Summary.Ctl.
+// The label stage advances an internal/depa label Builder over the
+// structure events (spawn/restore/sync) in exactly the order the inline
+// detector maintains SP-Order, attaches an immutable label snapshot, and
+// republishes the batch onto a single-producer/multi-consumer broadcast
+// ring (evstream.BcastRing). It never splits, copies, or routes access
+// events — the per-event work that made the PR 3 sequencer the multi-core
+// critical path. With producer stamping it does not even scan the batch
+// (the structure events are exactly the offsets in the batch's
+// Summary.Ctl); with label-stage stamping it scans each batch once,
+// stamping the Summary itself so the mutator sheds that per-event work.
+// Label snapshots are demand-driven — re-taken only when a batch created
+// strands — instead of per-batch.
 //
 // Page splitting and shard filtering happen on the workers instead: every
 // worker scans the same labeled batch, replays the structure events through
@@ -25,7 +28,8 @@
 // the runtime-coalescing engines treat an access as nothing but its set of
 // touched words.
 //
-// The batch Summary stamped by the producer gives workers a fast path: a
+// The batch Summary — stamped by the producer or the label stage,
+// identically either way — gives workers a fast path: a
 // worker whose mask bit is clear skips the access events entirely — the
 // clear bit proves no piece of any access in the batch maps to its shard
 // (see evstream.Summary) — and replays only the structure events through
@@ -76,31 +80,47 @@ type labeledBatch struct {
 
 // labelStage runs on the sequencer goroutine: it drains the main event
 // ring, applies the structure events to the label Builder, and broadcasts
-// each batch with a fresh label snapshot. The snapshot is taken after the
-// batch's own structure events, so it covers every strand any event in the
-// batch belongs to. A false broadcast Publish means the graph aborted and
-// closed the rings; the stage recycles the batch it still owns and exits
-// cleanly — the failure that caused the abort is the one worth reporting,
-// not a secondary panic here.
+// each batch with a label snapshot covering every strand any event in the
+// batch references. Snapshots are demand-driven rather than per-batch: the
+// stage re-snapshots only after a batch whose structure events actually
+// created strands, and attaches the previous snapshot to every other batch
+// — exact because labels are immutable and append-only, so any view whose
+// strand count has caught up answers Parallel/LeftOf/SeqRank identically
+// to a fresh one (DESIGN.md "Why per-refill label views are exact").
+//
+// With producer stamping the structure events are exactly the offsets in
+// the batch's Summary.Ctl and the access events are never touched; with
+// label-stage stamping (labelScan) the stage decodes the batch once,
+// advancing the builder and stamping the Ctl offsets and page mask in the
+// same pass — per-batch producer work moved off the mutator.
+//
+// A false broadcast Publish means the graph aborted and closed the rings;
+// the stage recycles the batch it still owns and exits cleanly — the
+// failure that caused the abort is the one worth reporting, not a
+// secondary panic here.
 func (as *asyncState) labelStage(labels *depa.Builder, bcast *evstream.BcastRing[labeledBatch]) {
+	view := labels.View() // covers the root strand until the first spawn
+	as.viewSnaps++
 	for {
 		batch, ok := as.ring.Next()
 		if !ok {
 			break
 		}
 		t0 := time.Now()
-		if as.summarize {
+		if as.prodStamp {
 			// The producer indexed the structure events; no need to scan
 			// the access events at all.
-			for _, off := range batch.Sum.Ctl {
-				applyCtl(labels, batch.Ev[off].EvOp())
+			for i := range batch.Sum.Ctl {
+				applyCtl(labels, batch.CtlOp(i))
 			}
 		} else {
-			for _, ev := range batch.Ev {
-				applyCtl(labels, ev.EvOp())
-			}
+			as.labelScan(labels, batch)
 		}
-		m := labeledBatch{batch: batch, labels: labels.View()}
+		if labels.StrandCount() > view.StrandCount() {
+			view = labels.View()
+			as.viewSnaps++
+		}
+		m := labeledBatch{batch: batch, labels: view}
 		as.seqBusy.Add(t0) // busy excludes the blocking publish below
 		if !bcast.Publish(m) {
 			as.ring.Recycle(batch)
@@ -108,6 +128,43 @@ func (as *asyncState) labelStage(labels *depa.Builder, bcast *evstream.BcastRing
 		}
 	}
 	bcast.Close()
+}
+
+// labelScan is the label stage's stamping scan (sharded mode without
+// producer stamping): one decode pass that advances the label builder on
+// the structure events and stamps the batch's Summary — Ctl offsets and
+// the access page mask when summaries are on, MaskAll when they are off.
+// The batch arrives with a zeroed Summary (the producer stamped nothing)
+// and is exclusively owned between ring.Next and bcast.Publish, so the
+// stamp is ordinary single-threaded mutation.
+func (as *asyncState) labelScan(labels *depa.Builder, batch *evstream.Batch) {
+	if !as.summarize {
+		it := batch.Iter()
+		for {
+			ev, ok := it.Next()
+			if !ok {
+				break
+			}
+			applyCtl(labels, ev.EvOp())
+		}
+		batch.Sum.Mask = evstream.MaskAll
+		return
+	}
+	it := batch.Iter()
+	for {
+		pos := it.Pos()
+		ev, ok := it.Next()
+		if !ok {
+			break
+		}
+		op := ev.EvOp()
+		if op <= evstream.OpSync {
+			batch.Sum.AddCtl(pos)
+			applyCtl(labels, op)
+		} else {
+			batch.Sum.Mask |= evstream.AccessMask(ev, coalesce.PageBytesBits, as.shards)
+		}
+	}
 }
 
 // applyCtl advances the label builder for one structure event; access
@@ -167,9 +224,11 @@ func (w *shardWorker) run(cfg detect.Config) {
 			// Fast path: the batch's mask proves no piece of any access
 			// maps to this shard. Jump through the structure-event offsets
 			// so the tracker and the strand-boundary flushes advance
-			// exactly as a full scan would, and never touch the accesses.
-			for _, off := range m.batch.Sum.Ctl {
-				switch m.batch.Ev[off].EvOp() {
+			// exactly as a full scan would, and never touch the accesses —
+			// in a compact batch CtlOp reads one tag byte per offset, no
+			// varint decoding at all.
+			for i := range m.batch.Sum.Ctl {
+				switch m.batch.CtlOp(i) {
 				case evstream.OpSpawn:
 					engine.StrandEnd()
 					w.track.Spawn()
@@ -185,7 +244,12 @@ func (w *shardWorker) run(cfg detect.Config) {
 			w.bcast.Release(w.id)
 			continue
 		}
-		for _, ev := range m.batch.Ev {
+		it := m.batch.Iter()
+		for {
+			ev, ok := it.Next()
+			if !ok {
+				break
+			}
 			switch ev.EvOp() {
 			case evstream.OpSpawn:
 				// A strand boundary: flush the ending strand's page-local
@@ -253,10 +317,11 @@ func (w *shardWorker) access(engine detect.Engine, ev evstream.Event) {
 // the broadcast ring, and the merge finalizer. User OnRace calls are
 // serialized with a mutex — across workers their order is nondeterministic
 // (documented), but the recorded Report is canonical regardless. summarize
-// controls producer batch summaries (the worker skip fast path); with it
-// off, batches carry MaskAll and every worker scans everything.
-func (as *asyncState) startSharded(cfg detect.Config, shards, maxRec int, user func(Race), summarize bool) {
-	as.setSharded(shards, summarize)
+// controls batch summaries (the worker skip fast path) — with it off,
+// batches carry MaskAll and every worker scans everything — and prodStamp
+// selects the stamping stage (see setSharded).
+func (as *asyncState) startSharded(cfg detect.Config, shards, maxRec int, user func(Race), summarize, prodStamp bool) {
+	as.setSharded(shards, summarize, prodStamp)
 	labels := depa.NewBuilder()
 	bcast := evstream.NewBcastRing(as.ringDepth, shards, func(m labeledBatch) {
 		// Last release: the batch is no longer referenced by any worker, so

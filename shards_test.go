@@ -18,13 +18,17 @@ var shardTestDetectors = []Detector{
 // fields so the deterministic counters can be compared across execution
 // modes. BatchesSkipped is scheduling-dependent by construction: it counts
 // elided scan work, which varies with shard count and batch geometry while
-// every detection counter stays identical.
+// every detection counter stays identical. EventsStreamed and StreamBytes
+// describe the transport, not the detection: sync runs have no stream and
+// the wire bytes vary with the encoding by design.
 func normStats(s Stats) Stats {
 	s.AccessHistoryTime = 0
 	s.AllocObjects = 0
 	s.AllocBytes = 0
 	s.PipelineDetectTime = 0
 	s.BatchesSkipped = 0
+	s.EventsStreamed = 0
+	s.StreamBytes = 0
 	return s
 }
 
@@ -276,11 +280,12 @@ func skewProgram(r *Runner) (TaskFunc, int) {
 // their batches, the skip counters must reconcile, and the Report must stay
 // byte-identical to both the synchronous run and a summaries-off run.
 func TestShardedSkewSkipScan(t *testing.T) {
-	runSkew := func(nosum bool) (*Report, int) {
+	runSkew := func(po pipeOpts) (*Report, int) {
 		t.Helper()
 		r, err := NewRunner(Options{
 			Detector: DetectorSTINT, Async: true, DetectShards: skewShards,
-			MaxRacesRecorded: 1 << 20, DisableBatchSummaries: nosum,
+			MaxRacesRecorded: 1 << 20, DisableBatchSummaries: po.nosum,
+			DisableCompactEvents: po.nocompact, SummaryStamping: po.stamp,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -295,34 +300,60 @@ func TestShardedSkewSkipScan(t *testing.T) {
 		}
 		return rep, owner
 	}
+	// checkSkew asserts the skip fast path fired: on the one-hot-page
+	// workload every non-owner shard must skip at least 80% of its batches.
+	// The ratio — not the absolute count — is the invariant: the compact
+	// encoding packs more events per batch at the same byte footprint, so
+	// the two encodings see different batch totals but the same skip rate.
+	checkSkew := func(name string, rep *Report, owner int) {
+		t.Helper()
+		if rep.Stats.BatchesSkipped == 0 {
+			t.Fatalf("%s: summaries on, one-hot-page workload, but no batch was skipped", name)
+		}
+		var sum uint64
+		for i, l := range rep.ShardLoad {
+			sum += l.BatchesSkipped
+			if i == owner {
+				continue
+			}
+			total := l.BatchesScanned + l.BatchesSkipped
+			if total == 0 {
+				t.Fatalf("%s: non-owner shard %d saw no batches", name, i)
+			}
+			if ratio := float64(l.BatchesSkipped) / float64(total); ratio < 0.8 {
+				t.Errorf("%s: non-owner shard %d skipped only %.0f%% of %d batches", name, i, 100*ratio, total)
+			}
+		}
+		if sum != rep.Stats.BatchesSkipped {
+			t.Errorf("%s: ShardLoad skip counters sum to %d, Stats.BatchesSkipped = %d", name, sum, rep.Stats.BatchesSkipped)
+		}
+	}
 
-	rep, owner := runSkew(false)
+	rep, owner := runSkew(pipeOpts{})
 	if rep.RaceCount == 0 {
 		t.Fatal("skew program produced no races; test is vacuous")
 	}
-	if rep.Stats.BatchesSkipped == 0 {
-		t.Fatal("summaries on, one-hot-page workload, but no batch was skipped")
-	}
-	var sum uint64
-	for i, l := range rep.ShardLoad {
-		sum += l.BatchesSkipped
-		if i == owner {
-			continue
-		}
-		total := l.BatchesScanned + l.BatchesSkipped
-		if total == 0 {
-			t.Fatalf("non-owner shard %d saw no batches", i)
-		}
-		if ratio := float64(l.BatchesSkipped) / float64(total); ratio < 0.8 {
-			t.Errorf("non-owner shard %d skipped only %.0f%% of %d batches", i, 100*ratio, total)
-		}
-	}
-	if sum != rep.Stats.BatchesSkipped {
-		t.Errorf("ShardLoad skip counters sum to %d, Stats.BatchesSkipped = %d", sum, rep.Stats.BatchesSkipped)
+	checkSkew("compact", rep, owner)
+
+	// The fixed encoding must skip at the same rate: Summary.Ctl switching
+	// from event indexes to byte offsets changed the bookkeeping, not which
+	// batches are skippable.
+	fixed, fixedOwner := runSkew(pipeOpts{nocompact: true})
+	checkSkew("nocompact", fixed, fixedOwner)
+
+	// Producer-side and label-stage stamping produce the identical stamp
+	// over the identical batch boundaries, so with the same geometry and
+	// encoding the skip counts must agree exactly, not just in ratio.
+	prodStamp, prodOwner := runSkew(pipeOpts{stamp: StampProducer})
+	labelStamp, _ := runSkew(pipeOpts{stamp: StampLabelStage})
+	checkSkew("producer-stamp", prodStamp, prodOwner)
+	if prodStamp.Stats.BatchesSkipped != labelStamp.Stats.BatchesSkipped {
+		t.Errorf("producer-stamp skipped %d batches, label-stamp %d: stamping stage changed the skip set",
+			prodStamp.Stats.BatchesSkipped, labelStamp.Stats.BatchesSkipped)
 	}
 
 	// Summaries off: nothing skips, and the report is still byte-identical.
-	nosum, _ := runSkew(true)
+	nosum, _ := runSkew(pipeOpts{nosum: true})
 	if nosum.Stats.BatchesSkipped != 0 {
 		t.Errorf("summaries disabled but BatchesSkipped = %d", nosum.Stats.BatchesSkipped)
 	}
@@ -344,7 +375,10 @@ func TestShardedSkewSkipScan(t *testing.T) {
 	for _, c := range []struct {
 		name string
 		got  *Report
-	}{{"summaries-on", rep}, {"summaries-off", nosum}} {
+	}{
+		{"summaries-on", rep}, {"summaries-off", nosum}, {"nocompact", fixed},
+		{"producer-stamp", prodStamp}, {"label-stamp", labelStamp},
+	} {
 		if c.got.RaceCount != sync.RaceCount || c.got.Strands != sync.Strands {
 			t.Errorf("%s: RaceCount/Strands %d/%d, sync %d/%d",
 				c.name, c.got.RaceCount, c.got.Strands, sync.RaceCount, sync.Strands)

@@ -95,6 +95,7 @@ func TestSoakAsyncDeterminismAndSyncAgreement(t *testing.T) {
 	// every counter that is not timing- or allocation-dependent.
 	norm := func(s Stats) Stats {
 		s.AccessHistoryTime, s.AllocObjects, s.AllocBytes, s.PipelineDetectTime, s.BatchesSkipped = 0, 0, 0, 0, 0
+		s.EventsStreamed, s.StreamBytes = 0, 0
 		return s
 	}
 	for seed := int64(20); seed < 26; seed++ {
@@ -124,6 +125,7 @@ func TestSoakShardedDeterminismAndSyncAgreement(t *testing.T) {
 	// counter, for every supported detector and shard count.
 	norm := func(s Stats) Stats {
 		s.AccessHistoryTime, s.AllocObjects, s.AllocBytes, s.PipelineDetectTime, s.BatchesSkipped = 0, 0, 0, 0, 0
+		s.EventsStreamed, s.StreamBytes = 0, 0
 		return s
 	}
 	for seed := int64(30); seed < 34; seed++ {
@@ -155,6 +157,16 @@ func TestSoakShardedDeterminismAndSyncAgreement(t *testing.T) {
 				if norm(c.Stats) != norm(sync.Stats) || c.Strands != sync.Strands || c.RaceCount != sync.RaceCount {
 					t.Fatalf("seed %d %v shards=%d: summaries-off run diverges from sync\nnosum: %+v\nsync:  %+v",
 						seed, d, n, norm(c.Stats), norm(sync.Stats))
+				}
+				// The compact encoding is a pure transport change: the fixed
+				// 16-byte encoding must produce the same report too.
+				fx := soakRunOpts(t, acts, sizes, Options{
+					Detector: d, MaxRacesRecorded: 1, Async: true,
+					DetectShards: n, DisableCompactEvents: true,
+				})
+				if norm(fx.Stats) != norm(sync.Stats) || fx.Strands != sync.Strands || fx.RaceCount != sync.RaceCount {
+					t.Fatalf("seed %d %v shards=%d: fixed-encoding run diverges from sync\nfixed: %+v\nsync:  %+v",
+						seed, d, n, norm(fx.Stats), norm(sync.Stats))
 				}
 			}
 		}

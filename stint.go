@@ -29,6 +29,7 @@ package stint
 
 import (
 	"fmt"
+	"runtime"
 	"runtime/metrics"
 	"sync"
 	"time"
@@ -145,17 +146,65 @@ type Options struct {
 	// ignored for DetectorOff/DetectorReachOnly (nothing page-partitioned
 	// to shard). n = 1 runs the full sharded machinery with one worker.
 	DetectShards int
-	// DisableBatchSummaries turns off the producer's per-batch page
-	// summaries in sharded mode, forcing every worker to scan every
-	// broadcast batch instead of skipping batches whose page mask proves
-	// they own no piece of any access (Stats.BatchesSkipped stays zero).
-	// Reports are identical either way — the summaries only elide provably
-	// irrelevant scan work. Exists for measurement (the before/after in
+	// DisableBatchSummaries turns off the per-batch page summaries in
+	// sharded mode, forcing every worker to scan every broadcast batch
+	// instead of skipping batches whose page mask proves they own no piece
+	// of any access (Stats.BatchesSkipped stays zero). Reports are
+	// identical either way — the summaries only elide provably irrelevant
+	// scan work. Exists for measurement (the before/after in
 	// EXPERIMENTS.md) and as an escape hatch; ignored outside sharded mode.
 	DisableBatchSummaries bool
+	// DisableCompactEvents makes the Async pipeline carry fixed 16-byte
+	// events instead of the default delta-packed compact encoding
+	// (typically 2-3 bytes per event; see Stats.StreamBytes). The encoding
+	// is invisible above the ring — reports are byte-identical with it on
+	// or off — so, like DisableBatchSummaries, this exists for measurement
+	// and as an escape hatch; ignored outside Async mode.
+	DisableCompactEvents bool
+	// SummaryStamping selects which pipeline stage computes the per-batch
+	// summaries (the Ctl structure offsets and page mask of
+	// DisableBatchSummaries) in sharded mode; see the StampAuto constants.
+	// The stamp is identical whichever stage computes it, so reports do not
+	// depend on this option. Ignored outside sharded mode and when
+	// summaries are disabled (the label stage then owns the MaskAll stamp).
+	SummaryStamping SummaryStamping
 	// Tracer, if set, receives every execution event (see Tracer); use
 	// stint/trace to record replayable traces. Incompatible with Parallel.
 	Tracer Tracer
+}
+
+// SummaryStamping selects the pipeline stage that stamps per-batch
+// summaries in sharded mode; see Options.SummaryStamping.
+type SummaryStamping int
+
+const (
+	// StampAuto picks the stage from the machine shape: on a single-CPU
+	// process (GOMAXPROCS 1) every stage timeshares one core, so the
+	// producer stamps as it appends — the label stage's extra decode pass
+	// would be pure added work. With two or more CPUs the mutator is the
+	// serial critical path, so the stamping moves to the label stage, which
+	// is already decoding each batch to advance the labels.
+	StampAuto SummaryStamping = iota
+	// StampProducer forces producer-side stamping: the mutator ORs each
+	// access's page mask into the batch summary as it appends.
+	StampProducer
+	// StampLabelStage forces label-stage stamping: the producer appends
+	// bare events and the label stage stamps Ctl offsets and masks during
+	// its single decode pass, shedding the per-access mask work from the
+	// mutator.
+	StampLabelStage
+)
+
+// producerStamps resolves SummaryStamping to "does the producer stamp".
+func (o *Options) producerStamps() bool {
+	switch o.SummaryStamping {
+	case StampProducer:
+		return true
+	case StampLabelStage:
+		return false
+	default:
+		return runtime.GOMAXPROCS(0) == 1
+	}
 }
 
 // Runner executes fork-join programs under one detector configuration. A
@@ -213,6 +262,12 @@ type Report struct {
 	// PipelineDetectTime is the sum of ShardBusy in sharded mode.
 	SequencerBusy time.Duration
 	ShardBusy     []time.Duration
+	// LabelViewSnapshots counts the reachability-label snapshots the label
+	// stage took (sharded mode, zero otherwise): one covering the root
+	// strand plus one per batch whose structure events grew the label set.
+	// Batches with no spawns reuse the previous snapshot, so this is
+	// typically far below the batch count on access-dense programs.
+	LabelViewSnapshots uint64
 	// ShardLoad breaks each worker's load down further (sharded mode only,
 	// nil otherwise): busy time (ShardBusy[i] == ShardLoad[i].Busy), the
 	// scanned-vs-skipped batch split from the summary fast path, and the
@@ -314,9 +369,9 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 			if bcap == 0 {
 				bcap = defaultAsyncBatchEvents
 			}
-			rs.async = newAsyncState(depth, bcap)
+			rs.async = newAsyncState(depth, bcap, !r.opts.DisableCompactEvents)
 			if n := r.opts.DetectShards; n > 0 && rs.hooks {
-				rs.async.startSharded(cfg, n, maxRec, user, !r.opts.DisableBatchSummaries)
+				rs.async.startSharded(cfg, n, maxRec, user, !r.opts.DisableBatchSummaries, r.opts.producerStamps())
 			} else {
 				rs.async.startConsume(cfg, r.newEngine, maxRec, user)
 			}
@@ -367,6 +422,7 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 		rep.RaceCount = rep.Stats.Races
 		rep.Races = rs.async.races
 		rep.SequencerBusy = rs.async.seqBusy.Busy()
+		rep.LabelViewSnapshots = rs.async.viewSnaps
 		if load := rs.async.shardLoad; load != nil {
 			rep.ShardLoad = load
 			rep.ShardBusy = make([]time.Duration, len(load))
@@ -415,12 +471,12 @@ func (t *Task) Spawn(f TaskFunc) {
 	if as := rs.async; as != nil {
 		// Pipelined: the structure events travel the stream; SP-Order is
 		// maintained by the consumer. Execution stays depth-first serial.
-		as.emitCtl(evstream.Ctl(evstream.OpSpawn))
+		as.emitCtl(evstream.OpSpawn)
 		child := rs.getTask()
 		f(child)
 		child.Sync()
 		rs.putTask(child)
-		as.emitCtl(evstream.Ctl(evstream.OpRestore))
+		as.emitCtl(evstream.OpRestore)
 		if rs.tracer != nil {
 			rs.tracer.Restore()
 		}
@@ -464,7 +520,7 @@ func (t *Task) Sync() {
 		// Only strand-creating syncs travel the stream; tracePending
 		// mirrors frame.Pending for exactly this purpose.
 		if t.tracePending {
-			as.emitCtl(evstream.Ctl(evstream.OpSync))
+			as.emitCtl(evstream.OpSync)
 		}
 		t.tracePending = false
 		return
@@ -489,7 +545,7 @@ func (t *Task) Load(b *Buffer, i int) {
 	addr, size := b.Addr(i), uint64(b.ElemBytes())
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emitAccess(evstream.Access(evstream.OpRead, addr, size))
+			as.emitAccess(evstream.OpRead, addr, size)
 		} else {
 			rs.engine.ReadHook(addr, size)
 		}
@@ -508,7 +564,7 @@ func (t *Task) Store(b *Buffer, i int) {
 	addr, size := b.Addr(i), uint64(b.ElemBytes())
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emitAccess(evstream.Access(evstream.OpWrite, addr, size))
+			as.emitAccess(evstream.OpWrite, addr, size)
 		} else {
 			rs.engine.WriteHook(addr, size)
 		}
@@ -529,7 +585,7 @@ func (t *Task) LoadRange(b *Buffer, i, n int) {
 	addr, _ := b.Range(i, n)
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emitAccess(evstream.Range(evstream.OpReadRange, addr, n, uint64(b.ElemBytes())))
+			as.emitRange(evstream.OpReadRange, addr, n, uint64(b.ElemBytes()))
 		} else {
 			rs.engine.ReadRangeHook(addr, n, uint64(b.ElemBytes()))
 		}
@@ -548,7 +604,7 @@ func (t *Task) StoreRange(b *Buffer, i, n int) {
 	addr, _ := b.Range(i, n)
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emitAccess(evstream.Range(evstream.OpWriteRange, addr, n, uint64(b.ElemBytes())))
+			as.emitRange(evstream.OpWriteRange, addr, n, uint64(b.ElemBytes()))
 		} else {
 			rs.engine.WriteRangeHook(addr, n, uint64(b.ElemBytes()))
 		}
@@ -558,13 +614,25 @@ func (t *Task) StoreRange(b *Buffer, i, n int) {
 	}
 }
 
+// checkAccess rejects per-access sizes beyond the event encodings' shared
+// 56-bit field, so sync and async runs accept exactly the same programs (the
+// encodings would otherwise panic only on the async path). Like checkRange,
+// it guards only the raw-address hooks — arena-backed accesses are bounded
+// by their Buffer.
+func checkAccess(size uint64) {
+	if size > evstream.MaxAccessSize {
+		panic(fmt.Sprintf("stint: access size %d outside [0, 2^56)", size))
+	}
+}
+
 // LoadAt and StoreAt report raw-address accesses for callers managing their
-// own layout on top of the Arena.
+// own layout on top of the Arena. Sizes of 2^56+ bytes panic.
 func (t *Task) LoadAt(addr Addr, size uint64) {
 	rs := t.rs
+	checkAccess(size)
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emitAccess(evstream.Access(evstream.OpRead, addr, size))
+			as.emitAccess(evstream.OpRead, addr, size)
 		} else {
 			rs.engine.ReadHook(addr, size)
 		}
@@ -574,12 +642,14 @@ func (t *Task) LoadAt(addr Addr, size uint64) {
 	}
 }
 
-// StoreAt reports a raw-address write.
+// StoreAt reports a raw-address write; see LoadAt (including its size
+// guard).
 func (t *Task) StoreAt(addr Addr, size uint64) {
 	rs := t.rs
+	checkAccess(size)
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emitAccess(evstream.Access(evstream.OpWrite, addr, size))
+			as.emitAccess(evstream.OpWrite, addr, size)
 		} else {
 			rs.engine.WriteHook(addr, size)
 		}
@@ -622,7 +692,7 @@ func (t *Task) LoadRangeAt(addr Addr, count int, elemBytes uint64) {
 	checkRange(addr, count, elemBytes)
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emitAccess(evstream.Range(evstream.OpReadRange, addr, count, elemBytes))
+			as.emitRange(evstream.OpReadRange, addr, count, elemBytes)
 		} else {
 			rs.engine.ReadRangeHook(addr, count, elemBytes)
 		}
@@ -642,7 +712,7 @@ func (t *Task) StoreRangeAt(addr Addr, count int, elemBytes uint64) {
 	checkRange(addr, count, elemBytes)
 	if rs.hooks {
 		if as := rs.async; as != nil {
-			as.emitAccess(evstream.Range(evstream.OpWriteRange, addr, count, elemBytes))
+			as.emitRange(evstream.OpWriteRange, addr, count, elemBytes)
 		} else {
 			rs.engine.WriteRangeHook(addr, count, elemBytes)
 		}

@@ -165,6 +165,10 @@ type Options struct {
 	// worker-side page splitting. Subject to the same detector restrictions
 	// as the live option.
 	Shards int
+	// NoCompact replays the async pipeline over the fixed 16-byte event
+	// encoding instead of the default compact one
+	// (stint.Options.DisableCompactEvents); ignored without Async/Shards.
+	NoCompact bool
 }
 
 // decoder drives a replayed execution through the public stint API: the
@@ -244,6 +248,14 @@ func (d *decoder) replayBody(t *stint.Task, depth int) {
 				var size uint64
 				size, err = binary.ReadUvarint(d.br)
 				if err == nil {
+					// Validate before handing to the hook layer: LoadAt
+					// panics on sizes beyond the encodings' 56-bit field,
+					// but a corrupt or adversarial trace must surface as a
+					// decode error, not a panic.
+					if size > evstream.MaxAccessSize {
+						d.fail(fmt.Errorf("trace: access event size %d outside the representable field", size))
+						return
+					}
 					if code == opRead {
 						t.LoadAt(addr, size)
 					} else {
@@ -312,12 +324,13 @@ func Replay(src io.Reader, opts Options) (*stint.Report, error) {
 	}
 
 	r, err := stint.NewRunner(stint.Options{
-		Detector:          opts.Detector,
-		OnRace:            opts.OnRace,
-		MaxRacesRecorded:  opts.MaxRacesRecorded,
-		TimeAccessHistory: opts.TimeAccessHistory,
-		Async:             opts.Async || opts.Shards > 0,
-		DetectShards:      opts.Shards,
+		Detector:             opts.Detector,
+		OnRace:               opts.OnRace,
+		MaxRacesRecorded:     opts.MaxRacesRecorded,
+		TimeAccessHistory:    opts.TimeAccessHistory,
+		Async:                opts.Async || opts.Shards > 0,
+		DetectShards:         opts.Shards,
+		DisableCompactEvents: opts.NoCompact,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
