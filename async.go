@@ -33,6 +33,7 @@
 package stint
 
 import (
+	"sync/atomic"
 	"time"
 
 	"stint/internal/coalesce"
@@ -71,6 +72,19 @@ type asyncState struct {
 	shards    int
 	summarize bool
 	prodStamp bool
+	// Parallel-detect mode (parallel.go) replaces the producer ring with a
+	// multi-producer chunk queue and shared batch pool; ring and batch are
+	// nil. nextTask hands out task identities to spawned children (the
+	// root is 0), execBusy accumulates the executor goroutines' busy
+	// nanoseconds, mergeCtl counts the structure events the merge
+	// synthesized from chunk terminators, and reorderPeak records the
+	// merge's reorder-buffer high-water mark.
+	queue       *evstream.TaskQueue
+	pool        *evstream.BatchPool
+	nextTask    atomic.Uint64
+	execBusy    atomic.Int64
+	mergeCtl    uint64
+	reorderPeak int
 	// viewSnaps counts the label stage's depa.View snapshots (sharded mode;
 	// written by the label stage, read after graph.Wait).
 	viewSnaps uint64

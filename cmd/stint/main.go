@@ -4,7 +4,8 @@
 // Usage:
 //
 //	stint -workload mmul -detector stint [-scale 2] [-races 10] [-timing]
-//	      [-async] [-shards N] [-no-summaries] [-no-compact] [-stamp auto|producer|label]
+//	      [-async] [-parallel-detect] [-shards N] [-no-summaries] [-no-compact]
+//	      [-stamp auto|producer|label]
 //
 // Detectors: off, reach, vanilla, compiler, comp+rts, stint,
 // stint-unbalanced, stint-skiplist.
@@ -33,7 +34,8 @@ func main() {
 		races       = flag.Int("races", 10, "max races to print")
 		timing      = flag.Bool("timing", false, "measure access-history time separately")
 		async       = flag.Bool("async", false, "pipeline detection on a dedicated goroutine (overlaps compute with the access history)")
-		shards      = flag.Int("shards", 0, "partition pipelined detection across N workers by shadow page (implies -async; comp+rts and stint variants only)")
+		parDetect   = flag.Bool("parallel-detect", false, "execute the program's spawns on real goroutines with online detection behind a deterministic merge (comp+rts and stint variants only)")
+		shards      = flag.Int("shards", 0, "partition pipelined detection across N workers by shadow page (implies -async unless -parallel-detect; comp+rts and stint variants only)")
 		noSummaries = flag.Bool("no-summaries", false, "disable per-batch page summaries in sharded mode (workers scan every batch; for before/after measurement)")
 		noCompact   = flag.Bool("no-compact", false, "stream fixed 16-byte events instead of the compact delta encoding (for before/after measurement)")
 		stamp       = flag.String("stamp", "auto", "which stage stamps batch summaries in sharded mode: auto, producer, or label")
@@ -60,7 +62,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stint:", err)
 		os.Exit(2)
 	}
-	err = run(*workload, *detector, *scale, *races, *timing, *async || *shards > 0, *shards, *noSummaries, *noCompact, stamping, *traceOut)
+	err = run(*workload, *detector, *scale, *races, *timing,
+		(*async || *shards > 0) && !*parDetect, *parDetect, *shards, *noSummaries, *noCompact, stamping, *traceOut)
 	if *memProfile != "" {
 		if perr := writeMemProfile(*memProfile); perr != nil {
 			fmt.Fprintln(os.Stderr, "stint: memprofile:", perr)
@@ -94,7 +97,7 @@ func writeMemProfile(path string) error {
 	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
-func run(workload, detector string, scale, maxRaces int, timing, async bool, shards int, noSummaries, noCompact bool, stamping stint.SummaryStamping, traceOut string) error {
+func run(workload, detector string, scale, maxRaces int, timing, async, parDetect bool, shards int, noSummaries, noCompact bool, stamping stint.SummaryStamping, traceOut string) error {
 	factory, err := workloads.ByName(workload, scale)
 	if err != nil {
 		return err
@@ -112,6 +115,7 @@ func run(workload, detector string, scale, maxRaces int, timing, async bool, sha
 		MaxRacesRecorded:      maxRaces,
 		TimeAccessHistory:     timing,
 		Async:                 async,
+		ParallelDetect:        parDetect,
 		DetectShards:          shards,
 		DisableBatchSummaries: noSummaries,
 		DisableCompactEvents:  noCompact,
@@ -134,7 +138,13 @@ func run(workload, detector string, scale, maxRaces int, timing, async bool, sha
 	setupStart := time.Now()
 	w.Setup(r)
 	pipe := ""
-	if async && mode != stint.DetectorOff {
+	if parDetect {
+		n := shards
+		if n == 0 {
+			n = 1
+		}
+		pipe = fmt.Sprintf(", parallel execution, %d detection shards", n)
+	} else if async && mode != stint.DetectorOff {
 		pipe = ", async pipeline"
 		if shards > 0 {
 			pipe = fmt.Sprintf(", async pipeline, %d detection shards", shards)

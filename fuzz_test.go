@@ -22,10 +22,11 @@ func fuzzAllocBufs(r *Runner) ([]*Buffer, []int) {
 
 // FuzzAsyncAgainstSync decodes arbitrary bytes into a fork-join program
 // and pipeline geometry — batch capacity, ring depth, a detection shard
-// count, and a flags byte toggling the compact encoding and the summary-
-// stamping stage — runs it once synchronously, once through the plain async
-// pipeline, and (when the shard byte asks for it) twice sharded — once
-// with batch summaries, once with them disabled — and
+// count, and a flags byte toggling the compact encoding, the summary-
+// stamping stage, and the ParallelDetect legs — runs it once synchronously,
+// once through the plain async pipeline, (when the shard byte asks for it)
+// twice sharded — once with batch summaries, once with them disabled — and
+// (when the flags byte asks for it) twice under ParallelDetect, and
 // requires identical racing-word sets, canonical race reports, strand
 // counts, and (timing-normalized) stats. Tiny batch capacities and ring
 // depths force the batch-boundary edge cases: events split across batches,
@@ -68,6 +69,20 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 	// all 4 workers must take the full-scan path even though each owns only
 	// a slice of the pages.
 	f.Add([]byte{0x01, 0x01, 0x04, 0x00, 0x00, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x01, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x02})
+	// Parallel-detect (flags bit 3) over the cross-shard racy pair: the two
+	// racing strands execute on distinct goroutines and their chunks reach
+	// the merge in scheduler order, yet the race must land on both shards'
+	// reports exactly as in sync.
+	f.Add([]byte{0x01, 0x01, 0x02, 0x08, 0x00, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x01, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x02})
+	// Parallel-detect on a degenerate single-strand program: no spawns, so
+	// the whole stream is the root task's chunks — the reorder walk never
+	// buffers and the merge must still synthesize an identical report.
+	f.Add([]byte{0x00, 0x00, 0x01, 0x08, 0x00, 0x03, 0x00, 0x05, 0x04, 0x00, 0x06, 0x05, 0x00, 0x07})
+	// Merge-boundary straddle: one-event batches force every access into
+	// its own chunk, and a spawn-heavy body with nested children makes the
+	// chunk cuts land on every structure boundary — the deterministic merge
+	// must re-interleave the per-task chunk streams exactly.
+	f.Add([]byte{0x00, 0x00, 0x02, 0x08, 0x00, 0x04, 0x00, 0x00, 0x04, 0x00, 0x05, 0x01, 0x01, 0x02, 0x04, 0x00, 0x05, 0x02, 0x01, 0x02})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 4096 {
@@ -82,9 +97,11 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 			stats   Stats
 		}
 		// mode: -1 = synchronous, 0 = plain async, n > 0 = n-sharded async.
-		// nosum disables the producer batch summaries, forcing every worker
-		// onto the full-scan path.
-		run := func(mode int, nosum bool) result {
+		// par switches the async modes to ParallelDetect: real goroutines
+		// behind the chunk queue and deterministic merge, with mode naming
+		// the worker count (0 means one worker). nosum disables the batch
+		// summaries, forcing every worker onto the full-scan path.
+		run := func(mode int, nosum, par bool) result {
 			words := make(map[Addr]bool)
 			opts := Options{
 				Detector:              DetectorSTINT,
@@ -97,7 +114,11 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 					}
 				},
 			}
-			if mode >= 0 {
+			if par {
+				opts.ParallelDetect = true
+				opts.DetectShards = mode
+				opts.SummaryStamping = StampAuto // ignored by ParallelDetect
+			} else if mode >= 0 {
 				opts.Async = true
 				opts.DetectShards = mode
 			}
@@ -105,7 +126,7 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if mode >= 0 {
+			if par || mode >= 0 {
 				r.asyncBatchEvents, r.asyncRingDepth = batchEvents, ringDepth
 			}
 			bufs, _ := fuzzAllocBufs(r)
@@ -116,7 +137,7 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 			return result{words: words, races: rep.Races, strands: rep.Strands, stats: normStats(rep.Stats)}
 		}
 
-		sync := run(-1, false)
+		sync := run(-1, false, false)
 		check := func(name string, got result) {
 			if got.strands != sync.strands {
 				t.Fatalf("strands: %s %d, sync %d (batch=%d depth=%d shards=%d)\nprogram: %+v",
@@ -139,12 +160,19 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 				}
 			}
 		}
-		check("async", run(0, false))
+		check("async", run(0, false, false))
 		if shards > 0 {
-			check("sharded", run(shards, false))
+			check("sharded", run(shards, false, false))
 			// Summaries are a pure scan elision: disabling them must not
 			// change a byte of the normalized result.
-			check("sharded-nosum", run(shards, true))
+			check("sharded-nosum", run(shards, true, false))
+		}
+		if po.parallel {
+			// ParallelDetect executes the same program on real goroutines;
+			// the deterministic merge reconstructs the serial stream, so the
+			// normalized result must still match sync byte for byte.
+			check("parallel-detect", run(shards, false, true))
+			check("parallel-detect-nosum", run(shards, true, true))
 		}
 	})
 }
@@ -152,8 +180,9 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 // decodeFuzzProgram turns raw bytes into (program, batchEvents, ringDepth,
 // shards, pipeline flags). The first four bytes pick a tiny pipeline
 // geometry — shards of zero means "compare the plain async pipeline only";
-// the flags byte toggles the fixed encoding (bit 0) and picks the summary-
-// stamping stage (bits 1-2) — and the rest is a byte-code for act programs.
+// the flags byte toggles the fixed encoding (bit 0), picks the summary-
+// stamping stage (bits 1-2), and adds the ParallelDetect legs (bit 3) — and
+// the rest is a byte-code for act programs.
 // Every input decodes to a valid program — the fuzzer explores program
 // shapes, not parser rejections.
 func decodeFuzzProgram(data []byte) ([]act, int, int, int, pipeOpts) {
@@ -174,6 +203,7 @@ func decodeFuzzProgram(data []byte) ([]act, int, int, int, pipeOpts) {
 	if len(data) > 0 {
 		po.nocompact = data[0]&1 != 0
 		po.stamp = SummaryStamping((data[0] >> 1) % 3)
+		po.parallel = data[0]&8 != 0
 		data = data[1:]
 	}
 	pos := 0

@@ -166,6 +166,57 @@ func (b *Batch) AppendRange(op Op, addr uint64, count int, elem uint64) {
 	b.n++
 }
 
+// AppendFrom bulk-appends every event of src to b, reporting false — and
+// leaving b untouched — when they might not fit without growing b's
+// storage. It exists for the parallel-detect merge stage, which coalesces
+// many small per-task chunks into full-size batches: for the compact
+// encoding only src's first event is decoded and re-encoded (its address
+// delta must rebase from b's delta base instead of zero), after which the
+// remaining bytes copy verbatim — deltas after the first event are
+// relative to src-internal addresses that the re-encoded first event
+// re-establishes — and b inherits src's final delta base.
+//
+// The source must hold access/range events only (AppendFrom panics on a
+// leading structure event and would silently lose Summary.Ctl offsets for
+// an embedded one); the merge keeps structure events out of chunks by
+// design, synthesizing them from chunk terminators instead. Summaries are
+// not merged — the caller ORs masks and stamps Ctl itself.
+func (b *Batch) AppendFrom(src *Batch) bool {
+	n := src.Len()
+	if n == 0 {
+		return true
+	}
+	if b.compact != src.compact {
+		panic("evstream: AppendFrom across storage forms")
+	}
+	if !b.compact {
+		if len(b.Ev)+len(src.Ev) > cap(b.Ev) {
+			return false
+		}
+		b.Ev = append(b.Ev, src.Ev...)
+		return true
+	}
+	// Conservative: the re-encoded first event costs at most MaxEventBytes
+	// more than the bytes it replaces, so this bound guarantees no growth.
+	if len(b.Buf)+len(src.Buf)+MaxEventBytes > cap(b.Buf) {
+		return false
+	}
+	it := src.Iter()
+	ev, _ := it.Next()
+	switch op := ev.EvOp(); op {
+	case OpRead, OpWrite:
+		b.AppendAccess(op, ev.Addr(), ev.Size())
+	case OpReadRange, OpWriteRange:
+		b.AppendRange(op, ev.Addr(), ev.Count(), ev.Elem())
+	default:
+		panic("evstream: AppendFrom source starts with a structure event")
+	}
+	b.Buf = append(b.Buf, src.Buf[it.Pos():]...)
+	b.n += n - 1
+	b.prev = src.prev
+	return true
+}
+
 // appendDelta writes the zig-zag varint of the wrapping address movement
 // since the previous access and advances the base. Strides within ±64
 // bytes — almost every loop over a buffer — take the inlined single-byte

@@ -1,0 +1,158 @@
+package stage
+
+import (
+	"math/rand"
+	"testing"
+
+	"stint/internal/evstream"
+)
+
+// chunkGen builds the serial-order chunk stream of a random fork-join
+// program: a DFS emission over a random spawn tree, with random mid-strand
+// cuts, matching exactly what the parallel executor would publish if it
+// ran serially. The emitted slice IS the expected reorder output.
+type chunkGen struct {
+	chunks []evstream.Chunk
+	next   uint64
+	rng    *rand.Rand
+}
+
+func (g *chunkGen) add(task uint64, idx *uint32, end evstream.ChunkEnd, child uint64) {
+	g.chunks = append(g.chunks, evstream.Chunk{Task: task, Idx: *idx, End: end, Child: child})
+	*idx++
+}
+
+func (g *chunkGen) task(id uint64, depth int) {
+	var idx uint32
+	spans := g.rng.Intn(3)
+	for s := 0; s < spans; s++ {
+		for g.rng.Intn(3) == 0 {
+			g.add(id, &idx, evstream.ChunkCut, 0) // batch filled mid-strand
+		}
+		if depth > 0 {
+			g.next++
+			child := g.next
+			g.add(id, &idx, evstream.ChunkSpawn, child)
+			g.task(child, depth-1) // child subtree next in serial order
+			if g.rng.Intn(2) == 0 {
+				g.add(id, &idx, evstream.ChunkSync, 0)
+			}
+		}
+	}
+	end := evstream.ChunkTask
+	if id == 0 {
+		end = evstream.ChunkRoot
+	}
+	g.add(id, &idx, end, 0)
+}
+
+// TestReorderRandomArrival generates random programs, offers their chunks
+// in random arrival order, and asserts the emitted sequence is exactly the
+// serial order regardless of the permutation.
+func TestReorderRandomArrival(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := &chunkGen{rng: rng}
+		g.task(0, 1+rng.Intn(4))
+		serial := g.chunks
+
+		arrival := make([]evstream.Chunk, len(serial))
+		copy(arrival, serial)
+		rng.Shuffle(len(arrival), func(i, j int) { arrival[i], arrival[j] = arrival[j], arrival[i] })
+
+		r := NewReorder()
+		var got []evstream.Chunk
+		for _, c := range arrival {
+			r.Offer(c, func(c evstream.Chunk) { got = append(got, c) })
+		}
+		if !r.Done() {
+			t.Fatalf("seed %d: walk not done after all %d chunks offered", seed, len(serial))
+		}
+		if r.Pending() != 0 {
+			t.Fatalf("seed %d: %d chunks still pending after done", seed, r.Pending())
+		}
+		if len(got) != len(serial) {
+			t.Fatalf("seed %d: emitted %d chunks, want %d", seed, len(got), len(serial))
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("seed %d: position %d emitted (task %d, idx %d), want (task %d, idx %d)",
+					seed, i, got[i].Task, got[i].Idx, serial[i].Task, serial[i].Idx)
+			}
+		}
+		if r.Peak() < 1 || r.Peak() > len(serial) {
+			t.Fatalf("seed %d: peak %d outside [1, %d]", seed, r.Peak(), len(serial))
+		}
+	}
+}
+
+// TestReorderSerialArrivalBuffersNothing checks the fast path: chunks
+// arriving already in serial order are emitted immediately, one held at a
+// time.
+func TestReorderSerialArrivalBuffersNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := &chunkGen{rng: rng}
+	g.task(0, 3)
+	r := NewReorder()
+	emitted := 0
+	for _, c := range g.chunks {
+		r.Offer(c, func(evstream.Chunk) { emitted++ })
+	}
+	if emitted != len(g.chunks) {
+		t.Fatalf("emitted %d of %d", emitted, len(g.chunks))
+	}
+	if r.Peak() != 1 {
+		t.Fatalf("serial arrival peaked at %d pending chunks, want 1", r.Peak())
+	}
+}
+
+func mustPanic(t *testing.T, why string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic: %s", why)
+		}
+	}()
+	fn()
+}
+
+// TestReorderProtocolViolations checks the walk rejects corrupt streams
+// loudly instead of silently misordering events.
+func TestReorderProtocolViolations(t *testing.T) {
+	drop := func(evstream.Chunk) {}
+
+	// Duplicates are caught while the first copy is still pending (an
+	// already-emitted key is forgotten — tracking every emitted key would
+	// cost memory proportional to the whole stream).
+	r := NewReorder()
+	r.Offer(evstream.Chunk{Task: 1, Idx: 0, End: evstream.ChunkCut}, drop)
+	mustPanic(t, "duplicate (task, idx)", func() {
+		r.Offer(evstream.Chunk{Task: 1, Idx: 0, End: evstream.ChunkCut}, drop)
+	})
+
+	r = NewReorder()
+	mustPanic(t, "task end with no suspended parent", func() {
+		r.Offer(evstream.Chunk{Task: 0, Idx: 0, End: evstream.ChunkTask}, drop)
+	})
+
+	r = NewReorder()
+	r.Offer(evstream.Chunk{Task: 0, Idx: 0, End: evstream.ChunkRoot}, drop)
+	if !r.Done() {
+		t.Fatal("single root chunk did not complete the walk")
+	}
+	mustPanic(t, "offer after done", func() {
+		r.Offer(evstream.Chunk{Task: 1, Idx: 0, End: evstream.ChunkCut}, drop)
+	})
+
+	r = NewReorder()
+	r.Offer(evstream.Chunk{Task: 0, Idx: 0, End: evstream.ChunkSpawn, Child: 1}, drop)
+	mustPanic(t, "root end with a suspended task", func() {
+		r.Offer(evstream.Chunk{Task: 1, Idx: 0, End: evstream.ChunkRoot}, drop)
+	})
+
+	r = NewReorder()
+	r.Offer(evstream.Chunk{Task: 1, Idx: 0, End: evstream.ChunkCut}, drop) // pending forever
+	mustPanic(t, "root end with chunks pending", func() {
+		r.Offer(evstream.Chunk{Task: 0, Idx: 0, End: evstream.ChunkRoot}, drop)
+	})
+}

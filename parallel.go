@@ -1,0 +1,306 @@
+// Parallel execution with online detection (Options.ParallelDetect): the
+// goroutine-based executor and the sharded detector, joined by a
+// deterministic merge.
+//
+// Topology:
+//
+//	task goroutines ──chunk queue──▶ merge stage ──broadcast ring──▶ N workers ──▶ merge finalizer
+//
+// Each task goroutine owns a parTask: a private working batch (from the
+// shared BatchPool) it fills with its strand's access events, stamping the
+// shard-occupancy mask as it appends — the per-event summary work that the
+// serial pipeline gives to the producer or label stage here runs on the
+// executor's parallelism. A chunk is cut — published to the bounded
+// multi-producer TaskQueue — when the batch fills or the strand ends, and
+// the strand-ending cuts carry the structure transition as the chunk
+// terminator (spawn naming the child task, strand-creating sync, task
+// end). Structure events never ride in-band.
+//
+// The merge stage drains the queue and feeds chunks to stage.Reorder,
+// which re-emits them in serial order: the depth-first walk of the spawn
+// tree that the serial executor takes by construction. The walk is driven
+// entirely by the chunks' own linkage (task identities and terminators),
+// so the output order — and with it batch composition, label assignment,
+// and ultimately the Report — depends only on the program, never on the
+// scheduler. In serial order the merge coalesces small chunks into
+// full-size batches (Batch.AppendFrom rebases the compact delta across the
+// seam), appends each terminator's structure event, advances the depa
+// label Builder exactly as the label stage would, and publishes labeled
+// batches onto the same broadcast ring the sharded workers already
+// consume. Downstream of the ring, nothing knows the execution was
+// parallel.
+//
+// Why the labels must be assigned here and not by the executors: depa
+// strand IDs are dense serial ranks — a strand's ID depends on how many
+// strands precede it in the serial projection, which for a spawned task is
+// unknowable until every earlier subtree has finished. Executors therefore
+// stamp only schedule-independent facts (the page masks); the merge, which
+// is the first point where serial order exists again, owns ID assignment.
+// That also keeps the Builder single-threaded, preserving its immutable-
+// snapshot contract for the workers.
+//
+// Deadlock-freedom: the dependency chain is acyclic — executors block only
+// on the queue, the merge blocks only on the queue (drain) and the
+// broadcast ring (publish), workers block only on the ring. BatchPool.Get
+// never blocks (it allocates on a dry pool), and the reorder buffer is
+// unbounded but finite (bounded by the stream's scheduling skew; its peak
+// is reported as Report.ReorderPeak). On abort the queue and ring close,
+// and every blocked stage unwinds exactly as in the serial pipeline.
+
+package stint
+
+import (
+	"time"
+
+	"stint/internal/coalesce"
+	"stint/internal/depa"
+	"stint/internal/detect"
+	"stint/internal/evstream"
+	"stint/internal/stage"
+)
+
+// newParallelState builds the ParallelDetect pipeline state: a chunk queue
+// deep enough to keep the merge busy ahead of a burst of tiny strand-end
+// chunks, and a batch pool sized to cover every stage's working set
+// (in-queue chunks, in-flight broadcast batches, per-goroutine working
+// batches) before Get falls back to allocating.
+func newParallelState(ringDepth, batchEvents int, compact bool) *asyncState {
+	queueDepth := ringDepth * 8
+	return &asyncState{
+		batchCap:  batchEvents,
+		ringDepth: ringDepth,
+		graph:     stage.NewGraph(),
+		queue:     evstream.NewTaskQueue(queueDepth),
+		pool:      evstream.NewBatchPool(queueDepth+ringDepth+8, batchEvents, compact),
+	}
+}
+
+// parTask is one executor goroutine's chunk emitter: the task's identity,
+// its working batch, the running chunk index, and the busy-lap start. Each
+// task goroutine owns exactly one parTask; nothing here is shared except
+// the asyncState's queue, pool, and counters.
+type parTask struct {
+	as    *asyncState
+	id    uint64
+	idx   uint32
+	batch *evstream.Batch
+	t0    time.Time
+}
+
+func newParTask(as *asyncState, id uint64) *parTask {
+	return &parTask{as: as, id: id, batch: as.pool.Get(), t0: time.Now()}
+}
+
+// pause banks the busy lap before a blocking handoff (queue publish, child
+// join); resume starts the next lap after it. Their net effect is
+// Report.ExecutorBusy: execution and encoding time, not waiting time.
+func (p *parTask) pause()  { p.as.execBusy.Add(int64(time.Since(p.t0))) }
+func (p *parTask) resume() { p.t0 = time.Now() }
+
+// emitAccess appends one access event to the task's working batch, cutting
+// a mid-strand chunk first when the batch is full. The shard-occupancy
+// mask is stamped here, on the executor's parallelism (ParallelDetect has
+// no producer/label-stage stamping choice to make — the merge never
+// decodes access events, so the executor is the only stage that can stamp
+// masks without adding a scan).
+func (p *parTask) emitAccess(op evstream.Op, addr, size uint64) {
+	if p.batch.Full() {
+		p.cut(evstream.ChunkCut, 0)
+	}
+	if p.as.summarize {
+		p.batch.Sum.Mask |= evstream.SpanMask(addr, size, coalesce.PageBytesBits, p.as.shards)
+	}
+	p.batch.AppendAccess(op, addr, size)
+}
+
+// emitRange is emitAccess for compiler-coalesced range events.
+func (p *parTask) emitRange(op evstream.Op, addr uint64, count int, elem uint64) {
+	if p.batch.Full() {
+		p.cut(evstream.ChunkCut, 0)
+	}
+	if p.as.summarize {
+		p.batch.Sum.Mask |= evstream.SpanMask(addr, uint64(count)*elem, coalesce.PageBytesBits, p.as.shards)
+	}
+	p.batch.AppendRange(op, addr, count, elem)
+}
+
+// cut publishes the working batch as a chunk with the given terminator and
+// starts a fresh one. A false Publish means the graph aborted and closed
+// the queue: the batch is reset and reused, events drop on the floor, and
+// the goroutine keeps unwinding to its natural exit (the failure is the
+// run's result, re-raised by drainParallel). The chunk index advances
+// regardless so the doomed stream stays internally consistent.
+func (p *parTask) cut(end evstream.ChunkEnd, child uint64) {
+	p.pause()
+	if p.as.queue.Publish(evstream.Chunk{Batch: p.batch, Task: p.id, Idx: p.idx, End: end, Child: child}) {
+		p.batch = p.as.pool.Get()
+	} else {
+		p.batch.Reset()
+	}
+	p.idx++
+	p.resume()
+}
+
+// startParallel wires the ParallelDetect stage graph: the merge stage
+// bridging the chunk queue to the broadcast ring, and the same N shard
+// workers and merge finalizer the Async sharded pipeline uses.
+func (as *asyncState) startParallel(cfg detect.Config, shards, maxRec int, user func(Race), summarize bool) {
+	as.shards = shards
+	as.summarize = summarize
+	labels := depa.NewBuilder()
+	bcast := evstream.NewBcastRing(as.ringDepth, shards, func(m labeledBatch) {
+		// Last worker release: the batch returns to the shared pool.
+		as.pool.Put(m.batch)
+	})
+	as.graph.OnAbort(func() {
+		as.queue.Close()
+		bcast.Close()
+	})
+	workers := as.startWorkers(cfg, shards, maxRec, user, bcast)
+	as.graph.Go(func() { as.mergeParallel(labels, bcast) })
+	as.graph.Seal(func() { as.mergeSharded(labels, workers, bcast, maxRec) })
+}
+
+// mergeParallel is the merge stage: it reorders the chunk stream into the
+// serial projection, coalesces it into labeled full-size batches, and
+// broadcasts them. Its busy meter lands in asyncState.seqBusy — reported
+// as Report.SequencerBusy, whose role it inherits from the label stage —
+// and excludes both queue waits and broadcast-publish blocking.
+func (as *asyncState) mergeParallel(labels *depa.Builder, bcast *evstream.BcastRing[labeledBatch]) {
+	view := labels.View() // covers the root strand until the first spawn
+	as.viewSnaps++
+	out := as.pool.Get()
+	reorder := stage.NewReorder()
+	aborted := false
+	var blocked time.Duration // publish-blocking time inside the current lap
+
+	publish := func(b *evstream.Batch) {
+		if labels.StrandCount() > view.StrandCount() {
+			view = labels.View()
+			as.viewSnaps++
+		}
+		if !as.summarize {
+			// Unsummarized batches must carry MaskAll so no worker mistakes
+			// the zero mask for "skippable by everyone".
+			b.Sum.Mask = evstream.MaskAll
+		}
+		t0 := time.Now()
+		if !bcast.Publish(labeledBatch{batch: b, labels: view}) {
+			as.pool.Put(b)
+			aborted = true
+		}
+		blocked += time.Since(t0)
+	}
+	// flush broadcasts the accumulator and starts a fresh one; empty
+	// accumulators (flush on an already-cut boundary) publish nothing.
+	flush := func() {
+		if out.Len() == 0 {
+			return
+		}
+		publish(out)
+		out = as.pool.Get()
+	}
+	emit := func(c evstream.Chunk) {
+		if aborted {
+			as.pool.Put(c.Batch)
+			return
+		}
+		src := c.Batch
+		if src.Len() > 0 {
+			if !out.AppendFrom(src) {
+				flush()
+				if !aborted && !out.AppendFrom(src) {
+					// The chunk outsizes even an empty accumulator (tiny test
+					// geometries): forward it wholesale instead of copying —
+					// its own mask, no structure offsets.
+					publish(src)
+					src = nil
+				}
+			}
+			if src != nil {
+				out.Sum.Mask |= src.Sum.Mask
+				as.pool.Put(src)
+			}
+		} else {
+			as.pool.Put(src)
+		}
+		if aborted {
+			return
+		}
+		// The terminator becomes the structure event the serial stream
+		// would carry here, stamped into the summary's Ctl offsets and
+		// applied to the label builder — the merge is the label stage for
+		// this pipeline.
+		var op evstream.Op
+		switch c.End {
+		case evstream.ChunkSpawn:
+			op = evstream.OpSpawn
+		case evstream.ChunkSync:
+			op = evstream.OpSync
+		case evstream.ChunkTask:
+			op = evstream.OpRestore
+		default: // ChunkCut, ChunkRoot: no structure event
+			return
+		}
+		if out.Full() {
+			flush()
+			if aborted {
+				return
+			}
+		}
+		off := out.AppendCtl(op)
+		out.Sum.AddCtl(off)
+		applyCtl(labels, op)
+		as.mergeCtl++
+	}
+
+	var chunks []evstream.Chunk
+	for !reorder.Done() && !aborted {
+		var ok bool
+		chunks, ok = as.queue.Drain(chunks[:0])
+		if !ok {
+			// Queue closed before the root chunk: only legal on abort (the
+			// hook closes the queue under the producers). A close with the
+			// graph healthy means the stream is structurally broken.
+			if !as.graph.Failed() {
+				panic("stint: parallel-detect chunk stream ended before the root task's final chunk")
+			}
+			break
+		}
+		t0 := time.Now()
+		blocked = 0
+		for _, c := range chunks {
+			reorder.Offer(c, emit)
+		}
+		as.seqBusy.AddDur(time.Since(t0) - blocked)
+	}
+	if out.Len() > 0 && !aborted {
+		publish(out)
+	} else {
+		as.pool.Put(out)
+	}
+	bcast.Close()
+	as.reorderPeak = reorder.Peak()
+}
+
+// drainParallel closes the chunk queue, waits out the stage graph — re-
+// panicking the first stage failure on the producer goroutine, exactly
+// like drain — and folds the stream totals into Stats. Called after the
+// root's final chunk, so the close never truncates a healthy stream:
+// every chunk is already queued (each task publishes its chunks before
+// its parent's join returns, and the root joins everything first).
+func (as *asyncState) drainParallel() {
+	as.queue.Close()
+	as.graph.Wait()
+	qs := as.queue.Stats()
+	// Access events stream through the queue; structure events are
+	// synthesized by the merge (1 tag byte compact, 16 bytes fixed). The
+	// totals match what the serial Async pipeline would have streamed for
+	// the same program.
+	ctlBytes := as.mergeCtl * 16
+	if as.pool.Compact() {
+		ctlBytes = as.mergeCtl
+	}
+	as.stats.EventsStreamed = qs.EventsPublished + as.mergeCtl
+	as.stats.StreamBytes = qs.StreamBytes + ctlBytes
+}

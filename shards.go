@@ -337,6 +337,16 @@ func (as *asyncState) startSharded(cfg detect.Config, shards, maxRec int, user f
 		as.ring.Close()
 		bcast.Close()
 	})
+	workers := as.startWorkers(cfg, shards, maxRec, user, bcast)
+	as.graph.Go(func() { as.labelStage(labels, bcast) })
+	as.graph.Seal(func() { as.mergeSharded(labels, workers, bcast, maxRec) })
+}
+
+// startWorkers launches the N shard workers on the graph and returns them
+// for the merge finalizer. Shared by the Async sharded pipeline and the
+// ParallelDetect pipeline — the workers are identical; only the stage
+// feeding the broadcast ring differs (label stage vs merge stage).
+func (as *asyncState) startWorkers(cfg detect.Config, shards, maxRec int, user func(Race), bcast *evstream.BcastRing[labeledBatch]) []*shardWorker {
 	var raceMu sync.Mutex
 	workers := make([]*shardWorker, shards)
 	for i := range workers {
@@ -362,8 +372,7 @@ func (as *asyncState) startSharded(cfg detect.Config, shards, maxRec int, user f
 		workers[i] = w
 		as.graph.Go(func() { w.run(wcfg) })
 	}
-	as.graph.Go(func() { as.labelStage(labels, bcast) })
-	as.graph.Seal(func() { as.mergeSharded(labels, workers, bcast, maxRec) })
+	return workers
 }
 
 // mergeSharded folds the workers' results into canonical totals: counters

@@ -113,9 +113,35 @@ type Options struct {
 	// TimeAccessHistory enables the access-history timers used by the
 	// benchmark harness (a few clock reads per strand).
 	TimeAccessHistory bool
-	// Parallel executes spawns on goroutines instead of serially. It is
-	// only valid with DetectorOff: race detection is sequential by design.
+	// Parallel executes spawns on goroutines instead of serially, with no
+	// detection attached: it is only valid with DetectorOff. For parallel
+	// execution with online detection, use ParallelDetect.
 	Parallel bool
+	// ParallelDetect executes spawns on goroutines — like Parallel — while
+	// detecting races online. Each task goroutine buffers its strand's
+	// access events into chunks and stamps their shard-occupancy masks; a
+	// merge stage reorders the arriving chunks into the serial projection
+	// (a depth-first walk of the spawn structure, so the order depends
+	// only on the program, never on scheduling), advances the reachability
+	// labels, and feeds the same sharded worker graph DetectShards uses.
+	//
+	// The contract is race-set equivalence with the synchronous run — the
+	// same set of (location, access-pair) races — and repeated runs are
+	// byte-identical to each other. The implementation delivers more: the
+	// merged stream *is* the serial event stream, so Report.Races, counts,
+	// and Stats come out identical to sync mode, not just equivalent.
+	//
+	// Requires a runtime-coalescing detector (DetectorCompRTS or a STINT
+	// variant); incompatible with Parallel, Async, and Tracer. DetectShards
+	// sets the worker count (0 means one worker); SummaryStamping is
+	// ignored — the executors stamp masks, the merge stamps structure
+	// offsets. OnRace may be invoked from any worker while the program is
+	// still running, and the program itself must be safe to execute in
+	// parallel (spawned siblings really do run concurrently — a genuinely
+	// racy program gives nondeterministic *data*, even though every race
+	// the serial projection exhibits is still detected on that
+	// projection).
+	ParallelDetect bool
 	// Async pipelines detection: the program executes the serial
 	// projection while a dedicated detector goroutine consumes its event
 	// stream from a bounded ring, overlapping compute with the access
@@ -268,6 +294,16 @@ type Report struct {
 	// Batches with no spawns reuse the previous snapshot, so this is
 	// typically far below the batch count on access-dense programs.
 	LabelViewSnapshots uint64
+	// ExecutorBusy is the summed busy time of the parallel executor's task
+	// goroutines under ParallelDetect (zero otherwise): program execution
+	// plus chunk encoding, excluding queue handoffs and joins. Divided by
+	// the worker count it approximates the executor's critical path; in
+	// this mode SequencerBusy reports the merge stage's busy time.
+	ExecutorBusy time.Duration
+	// ReorderPeak is the most chunks the ParallelDetect merge ever held
+	// waiting for the next chunk in serial order (zero otherwise) — the
+	// memory price of scheduling skew between executor goroutines.
+	ReorderPeak int
 	// ShardLoad breaks each worker's load down further (sharded mode only,
 	// nil otherwise): busy time (ShardBusy[i] == ShardLoad[i].Busy), the
 	// scanned-vs-skipped batch split from the summary fast path, and the
@@ -300,10 +336,15 @@ type TaskFunc func(t *Task)
 
 // runState is the per-Run shared state.
 type runState struct {
-	sp       *spord.SP
-	engine   detect.Engine
-	hooks    bool // false when memory hooks should not reach the engine
-	async    *asyncState
+	sp     *spord.SP
+	engine detect.Engine
+	hooks  bool // false when memory hooks should not reach the engine
+	async  *asyncState
+	// parPipe is the ParallelDetect pipeline (parallel.go). It is kept
+	// distinct from async on purpose: the hook dispatch routes through the
+	// task-local parTask (t.par), never through a shared working batch, so
+	// a non-nil async must continue to mean "serial producer".
+	parPipe  *asyncState
 	tracer   Tracer
 	parallel bool
 	// taskFree recycles Task frames for the serial spawn path. Tasks are
@@ -336,7 +377,8 @@ type Task struct {
 	// it when no detector is attached): true iff a spawn happened since
 	// the last strand-creating sync.
 	tracePending bool
-	wg           *sync.WaitGroup // parallel mode only
+	wg           *sync.WaitGroup // parallel executors only
+	par          *parTask        // ParallelDetect only: this task's chunk emitter
 }
 
 // Run executes root to completion (with an implicit final sync) and
@@ -356,7 +398,26 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 		}
 		user := r.opts.OnRace
 		maxRec := r.opts.MaxRacesRecorded
-		if r.opts.Async {
+		if r.opts.ParallelDetect {
+			// Parallel execution with online detection: task goroutines emit
+			// chunks onto a multi-producer queue, the merge stage
+			// reconstructs the serial projection and labels it, and the
+			// sharded worker graph consumes the result (parallel.go).
+			rs.parallel = true
+			depth, bcap := r.asyncRingDepth, r.asyncBatchEvents
+			if depth == 0 {
+				depth = defaultAsyncRingDepth
+			}
+			if bcap == 0 {
+				bcap = defaultAsyncBatchEvents
+			}
+			shards := r.opts.DetectShards
+			if shards == 0 {
+				shards = 1
+			}
+			rs.parPipe = newParallelState(depth, bcap, !r.opts.DisableCompactEvents)
+			rs.parPipe.startParallel(cfg, shards, maxRec, user, !r.opts.DisableBatchSummaries)
+		} else if r.opts.Async {
 			// Pipelined detection: SP-Order (or the depa labels, when
 			// sharded) and the engine(s) live behind the event stream as a
 			// stage graph; the consumer stages own the race collectors and
@@ -395,6 +456,9 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 	t := &Task{rs: rs}
 	if rs.parallel {
 		t.wg = &sync.WaitGroup{}
+		if rs.parPipe != nil {
+			t.par = newParTask(rs.parPipe, 0) // the root owns task identity 0
+		}
 	}
 	// runtime/metrics instead of runtime.ReadMemStats: reading these two
 	// counters does not stop the world, so the probe stays invisible even on
@@ -406,7 +470,12 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 	start := time.Now()
 	root(t)
 	t.Sync()
-	if rs.async != nil {
+	if rs.parPipe != nil {
+		// The root's final chunk completes the serial projection; the
+		// drain waits out the merge and worker graph.
+		t.par.cut(evstream.ChunkRoot, 0)
+		rs.parPipe.drainParallel()
+	} else if rs.async != nil {
 		// Flush the stream and join the detector goroutine: WallTime then
 		// covers max(compute, detect) plus the residual drain, and Stats
 		// are exact.
@@ -416,14 +485,19 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 	}
 	rep.WallTime = time.Since(start)
 	metrics.Read(after[:])
-	if rs.async != nil {
-		rep.Strands = rs.async.strands
-		rep.Stats = rs.async.stats
+	if pipe := rs.async; pipe != nil || rs.parPipe != nil {
+		if pipe == nil {
+			pipe = rs.parPipe
+			rep.ExecutorBusy = time.Duration(pipe.execBusy.Load())
+			rep.ReorderPeak = pipe.reorderPeak
+		}
+		rep.Strands = pipe.strands
+		rep.Stats = pipe.stats
 		rep.RaceCount = rep.Stats.Races
-		rep.Races = rs.async.races
-		rep.SequencerBusy = rs.async.seqBusy.Busy()
-		rep.LabelViewSnapshots = rs.async.viewSnaps
-		if load := rs.async.shardLoad; load != nil {
+		rep.Races = pipe.races
+		rep.SequencerBusy = pipe.seqBusy.Busy()
+		rep.LabelViewSnapshots = pipe.viewSnaps
+		if load := pipe.shardLoad; load != nil {
 			rep.ShardLoad = load
 			rep.ShardBusy = make([]time.Duration, len(load))
 			for i, l := range load {
@@ -455,6 +529,26 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 func (t *Task) Spawn(f TaskFunc) {
 	rs := t.rs
 	if rs.parallel {
+		if p := t.par; p != nil {
+			// ParallelDetect: end the caller's strand here — its chunk's
+			// terminator is the spawn, naming the child task so the merge
+			// walks the child's subtree before the caller's continuation.
+			// The child goroutine emits its own chunks under a fresh task
+			// identity and seals them with a task-end terminator after its
+			// implicit final sync.
+			t.tracePending = true
+			childID := p.as.nextTask.Add(1)
+			p.cut(evstream.ChunkSpawn, childID)
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				child := &Task{rs: rs, wg: &sync.WaitGroup{}, par: newParTask(p.as, childID)}
+				f(child)
+				child.Sync()
+				child.par.cut(evstream.ChunkTask, 0)
+			}()
+			return
+		}
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
@@ -510,6 +604,19 @@ func (t *Task) Spawn(f TaskFunc) {
 func (t *Task) Sync() {
 	rs := t.rs
 	if rs.parallel {
+		if p := t.par; p != nil && t.tracePending {
+			// Strand-creating sync (no-op syncs are elided, exactly as on
+			// the serial paths): the current chunk ends at the sync.
+			p.cut(evstream.ChunkSync, 0)
+			t.tracePending = false
+		}
+		if p := t.par; p != nil {
+			// The join is idle time, not execution.
+			p.pause()
+			t.wg.Wait()
+			p.resume()
+			return
+		}
 		t.wg.Wait()
 		return
 	}
@@ -546,8 +653,10 @@ func (t *Task) Load(b *Buffer, i int) {
 	if rs.hooks {
 		if as := rs.async; as != nil {
 			as.emitAccess(evstream.OpRead, addr, size)
+		} else if e := rs.engine; e != nil {
+			e.ReadHook(addr, size)
 		} else {
-			rs.engine.ReadHook(addr, size)
+			t.par.emitAccess(evstream.OpRead, addr, size)
 		}
 	}
 	if rs.tracer != nil {
@@ -565,8 +674,10 @@ func (t *Task) Store(b *Buffer, i int) {
 	if rs.hooks {
 		if as := rs.async; as != nil {
 			as.emitAccess(evstream.OpWrite, addr, size)
+		} else if e := rs.engine; e != nil {
+			e.WriteHook(addr, size)
 		} else {
-			rs.engine.WriteHook(addr, size)
+			t.par.emitAccess(evstream.OpWrite, addr, size)
 		}
 	}
 	if rs.tracer != nil {
@@ -586,8 +697,10 @@ func (t *Task) LoadRange(b *Buffer, i, n int) {
 	if rs.hooks {
 		if as := rs.async; as != nil {
 			as.emitRange(evstream.OpReadRange, addr, n, uint64(b.ElemBytes()))
+		} else if e := rs.engine; e != nil {
+			e.ReadRangeHook(addr, n, uint64(b.ElemBytes()))
 		} else {
-			rs.engine.ReadRangeHook(addr, n, uint64(b.ElemBytes()))
+			t.par.emitRange(evstream.OpReadRange, addr, n, uint64(b.ElemBytes()))
 		}
 	}
 	if rs.tracer != nil {
@@ -605,8 +718,10 @@ func (t *Task) StoreRange(b *Buffer, i, n int) {
 	if rs.hooks {
 		if as := rs.async; as != nil {
 			as.emitRange(evstream.OpWriteRange, addr, n, uint64(b.ElemBytes()))
+		} else if e := rs.engine; e != nil {
+			e.WriteRangeHook(addr, n, uint64(b.ElemBytes()))
 		} else {
-			rs.engine.WriteRangeHook(addr, n, uint64(b.ElemBytes()))
+			t.par.emitRange(evstream.OpWriteRange, addr, n, uint64(b.ElemBytes()))
 		}
 	}
 	if rs.tracer != nil {
@@ -633,8 +748,10 @@ func (t *Task) LoadAt(addr Addr, size uint64) {
 	if rs.hooks {
 		if as := rs.async; as != nil {
 			as.emitAccess(evstream.OpRead, addr, size)
+		} else if e := rs.engine; e != nil {
+			e.ReadHook(addr, size)
 		} else {
-			rs.engine.ReadHook(addr, size)
+			t.par.emitAccess(evstream.OpRead, addr, size)
 		}
 	}
 	if rs.tracer != nil {
@@ -650,8 +767,10 @@ func (t *Task) StoreAt(addr Addr, size uint64) {
 	if rs.hooks {
 		if as := rs.async; as != nil {
 			as.emitAccess(evstream.OpWrite, addr, size)
+		} else if e := rs.engine; e != nil {
+			e.WriteHook(addr, size)
 		} else {
-			rs.engine.WriteHook(addr, size)
+			t.par.emitAccess(evstream.OpWrite, addr, size)
 		}
 	}
 	if rs.tracer != nil {
@@ -693,8 +812,10 @@ func (t *Task) LoadRangeAt(addr Addr, count int, elemBytes uint64) {
 	if rs.hooks {
 		if as := rs.async; as != nil {
 			as.emitRange(evstream.OpReadRange, addr, count, elemBytes)
+		} else if e := rs.engine; e != nil {
+			e.ReadRangeHook(addr, count, elemBytes)
 		} else {
-			rs.engine.ReadRangeHook(addr, count, elemBytes)
+			t.par.emitRange(evstream.OpReadRange, addr, count, elemBytes)
 		}
 	}
 	if rs.tracer != nil {
@@ -713,8 +834,10 @@ func (t *Task) StoreRangeAt(addr Addr, count int, elemBytes uint64) {
 	if rs.hooks {
 		if as := rs.async; as != nil {
 			as.emitRange(evstream.OpWriteRange, addr, count, elemBytes)
+		} else if e := rs.engine; e != nil {
+			e.WriteRangeHook(addr, count, elemBytes)
 		} else {
-			rs.engine.WriteRangeHook(addr, count, elemBytes)
+			t.par.emitRange(evstream.OpWriteRange, addr, count, elemBytes)
 		}
 	}
 	if rs.tracer != nil {
