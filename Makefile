@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-hot bench-json bench-diff-all tables fuzz vet fmt examples
+.PHONY: all build test test-short bench bench-hot bench-decode bench-decode-json bench-json bench-diff-all tables fuzz vet fmt examples
 
 all: vet test build
 
@@ -32,6 +32,21 @@ bench-hot:
 	$(GO) test -run '^$$' -bench 'BenchmarkHookOverhead' -benchmem .
 	$(GO) test -run '^$$' -bench 'BenchmarkFig5Sharded|BenchmarkFig5ParallelDetect' -benchtime 10x -benchmem .
 
+# Decode-kernel sweep: every op mix (sequential same-size, range-heavy,
+# random-address, ctl-dense) across the three decode paths (fixed slice
+# scan, compact per-event Next shim, compact block kernel), plus the
+# headline encode/decode pair the ≤1.5×-of-fixed target is stated against.
+# Snapshot with `make bench-decode-json` (writes BENCH_<date>_blockdecode.json,
+# verified by bench-diff-all: the BenchmarkEventDecode pattern there
+# prefix-matches BenchmarkEventDecodeBlock too).
+bench-decode:
+	$(GO) test -run '^$$' -bench 'BenchmarkEventEncode|BenchmarkEventDecode' -benchtime 2s ./internal/evstream
+	GOMAXPROCS=4 $(GO) test -run '^$$' -bench 'BenchmarkFig5ShardedEncoding' -benchtime 10x .
+
+bench-decode-json:
+	GOMAXPROCS=4 BENCHTIME=2s BENCHCOUNT=3 ./scripts/benchdiff.sh emit 'BenchmarkEventEncode|BenchmarkEventDecode|BenchmarkViewPerRefill|BenchmarkFig5ShardedEncoding' ./internal/evstream ./internal/depa . > BENCH_$$(date +%Y%m%d)_blockdecode.json
+	@echo wrote BENCH_$$(date +%Y%m%d)_blockdecode.json
+
 # Machine-readable benchmark snapshot: one JSON line per benchmark, written
 # to BENCH_<date>.json. Compare two snapshots with scripts/benchdiff.sh diff.
 bench-json:
@@ -40,11 +55,25 @@ bench-json:
 
 # Re-run every Fig5 benchmark (sync, async, and sharded modes share one
 # snapshot schema) plus the event-codec and label-snapshot microbenchmarks,
-# and fail if any mode regressed ns/op by more than 10% against the union
-# of the checked-in snapshots.
+# and fail if any mode regressed ns/op by more than 10% against the
+# checked-in snapshots. Two legs because two methodologies: the quick
+# 3x-iteration leg only covers the Fig5 macro walls (milliseconds, where 3
+# iterations measure something) against every snapshot except the
+# blockdecode ones; the nanosecond-scale microbenchmarks (codec, label
+# snapshot, the sharded encoding duel) re-run at BENCHTIME=2s best-of-3 —
+# the methodology the blockdecode snapshots were emitted with — against
+# exactly those snapshots. Mixing the methodologies reads as phantom
+# thousand-percent regressions: 3 iterations of a 7 ns op is timer noise.
+# The decode leg's default tolerance is 25% rather than 10% because the
+# snapshot records best-of-N floors and a fresh floor on a busy machine
+# sits 10-20% above a quiet one; the catastrophic regressions the gate
+# exists for (an accidental O(n), a dropped fast path) are multiples, not
+# percents. BENCHDIFF_MAX_REGRESSION still overrides both legs.
 bench-diff-all:
-	./scripts/benchdiff.sh emit 'BenchmarkFig5|BenchmarkEventEncode|BenchmarkEventDecode|BenchmarkViewPerRefill' . ./internal/evstream ./internal/depa > /tmp/stint_bench_head.json
-	./scripts/benchdiff.sh check /tmp/stint_bench_head.json BENCH_*.json
+	./scripts/benchdiff.sh emit 'BenchmarkFig5' . > /tmp/stint_bench_head.json
+	./scripts/benchdiff.sh check /tmp/stint_bench_head.json $$(ls BENCH_*.json | grep -v _blockdecode)
+	GOMAXPROCS=4 BENCHTIME=2s BENCHCOUNT=3 ./scripts/benchdiff.sh emit 'BenchmarkEventEncode|BenchmarkEventDecode|BenchmarkViewPerRefill|BenchmarkFig5ShardedEncoding' ./internal/evstream ./internal/depa . > /tmp/stint_bench_decode.json
+	BENCHDIFF_MAX_REGRESSION=$${BENCHDIFF_MAX_REGRESSION:-25} ./scripts/benchdiff.sh check /tmp/stint_bench_decode.json BENCH_*_blockdecode.json
 
 # Regenerate every table of the paper's evaluation (see EXPERIMENTS.md).
 tables:

@@ -236,6 +236,7 @@ func (as *asyncState) consume(cfg detect.Config, newEngine func(detect.Config, *
 	}
 	stack := make([]consumeFrame, 1, 16) // stack[0] is the root instance
 	var busy stage.Meter
+	var blk [evstream.BlockEvents]evstream.Event
 	for {
 		batch, ok := as.ring.Next()
 		if !ok {
@@ -244,31 +245,33 @@ func (as *asyncState) consume(cfg detect.Config, newEngine func(detect.Config, *
 		t0 := time.Now()
 		it := batch.Iter()
 		for {
-			ev, ok := it.Next()
-			if !ok {
+			evs := it.DecodeBlock(&blk)
+			if len(evs) == 0 {
 				break
 			}
-			switch ev.EvOp() {
-			case evstream.OpSpawn:
-				engine.StrandEnd()
-				_, cont := sp.Spawn(&stack[len(stack)-1].frame)
-				stack = append(stack, consumeFrame{cont: cont})
-			case evstream.OpRestore:
-				cont := stack[len(stack)-1].cont
-				stack = stack[:len(stack)-1]
-				engine.StrandEnd() // the child's final strand ends here
-				sp.Restore(cont)
-			case evstream.OpSync:
-				engine.StrandEnd()
-				sp.Sync(&stack[len(stack)-1].frame)
-			case evstream.OpRead:
-				engine.ReadHook(ev.Addr(), ev.Size())
-			case evstream.OpWrite:
-				engine.WriteHook(ev.Addr(), ev.Size())
-			case evstream.OpReadRange:
-				engine.ReadRangeHook(ev.Addr(), ev.Count(), ev.Elem())
-			case evstream.OpWriteRange:
-				engine.WriteRangeHook(ev.Addr(), ev.Count(), ev.Elem())
+			for _, ev := range evs {
+				switch ev.EvOp() {
+				case evstream.OpSpawn:
+					engine.StrandEnd()
+					_, cont := sp.Spawn(&stack[len(stack)-1].frame)
+					stack = append(stack, consumeFrame{cont: cont})
+				case evstream.OpRestore:
+					cont := stack[len(stack)-1].cont
+					stack = stack[:len(stack)-1]
+					engine.StrandEnd() // the child's final strand ends here
+					sp.Restore(cont)
+				case evstream.OpSync:
+					engine.StrandEnd()
+					sp.Sync(&stack[len(stack)-1].frame)
+				case evstream.OpRead:
+					engine.ReadHook(ev.Addr(), ev.Size())
+				case evstream.OpWrite:
+					engine.WriteHook(ev.Addr(), ev.Size())
+				case evstream.OpReadRange:
+					engine.ReadRangeHook(ev.Addr(), ev.Count(), ev.Elem())
+				case evstream.OpWriteRange:
+					engine.WriteRangeHook(ev.Addr(), ev.Count(), ev.Elem())
+				}
 			}
 		}
 		busy.Add(t0)

@@ -101,6 +101,16 @@ func PipelineReport(rep *stint.Report) []string {
 				l.BatchesScanned, l.BatchesScanned+l.BatchesSkipped,
 				pctCount(l.BatchesSkipped, l.BatchesScanned+l.BatchesSkipped),
 				l.RingWaits)
+			if l.BlocksDecoded > 0 {
+				// Events per decode block says how well the stream blocks for
+				// this worker (near 64 is healthy; low means structure-dense
+				// or tiny batches), and the decode share says how much of its
+				// busy time went to block decode itself rather than page
+				// splitting and detection.
+				line += fmt.Sprintf(", %.1f ev/blk (decode %s of busy)",
+					float64(l.EventsScanned)/float64(l.BlocksDecoded),
+					pct(l.DecodeBusy, l.Busy))
+			}
 		}
 		lines = append(lines, line)
 	}

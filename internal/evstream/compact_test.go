@@ -33,10 +33,36 @@ func newCompactBatch(n int) *Batch {
 	return &Batch{Buf: make([]byte, 0, (n+1)*MaxEventBytes), compact: true}
 }
 
+// decodeBlocks drains a batch through DecodeBlock, returning the flattened
+// event sequence and the Summary.Ctl-form offset of every structure event,
+// computed the way the label stage computes them: the i-th event of a
+// returned group sits at Pos-before-the-call + i (an index for fixed
+// batches; a byte offset for compact ones, where structure events decode
+// as contiguous runs of one tag byte each).
+func decodeBlocks(b *Batch) (evs []Event, ctlOffs []int) {
+	it := b.Iter()
+	var blk [BlockEvents]Event
+	for {
+		pos := it.Pos()
+		group := it.DecodeBlock(&blk)
+		if len(group) == 0 {
+			return evs, ctlOffs
+		}
+		for j, ev := range group {
+			if ev.EvOp() <= OpSync {
+				ctlOffs = append(ctlOffs, pos+j)
+			}
+		}
+		evs = append(evs, group...)
+	}
+}
+
 // checkCodecRoundTrip appends the program to a fixed and a compact batch and
-// asserts both Iters yield identical Event values, that Pos tracks the
-// offsets Summary.Ctl records, and that CtlOp resolves every structure
-// event from the tag byte alone.
+// asserts both decode to identical Event sequences via DecodeBlock and via
+// the per-event Next shim, that block-relative positions reproduce the
+// offsets Summary.Ctl records, that CtlOp resolves every structure event
+// from one tag byte, and that the staged-block byte accounting (pendN +
+// pendExtra, what Full budgets against) exactly matches what seal emits.
 func checkCodecRoundTrip(t *testing.T, events []codecEvent) {
 	t.Helper()
 	fixed := &Batch{Ev: make([]Event, 0, len(events)+1)}
@@ -48,35 +74,47 @@ func checkCodecRoundTrip(t *testing.T, events []codecEvent) {
 	if fixed.Len() != len(events) || compact.Len() != len(events) {
 		t.Fatalf("Len = %d (fixed) / %d (compact), want %d", fixed.Len(), compact.Len(), len(events))
 	}
-	fit, cit := fixed.Iter(), compact.Iter()
-	var ctlSeen int
-	for i := range events {
-		fpos, cpos := fit.Pos(), cit.Pos()
-		fe, fok := fit.Next()
-		ce, cok := cit.Next()
-		if !fok || !cok {
-			t.Fatalf("event %d: premature end (fixed ok=%v, compact ok=%v)", i, fok, cok)
-		}
-		if fe != ce {
-			t.Fatalf("event %d: fixed %+v != compact %+v", i, fe, ce)
-		}
-		if op := fe.EvOp(); op <= OpSync {
-			if fixed.Sum.Ctl[ctlSeen] != int32(fpos) || compact.Sum.Ctl[ctlSeen] != int32(cpos) {
-				t.Fatalf("ctl %d: Summary offsets (%d, %d) != Iter positions (%d, %d)",
-					ctlSeen, fixed.Sum.Ctl[ctlSeen], compact.Sum.Ctl[ctlSeen], fpos, cpos)
-			}
-			if fixed.CtlOp(ctlSeen) != op || compact.CtlOp(ctlSeen) != op {
-				t.Fatalf("ctl %d: CtlOp = %v (fixed) / %v (compact), want %v",
-					ctlSeen, fixed.CtlOp(ctlSeen), compact.CtlOp(ctlSeen), op)
-			}
-			ctlSeen++
+	// Full's no-growth guarantee rests on the baseline byte per staged
+	// event plus pendExtra plus the closed-form structural overhead being
+	// the staged block's exact sealed size — pin exactness, not just an
+	// upper bound.
+	pend, pre := compact.pendN+compact.pendExtra+blockOverhead(compact.pendN), len(compact.Buf)
+	fevs, fctl := decodeBlocks(fixed)
+	cevs, cctl := decodeBlocks(compact)
+	if got := len(compact.Buf) - pre; got != pend {
+		t.Fatalf("seal emitted %d bytes for a staged block accounted at %d", got, pend)
+	}
+	if len(fevs) != len(events) || len(cevs) != len(events) {
+		t.Fatalf("decoded %d (fixed) / %d (compact) events, want %d", len(fevs), len(cevs), len(events))
+	}
+	for i := range fevs {
+		if fevs[i] != cevs[i] {
+			t.Fatalf("event %d: fixed %+v != compact %+v", i, fevs[i], cevs[i])
 		}
 	}
-	if _, ok := fit.Next(); ok {
-		t.Fatal("fixed Iter yields past the end")
+	// The Next shim must agree with the block decode it wraps.
+	cit := compact.Iter()
+	for i := range cevs {
+		ev, ok := cit.Next()
+		if !ok || ev != cevs[i] {
+			t.Fatalf("Next event %d = %+v (ok=%v), DecodeBlock saw %+v", i, ev, ok, cevs[i])
+		}
 	}
 	if _, ok := cit.Next(); ok {
 		t.Fatal("compact Iter yields past the end")
+	}
+	if len(fctl) != len(fixed.Sum.Ctl) || len(cctl) != len(compact.Sum.Ctl) {
+		t.Fatalf("found %d (fixed) / %d (compact) ctl events, Summary recorded %d / %d",
+			len(fctl), len(cctl), len(fixed.Sum.Ctl), len(compact.Sum.Ctl))
+	}
+	for i := range fctl {
+		if fixed.Sum.Ctl[i] != int32(fctl[i]) || compact.Sum.Ctl[i] != int32(cctl[i]) {
+			t.Fatalf("ctl %d: Summary offsets (%d, %d) != block-derived positions (%d, %d)",
+				i, fixed.Sum.Ctl[i], compact.Sum.Ctl[i], fctl[i], cctl[i])
+		}
+		if fixed.CtlOp(i) != compact.CtlOp(i) || fixed.CtlOp(i) > OpSync || fixed.CtlOp(i) == 0 {
+			t.Fatalf("ctl %d: CtlOp = %v (fixed) / %v (compact)", i, fixed.CtlOp(i), compact.CtlOp(i))
+		}
 	}
 	if fixed.WireBytes() != 16*len(events) {
 		t.Fatalf("fixed WireBytes = %d, want %d", fixed.WireBytes(), 16*len(events))
@@ -100,9 +138,10 @@ func TestCompactRoundTripBasics(t *testing.T) {
 
 func TestCompactRoundTripBoundaries(t *testing.T) {
 	checkCodecRoundTrip(t, []codecEvent{
-		// Inline/escape boundary: sizes 30 and 31 straddle tagArgMax.
-		{op: OpRead, addr: 0, size: tagArgMax},
-		{op: OpWrite, addr: 0, size: tagArgMax + 1},
+		// Inline/escape boundary: sizes 254 and 255 straddle the size-run
+		// escape byte (blockArgEsc).
+		{op: OpRead, addr: 0, size: blockArgEsc - 1},
+		{op: OpWrite, addr: 0, size: blockArgEsc},
 		{op: OpRead, addr: 0, size: 0},
 		// Largest representable operands.
 		{op: OpWrite, addr: 1, size: MaxAccessSize},
@@ -115,15 +154,23 @@ func TestCompactRoundTripBoundaries(t *testing.T) {
 	})
 }
 
-// TestCompactAccessIsTwoBytes pins the fast path the format exists for: a
-// small-size access a small stride from its predecessor costs 2 bytes.
-func TestCompactAccessIsTwoBytes(t *testing.T) {
-	b := newCompactBatch(16)
-	b.AppendAccess(OpRead, 0x1000, 4)
-	base := len(b.Buf)
-	b.AppendAccess(OpRead, 0x1004, 4)
-	if got := len(b.Buf) - base; got != 2 {
-		t.Fatalf("sequential access encoded in %d bytes, want 2", got)
+// TestCompactSequentialBlockBytes pins the fast path the format exists
+// for: a full block of same-size small-stride accesses costs ~1.6 bytes
+// per event — 2 bytes of block framing, one size run, 2 op bits plus a
+// quarter of a group control byte plus a 1-byte delta per event.
+func TestCompactSequentialBlockBytes(t *testing.T) {
+	b := newCompactBatch(BlockEvents + 1)
+	for i := 0; i < BlockEvents; i++ {
+		b.AppendAccess(OpRead, 0x1000+uint64(4*i), 4)
+	}
+	// Staging auto-seals exactly at a full block.
+	if b.pendN != 0 {
+		t.Fatalf("full block left %d events staged", b.pendN)
+	}
+	// marker+header (2) + op bits (16) + one size run (2) + control bytes
+	// (16) + deltas (2-byte first from base zero, then 1 byte each) = 101.
+	if got := len(b.Buf); got != 101 {
+		t.Fatalf("sequential %d-event block encoded in %d bytes, want 101 (~1.6 B/event)", BlockEvents, got)
 	}
 }
 
@@ -276,6 +323,44 @@ func FuzzEventCodec(f *testing.F) {
 	f.Add(append(append([]byte{4, 0, 0, 0, 0, 0, 0, 8},
 		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff),
 		3, 0, 0, 0, 0, 0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 0))
+	// Block-boundary seeds for the v2 block format. In this program
+	// encoding an access is op byte 3 (read) / 4 (write), 7 size bytes,
+	// 8 addr bytes; a range is op byte 5/6, 4 count + 3 elem + 8 addr.
+	read := func(data []byte, addr, size uint64) []byte {
+		data = append(data, 3, byte(size>>48), byte(size>>40), byte(size>>32),
+			byte(size>>24), byte(size>>16), byte(size>>8), byte(size))
+		return append(data, byte(addr>>56), byte(addr>>48), byte(addr>>40), byte(addr>>32),
+			byte(addr>>24), byte(addr>>16), byte(addr>>8), byte(addr))
+	}
+	// A run of accesses long enough that small ring batch capacities
+	// (bcap = data[0]%8+1 = 4 here) cut partial blocks at every batch tail.
+	seed := []byte{}
+	for i := 0; i < 70; i++ {
+		seed = read(seed, 0x1000+uint64(8*i), 8)
+	}
+	f.Add(seed)
+	// An op-run broken by a uvarint size escape mid-group: sizes 4,4,300,4
+	// split the size run inside one group-varint control group.
+	seed = []byte{}
+	for i, size := range []uint64{4, 4, 300, 4} {
+		seed = read(seed, 0x2000+uint64(4*i), size)
+	}
+	f.Add(seed)
+	// A MaxRangeCount escape as the last event of a full block: 63 reads
+	// then one maximal range.
+	seed = []byte{}
+	for i := 0; i < 63; i++ {
+		seed = read(seed, uint64(16*i), 4)
+	}
+	seed = append(seed, 5, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+		0, 0, 0, 0, 0, 0, 0x40, 0)
+	f.Add(seed)
+	// A partial final block of exactly 1 event after a full block.
+	seed = []byte{}
+	for i := 0; i < BlockEvents+1; i++ {
+		seed = read(seed, 0x3000+uint64(4*i), 4)
+	}
+	f.Add(seed)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		events := decodeCodecProgram(data)
 		checkCodecRoundTrip(t, events)

@@ -154,9 +154,29 @@ type Batch struct {
 	Buf []byte
 	Sum Summary
 
-	n       int    // compact form: logical event count
+	n       int    // compact form: sealed event count (staged events excluded; Len adds pendN)
 	prev    uint64 // compact form: delta base (last access address)
 	compact bool
+
+	// Compact-form staging: up to one block of pending events awaiting
+	// seal (see compact.go). The staged block's exact sealed size is
+	// pendN + pendExtra + blockOverhead(pendN): every event costs one
+	// delta byte as a baseline (counted by pendN itself), pendExtra
+	// accumulates only the exceptional bytes (wide deltas, size-run
+	// starts, escapes, range counts), and the structural overhead —
+	// marker, header, op-bits and control bytes — is a closed form of
+	// pendN. Full stays O(1) and the hot append path touches no byte
+	// accumulator at all for a run-continuing one-byte-delta access.
+	pendN      int
+	pendExtra  int
+	pendRunN   int    // size runs staged so far
+	pendRangeN int    // range events staged so far
+	pendLastA  uint64 // last size/elem operand, for run detection
+	pendOW     [BlockEvents]byte     // op code (high nibble) | width code (low nibble)
+	pendRunV   [BlockEvents]uint64   // size-run operand values
+	pendRunS   [BlockEvents + 1]byte // size-run start indices (+1: seal's sentinel)
+	pendC      [BlockEvents]uint64   // range counts, dense in range order
+	pendZZ     [BlockEvents]uint64   // zig-zag address delta
 }
 
 // Ring is a bounded SPSC queue of event batches with an integrated batch

@@ -161,7 +161,7 @@ func TestStatsCountLogicalEventsAndWireBytes(t *testing.T) {
 	cb.AppendCtl(OpSpawn)
 	cb.AppendAccess(OpRead, 0x1000, 4)
 	cb.AppendRange(OpWriteRange, 0x2000, 16, 8)
-	wire := uint64(len(cb.Buf))
+	wire := uint64(cb.WireBytes()) // seals the staged block
 	compact.Publish(cb)
 	if s := compact.Stats(); s.EventsPublished != 3 || s.StreamBytes != wire {
 		t.Errorf("compact ring stats = %d events, %d bytes; want 3 events, %d bytes", s.EventsPublished, s.StreamBytes, wire)

@@ -478,7 +478,10 @@ func (s *Suite) Async() error {
 // keeps dividing the detection critical path — while a high skip%
 // means the per-worker full-stream scan floor is gone too: workers only
 // scan the batches whose pages hash to them. B/ev is the event stream's
-// wire cost under the compact delta encoding (16.00 with it disabled).
+// wire cost under the compact delta encoding (16.00 with it disabled),
+// and ev/blk the fleet-wide events per decode block on full scans (near
+// 64 when the stream blocks well; low values flag degenerate blocking —
+// structure-dense streams or tiny batches — as the straggler cause).
 // Not one of the paper's figures, so Suite.All leaves it out.
 func (s *Suite) Util() error {
 	const shards = 4
@@ -486,7 +489,7 @@ func (s *Suite) Util() error {
 	s.printf("== Stage utilization: label stage vs %d shard workers ==\n", shards)
 	s.printf("%-6s |", "")
 	for _, m := range modes {
-		s.printf(" %-9s %10s %10s %10s %8s %6s %6s |", m, "wall", "label", "max-wrk", "lbl/wrk", "skip%", "B/ev")
+		s.printf(" %-9s %10s %10s %10s %8s %6s %6s %7s |", m, "wall", "label", "max-wrk", "lbl/wrk", "skip%", "B/ev", "ev/blk")
 	}
 	s.printf("\n")
 	for _, name := range workloads.Names() {
@@ -502,13 +505,15 @@ func (s *Suite) Util() error {
 			}
 			label, _, maxWorker, ok := cliutil.StageBusy(res.Report)
 			if !ok || maxWorker <= 0 {
-				s.printf(" %-9s %10v %10s %10s %8s %6s %6s |", "", res.Wall.Round(time.Millisecond), "-", "-", "-", "-", "-")
+				s.printf(" %-9s %10v %10s %10s %8s %6s %6s %7s |", "", res.Wall.Round(time.Millisecond), "-", "-", "-", "-", "-", "-")
 				continue
 			}
-			var scanned, skipped uint64
+			var scanned, skipped, events, blocks uint64
 			for _, l := range res.Report.ShardLoad {
 				scanned += l.BatchesScanned
 				skipped += l.BatchesSkipped
+				events += l.EventsScanned
+				blocks += l.BlocksDecoded
 			}
 			skipPct := "-"
 			if total := scanned + skipped; total > 0 {
@@ -518,13 +523,18 @@ func (s *Suite) Util() error {
 			if st := res.Report.Stats; st.EventsStreamed > 0 {
 				bytesPerEv = fmt.Sprintf("%.2f", float64(st.StreamBytes)/float64(st.EventsStreamed))
 			}
-			s.printf(" %-9s %10v %10v %10v %7.2fx %6s %6s |", "",
+			evPerBlk := "-"
+			if blocks > 0 {
+				evPerBlk = fmt.Sprintf("%.1f", float64(events)/float64(blocks))
+			}
+			s.printf(" %-9s %10v %10v %10v %7.2fx %6s %6s %7s |", "",
 				res.Wall.Round(time.Millisecond),
 				label.Round(time.Microsecond),
 				maxWorker.Round(time.Microsecond),
 				float64(label)/float64(maxWorker),
 				skipPct,
-				bytesPerEv)
+				bytesPerEv,
+				evPerBlk)
 		}
 		s.printf("\n")
 	}

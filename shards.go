@@ -138,31 +138,39 @@ func (as *asyncState) labelStage(labels *depa.Builder, bcast *evstream.BcastRing
 // and is exclusively owned between ring.Next and bcast.Publish, so the
 // stamp is ordinary single-threaded mutation.
 func (as *asyncState) labelScan(labels *depa.Builder, batch *evstream.Batch) {
+	it := batch.Iter()
+	var blk [evstream.BlockEvents]evstream.Event
 	if !as.summarize {
-		it := batch.Iter()
 		for {
-			ev, ok := it.Next()
-			if !ok {
+			evs := it.DecodeBlock(&blk)
+			if len(evs) == 0 {
 				break
 			}
-			applyCtl(labels, ev.EvOp())
+			for _, ev := range evs {
+				applyCtl(labels, ev.EvOp())
+			}
 		}
 		batch.Sum.Mask = evstream.MaskAll
 		return
 	}
-	it := batch.Iter()
 	for {
+		// Ctl offsets are block-relative: the j-th event of a decoded group
+		// sits at Pos-before-the-call + j — an event index in a fixed batch,
+		// a byte offset in a compact one, where structure events decode as
+		// contiguous runs of one tag byte each (access blocks carry none).
 		pos := it.Pos()
-		ev, ok := it.Next()
-		if !ok {
+		evs := it.DecodeBlock(&blk)
+		if len(evs) == 0 {
 			break
 		}
-		op := ev.EvOp()
-		if op <= evstream.OpSync {
-			batch.Sum.AddCtl(pos)
-			applyCtl(labels, op)
-		} else {
-			batch.Sum.Mask |= evstream.AccessMask(ev, coalesce.PageBytesBits, as.shards)
+		for j, ev := range evs {
+			op := ev.EvOp()
+			if op <= evstream.OpSync {
+				batch.Sum.AddCtl(pos + j)
+				applyCtl(labels, op)
+			} else {
+				batch.Sum.Mask |= evstream.AccessMask(ev, coalesce.PageBytesBits, as.shards)
+			}
 		}
 	}
 }
@@ -198,6 +206,15 @@ type shardWorker struct {
 	splitReads  uint64
 	splitWrites uint64
 
+	// Decode-side telemetry for Report.ShardLoad: logical events and blocks
+	// this worker full-scanned (their ratio is the events-per-block figure —
+	// degenerate blocking shows up as a low one), and the time spent inside
+	// DecodeBlock itself, sampled (every 8th call, scaled by 8) so the
+	// measurement does not tax the scan it is measuring.
+	eventsScanned uint64
+	blocksDecoded uint64
+	decodeBusy    time.Duration
+
 	// Results, read by the merge after the stage graph joins.
 	stats Stats
 	busy  stage.Meter
@@ -213,6 +230,7 @@ func (w *shardWorker) LeftOf(a, b int32) bool { return w.view.LeftOf(a, b) }
 
 func (w *shardWorker) run(cfg detect.Config) {
 	engine := detect.New(cfg, w)
+	var blk [evstream.BlockEvents]evstream.Event
 	for {
 		m, ok := w.bcast.Next(w.id)
 		if !ok {
@@ -246,25 +264,36 @@ func (w *shardWorker) run(cfg detect.Config) {
 		}
 		it := m.batch.Iter()
 		for {
-			ev, ok := it.Next()
-			if !ok {
+			var evs []evstream.Event
+			if w.blocksDecoded&7 == 0 {
+				d0 := time.Now()
+				evs = it.DecodeBlock(&blk)
+				w.decodeBusy += time.Since(d0) * 8
+			} else {
+				evs = it.DecodeBlock(&blk)
+			}
+			if len(evs) == 0 {
 				break
 			}
-			switch ev.EvOp() {
-			case evstream.OpSpawn:
-				// A strand boundary: flush the ending strand's page-local
-				// intervals (a no-op for strands that touched none of this
-				// shard's pages), then advance the tracker.
-				engine.StrandEnd()
-				w.track.Spawn()
-			case evstream.OpRestore:
-				engine.StrandEnd() // the child's final strand ends here
-				w.track.Restore()
-			case evstream.OpSync:
-				engine.StrandEnd()
-				w.track.Sync()
-			default:
-				w.access(engine, ev)
+			w.blocksDecoded++
+			w.eventsScanned += uint64(len(evs))
+			for _, ev := range evs {
+				switch ev.EvOp() {
+				case evstream.OpSpawn:
+					// A strand boundary: flush the ending strand's page-local
+					// intervals (a no-op for strands that touched none of this
+					// shard's pages), then advance the tracker.
+					engine.StrandEnd()
+					w.track.Spawn()
+				case evstream.OpRestore:
+					engine.StrandEnd() // the child's final strand ends here
+					w.track.Restore()
+				case evstream.OpSync:
+					engine.StrandEnd()
+					w.track.Sync()
+				default:
+					w.access(engine, ev)
+				}
 			}
 		}
 		w.busy.AddBatch(t0, false)
@@ -396,6 +425,9 @@ func (as *asyncState) mergeSharded(labels *depa.Builder, workers []*shardWorker,
 			BatchesScanned: w.busy.Scanned(),
 			BatchesSkipped: w.busy.Skipped(),
 			RingWaits:      bcast.ConsumerWaits(i),
+			EventsScanned:  w.eventsScanned,
+			BlocksDecoded:  w.blocksDecoded,
+			DecodeBusy:     w.decodeBusy,
 		}
 		detectBusy += w.busy.Busy()
 	}

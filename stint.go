@@ -325,6 +325,18 @@ type ShardLoad struct {
 	// RingWaits counts the worker's blocking episodes waiting on the
 	// broadcast ring for the label stage to publish.
 	RingWaits uint64
+	// EventsScanned and BlocksDecoded count the logical events and decode
+	// blocks of the worker's full scans (skipped batches contribute
+	// neither). EventsScanned/BlocksDecoded is the worker's events-per-block
+	// figure: near evstream.BlockEvents when the stream blocks well, low
+	// when structure-dense or tiny batches degenerate the blocking.
+	EventsScanned uint64
+	BlocksDecoded uint64
+	// DecodeBusy estimates the time the worker spent inside block decode
+	// itself (sampled at one timed call in eight, scaled), as distinct from
+	// page splitting and detection. DecodeBusy/Busy is the decode share the
+	// block-kernel work targets.
+	DecodeBusy time.Duration
 }
 
 // Racy reports whether any race was found.
