@@ -29,7 +29,7 @@ bench-hot:
 	$(GO) test -run '^$$' -bench 'BenchmarkTreapInsert|BenchmarkShadowDirectory' -benchmem ./internal/core ./internal/shadow
 	$(GO) test -run '^$$' -bench 'BenchmarkRing|BenchmarkBcastRing|BenchmarkEventEncode|BenchmarkEventDecode|BenchmarkWorkerSplit|BenchmarkWorkerScan|BenchmarkSummaryStamp|BenchmarkWorkerSkipScan' -benchmem ./internal/evstream
 	$(GO) test -run '^$$' -bench 'BenchmarkViewPerRefill' -benchmem ./internal/depa
-	$(GO) test -run '^$$' -bench 'BenchmarkHookOverhead' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkHookOverhead|BenchmarkRunnerReset' -benchmem .
 	$(GO) test -run '^$$' -bench 'BenchmarkFig5Sharded|BenchmarkFig5ParallelDetect' -benchtime 10x -benchmem .
 
 # Decode-kernel sweep: every op mix (sequential same-size, range-heavy,
@@ -50,8 +50,15 @@ bench-decode-json:
 # Machine-readable benchmark snapshot: one JSON line per benchmark, written
 # to BENCH_<date>.json. Compare two snapshots with scripts/benchdiff.sh diff.
 bench-json:
-	./scripts/benchdiff.sh emit 'BenchmarkFig5|BenchmarkEventEncode|BenchmarkEventDecode|BenchmarkViewPerRefill' . ./internal/evstream ./internal/depa > BENCH_$$(date +%Y%m%d).json
+	./scripts/benchdiff.sh emit 'BenchmarkFig5|BenchmarkRunnerReset|BenchmarkEventEncode|BenchmarkEventDecode|BenchmarkViewPerRefill' . ./internal/evstream ./internal/depa > BENCH_$$(date +%Y%m%d).json
 	@echo wrote BENCH_$$(date +%Y%m%d).json
+
+# Trace-ingest service snapshot: warm-pool vs fresh-runner-per-trace
+# traces/sec through the full HTTP round-trip (see internal/serve).
+# Verified by bench-diff-all's serve leg.
+bench-serve-json:
+	BENCHTIME=200x ./scripts/benchdiff.sh emit 'BenchmarkServeThroughput' ./internal/serve > BENCH_$$(date +%Y%m%d)_serve.json
+	@echo wrote BENCH_$$(date +%Y%m%d)_serve.json
 
 # Re-run every Fig5 benchmark (sync, async, and sharded modes share one
 # snapshot schema) plus the event-codec and label-snapshot microbenchmarks,
@@ -71,9 +78,11 @@ bench-json:
 # percents. BENCHDIFF_MAX_REGRESSION still overrides both legs.
 bench-diff-all:
 	./scripts/benchdiff.sh emit 'BenchmarkFig5' . > /tmp/stint_bench_head.json
-	./scripts/benchdiff.sh check /tmp/stint_bench_head.json $$(ls BENCH_*.json | grep -v _blockdecode)
+	./scripts/benchdiff.sh check /tmp/stint_bench_head.json $$(ls BENCH_*.json | grep -v _blockdecode | grep -v _serve)
 	GOMAXPROCS=4 BENCHTIME=2s BENCHCOUNT=3 ./scripts/benchdiff.sh emit 'BenchmarkEventEncode|BenchmarkEventDecode|BenchmarkViewPerRefill|BenchmarkFig5ShardedEncoding' ./internal/evstream ./internal/depa . > /tmp/stint_bench_decode.json
 	BENCHDIFF_MAX_REGRESSION=$${BENCHDIFF_MAX_REGRESSION:-25} ./scripts/benchdiff.sh check /tmp/stint_bench_decode.json BENCH_*_blockdecode.json
+	BENCHTIME=200x ./scripts/benchdiff.sh emit 'BenchmarkServeThroughput' ./internal/serve > /tmp/stint_bench_serve.json
+	BENCHDIFF_MAX_REGRESSION=$${BENCHDIFF_MAX_REGRESSION:-25} ./scripts/benchdiff.sh check /tmp/stint_bench_serve.json BENCH_*_serve.json
 
 # Regenerate every table of the paper's evaluation (see EXPERIMENTS.md).
 tables:

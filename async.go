@@ -114,6 +114,35 @@ func newAsyncState(ringDepth, batchEvents int, compact bool) *asyncState {
 	}
 }
 
+// reset re-arms the pipeline state for another run: the rings, queue, and
+// batch pool retain their warm capacity, every per-run result field zeroes,
+// and the producer's working batch — nilled by drain — is re-armed from the
+// ring's free list. The stage graph is per-run (its done channel cannot be
+// reused) and is recreated by Run before launch.
+func (as *asyncState) reset() {
+	if as.ring != nil {
+		as.ring.Reset()
+		as.batch = as.ring.Get()
+	}
+	if as.queue != nil {
+		as.queue.Reset()
+	}
+	if as.pool != nil {
+		as.pool.Reset()
+	}
+	as.graph = nil
+	as.nextTask.Store(0)
+	as.execBusy.Store(0)
+	as.mergeCtl = 0
+	as.reorderPeak = 0
+	as.viewSnaps = 0
+	as.strands = 0
+	as.stats = Stats{}
+	as.races = nil
+	as.seqBusy.Reset()
+	as.shardLoad = nil
+}
+
 // setSharded fixes the summary-stamping split before the program starts
 // emitting: which masks are computed (summarize) and which stage computes
 // them (prodStamp). Producer stamping without masks would stamp nothing a
@@ -196,13 +225,58 @@ func (as *asyncState) drain() {
 	as.stats.StreamBytes = rs.StreamBytes
 }
 
-// startConsume wires the single-stage pipeline: one replay stage consuming
+// consumeState is the plain-Async detector side, retained across runs on a
+// reused Runner: the consumer's SP-Order structure, engine, canonical race
+// collector, and replay stack all keep their warm capacity between runs.
+type consumeState struct {
+	sp     *spord.SP
+	engine detect.Engine
+	col    *stage.Collector
+	stack  []consumeFrame
+}
+
+// buildConsume constructs the retained consume-stage state; the OnRace
+// closure captures the retained structures, so it survives reuse unchanged.
+// newEngine is the Runner's test seam (nil outside tests); maxRec and user
+// mirror the Options fields.
+func buildConsume(cfg detect.Config, newEngine func(detect.Config, *spord.SP) detect.Engine, maxRec int, user func(Race)) *consumeState {
+	cs := &consumeState{
+		sp:  spord.New(),
+		col: stage.NewCollector(maxRec),
+	}
+	cfg.OnRace = func(race Race) {
+		cs.col.Add(cs.sp.SeqRank(race.Cur), race)
+		if user != nil {
+			user(race)
+		}
+	}
+	if newEngine != nil {
+		cs.engine = newEngine(cfg, cs.sp)
+	} else {
+		cs.engine = detect.New(cfg, cs.sp)
+	}
+	cs.stack = make([]consumeFrame, 1, 16) // stack[0] is the root instance
+	return cs
+}
+
+// reset re-arms the consume stage for another run: SP-Order re-derives its
+// root, the engine drops its history (retaining warm capacity), the
+// collector empties, and the replay stack rewinds to the root frame.
+func (cs *consumeState) reset() {
+	cs.sp.Reset()
+	cs.engine.Reset()
+	cs.col.Reset()
+	cs.stack = cs.stack[:1]
+	cs.stack[0] = consumeFrame{}
+}
+
+// launchConsume wires the single-stage pipeline: one replay stage consuming
 // the main ring. Used for plain Async (no sharding). The abort hook closes
 // the ring so a panic in the stage (a user OnRace callback) unblocks the
 // producer instead of deadlocking the run.
-func (as *asyncState) startConsume(cfg detect.Config, newEngine func(detect.Config, *spord.SP) detect.Engine, maxRec int, user func(Race)) {
+func (as *asyncState) launchConsume(cs *consumeState) {
 	as.graph.OnAbort(as.ring.Close)
-	as.graph.Go(func() { as.consume(cfg, newEngine, maxRec, user) })
+	as.graph.Go(func() { as.consume(cs) })
 	as.graph.Seal(nil)
 }
 
@@ -215,26 +289,11 @@ type consumeFrame struct {
 
 // consume is the replay stage: it rebuilds SP-Order from the structure
 // events and feeds the access events to the engine, in stream order,
-// exactly as the inline path interleaves them. newEngine is the Runner's
-// test seam (nil outside tests). maxRec and user mirror the Options
-// fields; the stage owns the canonical race collector because the
-// sequential ranks live on its SP structure.
-func (as *asyncState) consume(cfg detect.Config, newEngine func(detect.Config, *spord.SP) detect.Engine, maxRec int, user func(Race)) {
-	sp := spord.New()
-	col := stage.NewCollector(maxRec)
-	cfg.OnRace = func(race Race) {
-		col.Add(sp.SeqRank(race.Cur), race)
-		if user != nil {
-			user(race)
-		}
-	}
-	var engine detect.Engine
-	if newEngine != nil {
-		engine = newEngine(cfg, sp)
-	} else {
-		engine = detect.New(cfg, sp)
-	}
-	stack := make([]consumeFrame, 1, 16) // stack[0] is the root instance
+// exactly as the inline path interleaves them. The stage owns the canonical
+// race collector because the sequential ranks live on its SP structure.
+func (as *asyncState) consume(cs *consumeState) {
+	sp, engine, col := cs.sp, cs.engine, cs.col
+	stack := cs.stack
 	var busy stage.Meter
 	var blk [evstream.BlockEvents]evstream.Event
 	for {
@@ -280,6 +339,7 @@ func (as *asyncState) consume(cfg detect.Config, newEngine func(detect.Config, *
 	t0 := time.Now()
 	engine.Finish()
 	busy.Add(t0)
+	cs.stack = stack // hand the (possibly grown) stack back for reuse
 	as.strands = sp.StrandCount()
 	as.stats = *engine.Stats()
 	as.stats.PipelineDetectTime = busy.Busy()

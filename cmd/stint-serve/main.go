@@ -1,0 +1,86 @@
+// Command stint-serve runs the long-lived trace-ingest service: a pool of
+// pre-warmed, reused Runners behind a small JSON API. Record traces with
+// `stint -workload X -trace-out FILE` (or the stint/trace package), then:
+//
+//	stint-serve -addr :8080 -runners 4 &
+//	curl -s --data-binary @trace.bin localhost:8080/v1/traces
+//	  → {"id":"t-000001"}
+//	curl -s localhost:8080/v1/results/t-000001
+//	curl -s localhost:8080/v1/statusz
+//
+// Every worker owns one Runner whose slab pools and pipeline state are
+// allocated once and rewound between traces (Runner.Reset), so steady-state
+// ingest performs no per-trace heap growth; reports are byte-identical to
+// fresh-Runner replays. Admission is backpressured (full queue → 429) and
+// per-run caps bound each replay's memory (oversized upload → 413, event
+// budget exceeded → result status "error").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+
+	"stint"
+	"stint/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		runners   = flag.Int("runners", runtime.GOMAXPROCS(0), "warm Runner pool size (max concurrent replays)")
+		queue     = flag.Int("queue", 0, "admission queue depth (default 2x runners)")
+		detector  = flag.String("detector", "stint", "detector mode for every replay")
+		races     = flag.Int("races", 64, "max races recorded per trace")
+		shards    = flag.Int("shards", 0, "detection shards per replay (implies async pipeline)")
+		async     = flag.Bool("async", false, "replay through the pipelined detector")
+		maxBytes  = flag.Int64("max-trace-bytes", 64<<20, "reject uploads larger than this (413); negative disables")
+		maxEvents = flag.Uint64("max-events", 0, "abort replays exceeding this many trace events (0 = unbounded)")
+		fresh     = flag.Bool("fresh-runners", false, "build a fresh Runner per trace instead of reusing the warm pool (baseline mode)")
+	)
+	flag.Parse()
+	if err := run(*addr, *runners, *queue, *detector, *races, *shards, *async, *maxBytes, *maxEvents, *fresh); err != nil {
+		fmt.Fprintln(os.Stderr, "stint-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, runners, queue int, detector string, races, shards int, async bool, maxBytes int64, maxEvents uint64, fresh bool) error {
+	mode, err := stint.ParseDetector(detector)
+	if err != nil {
+		return err
+	}
+	s, err := serve.New(serve.Config{
+		Runners:       runners,
+		QueueDepth:    queue,
+		MaxTraceBytes: maxBytes,
+		MaxEvents:     maxEvents,
+		FreshRunners:  fresh,
+		Opts: stint.Options{
+			Detector:         mode,
+			MaxRacesRecorded: races,
+			Async:            async || shards > 0,
+			DetectShards:     shards,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	pool := "warm pool"
+	if fresh {
+		pool = "fresh runner per trace"
+	}
+	// Bind before announcing so ":0" reports the kernel-chosen port — the
+	// smoke harness scrapes this line to find the server.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stint-serve: listening on %s (%d runners, %s, detector %v)\n",
+		ln.Addr(), runners, pool, mode)
+	return http.Serve(ln, s.Handler())
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"stint"
+	"stint/internal/serve"
 )
 
 // pct formats part as a percentage of whole, guarding division by zero.
@@ -141,4 +142,24 @@ func pctCount(part, whole uint64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.0f%%", 100*float64(part)/float64(whole))
+}
+
+// ServeStatus renders a trace-ingest service's pool utilization — the
+// /v1/statusz payload — in the same vocabulary stint-serve's API uses:
+// fleet occupancy, admission-queue depth, the admission counters, and the
+// lifetime throughput.
+func ServeStatus(st serve.Stats) []string {
+	lines := []string{
+		fmt.Sprintf("runners     %d busy / %d idle (fleet %d)", st.Busy, st.Idle, st.Runners),
+		fmt.Sprintf("queue       %d/%d pending", st.QueueLen, st.QueueCap),
+		fmt.Sprintf("admissions  %d admitted, %d rejected, %d oversized, %d failed",
+			st.Admitted, st.Rejected, st.Oversized, st.Failed),
+	}
+	tps := "-"
+	if st.TracesPerSec > 0 {
+		tps = fmt.Sprintf("%.1f traces/sec", st.TracesPerSec)
+	}
+	lines = append(lines, fmt.Sprintf("throughput  %d completed, %s over %.2fs",
+		st.Completed, tps, st.UptimeSec))
+	return lines
 }

@@ -274,6 +274,24 @@ func (b *BitSet) Flush(emit func(start mem.Addr, size uint64)) (words uint64) {
 	return words
 }
 
+// Reset discards any recorded accesses without reporting them and retires
+// every page to the freelist, retaining all allocated capacity. After a
+// completed strand Flush leaves the structure clean and Reset is a cheap
+// no-op walk; its real job is recovering from an aborted run that died
+// mid-strand with bits still set.
+func (b *BitSet) Reset() {
+	b.dir.Reset(func(p *page) {
+		if p.inList || len(p.touched) > 0 {
+			p.bits = [slotsPerPage]uint64{}
+			p.touched = p.touched[:0]
+			p.inList = false
+		}
+		b.free = append(b.free, p)
+	})
+	b.touched = b.touched[:0]
+	b.lastIdx, b.lastPage = 0, nil
+}
+
 // Pages returns the number of second-level pages ever allocated (live plus
 // retired), a proxy for the structure's footprint.
 func (b *BitSet) Pages() int { return b.allocs }

@@ -16,7 +16,8 @@ const chunkNodes = 512
 // interval count — insertion allocates nothing.
 type nodePool struct {
 	chunks   [][]node
-	used     int   // nodes handed out from the newest chunk
+	cur      int   // chunk currently being carved
+	used     int   // nodes handed out from chunks[cur]
 	free     *node // intrusive free list (linked via right)
 	nfree    int
 	served   uint64 // total get() calls
@@ -37,13 +38,38 @@ func (p *nodePool) get() *node {
 		n.right = nil
 		return n
 	}
-	if len(p.chunks) == 0 || p.used == chunkNodes {
-		p.chunks = append(p.chunks, make([]node, chunkNodes))
+	if p.used == chunkNodes {
+		p.cur++
 		p.used = 0
 	}
-	n := &p.chunks[len(p.chunks)-1][p.used]
+	if p.cur == len(p.chunks) {
+		p.chunks = append(p.chunks, make([]node, chunkNodes))
+	}
+	n := &p.chunks[p.cur][p.used]
 	p.used++
 	return n
+}
+
+// reset parks every chunk for re-carving without releasing any of them:
+// the free list is discarded (its nodes live inside the chunks), the
+// carve cursor rewinds to the first chunk, and all carved memory is
+// zeroed so get() keeps its fresh-node contract. Reset costs one memclr
+// over the carved region; the chunk count — the pool's heap footprint —
+// never shrinks and stops growing once the pool has seen its peak run.
+func (p *nodePool) reset() {
+	hi := p.cur
+	if hi >= len(p.chunks) {
+		hi = len(p.chunks) - 1
+	}
+	for i := 0; i < hi; i++ {
+		clear(p.chunks[i])
+	}
+	if hi >= 0 {
+		clear(p.chunks[hi][:p.used])
+	}
+	p.cur, p.used = 0, 0
+	p.free, p.nfree = nil, 0
+	p.served, p.recycled = 0, 0
 }
 
 // Pool is a shareable treap-node slab allocator. Many trees (e.g. the
@@ -59,6 +85,13 @@ type Pool struct {
 
 // NewPool returns an empty Pool.
 func NewPool() *Pool { return &Pool{} }
+
+// Reset returns the Pool to its freshly-constructed state while retaining
+// every chunk it ever allocated, so trees rebuilt over it after a Reset
+// carve the same memory again instead of growing the heap. Every tree
+// drawing from the pool must be Reset (or discarded) alongside it: after
+// Pool.Reset all previously handed-out nodes are recycled wholesale.
+func (p *Pool) Reset() { p.reset() }
 
 // put retires a node that has been unlinked from the tree. Links are
 // cleared so a pooled node can never lead back into live structure.
@@ -84,6 +117,18 @@ type PoolStats struct {
 // Bytes returns the pool's total heap footprint.
 func (ps PoolStats) Bytes() uint64 {
 	return uint64(ps.Chunks) * chunkNodes * uint64(unsafe.Sizeof(node{}))
+}
+
+// Stats returns the pool-level slab counters. Live is zero at pool level:
+// the pool does not know how many of its carved nodes are still linked
+// into trees (Tree.PoolStats fills it in for a single tree).
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Chunks:   len(p.chunks),
+		Free:     p.nfree,
+		Served:   p.served,
+		Recycled: p.recycled,
+	}
 }
 
 // PoolStats returns the tree's slab-allocator counters.

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shapeOf captures the exact structure of a tree — intervals, priorities,
+// and topology — as a preorder fingerprint.
+func shapeOf(t *Tree) []uint64 {
+	var out []uint64
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			out = append(out, 0xDEAD) // nil marker keeps topology in the fingerprint
+			return
+		}
+		out = append(out, n.start, n.end, uint64(n.acc), n.prio)
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}
+
+func buildRandom(t *Tree, seed int64, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		start := uint64(rng.Intn(1 << 17))
+		iv := Interval{Start: start, End: start + uint64(rng.Intn(32)) + 1, Acc: int32(i)}
+		if rng.Intn(2) == 0 {
+			t.InsertWrite(iv, nil)
+		} else {
+			t.InsertRead(iv, func(a, b int32) bool { return a < b }, nil)
+		}
+	}
+}
+
+// TestTreeResetRederivesSeed pins the reuse-exactness property the paired
+// Tree.Reset/Pool.Reset contract promises: after a Reset, replaying the
+// same insertion sequence rebuilds a byte-identical tree — same intervals,
+// same priorities, same topology — because the priority stream rewinds to
+// the named seed.
+func TestTreeResetRederivesSeed(t *testing.T) {
+	pool := NewPool()
+	tr := NewTreeIn(pool)
+	buildRandom(tr, 42, 400)
+	first := shapeOf(tr)
+	if tr.rng == treapSeed {
+		t.Fatal("priority stream never advanced")
+	}
+
+	tr.Reset()
+	pool.Reset()
+	if tr.rng != treapSeed {
+		t.Fatalf("Reset left rng at %#x, want the seed %#x", tr.rng, uint64(treapSeed))
+	}
+	if tr.root != nil || tr.size != 0 {
+		t.Fatal("Reset left the tree non-empty")
+	}
+	if (tr.Stats() != Stats{}) {
+		t.Fatalf("Reset left stats %+v", tr.Stats())
+	}
+
+	buildRandom(tr, 42, 400)
+	second := shapeOf(tr)
+	if len(first) != len(second) {
+		t.Fatalf("replayed tree has different shape length: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replayed tree diverges at fingerprint index %d: %#x vs %#x",
+				i, first[i], second[i])
+		}
+	}
+}
+
+// TestPoolResetRetainsChunks checks the allocate-once side of the
+// contract: a Reset pool re-carves the chunks it already owns — same chunk
+// count after an identical second pass, nodes handed out zeroed.
+func TestPoolResetRetainsChunks(t *testing.T) {
+	pool := NewPool()
+	tr := NewTreeIn(pool)
+	buildRandom(tr, 7, 3000) // enough inserts to span several chunks
+	chunks := pool.Stats().Chunks
+	if chunks < 2 {
+		t.Fatalf("want the workload to span chunks, got %d", chunks)
+	}
+
+	tr.Reset()
+	pool.Reset()
+	if got := pool.Stats(); got.Chunks != chunks {
+		t.Fatalf("Pool.Reset changed chunk count: %d -> %d", chunks, got.Chunks)
+	}
+	if got := pool.Stats(); got.Free != 0 || got.Served != 0 || got.Recycled != 0 {
+		t.Fatalf("Pool.Reset left counters %+v", got)
+	}
+	// Every node handed out after Reset must honor the fresh-node contract.
+	for i := 0; i < chunks*chunkNodes; i++ {
+		n := pool.get()
+		if n.start != 0 || n.end != 0 || n.acc != 0 || n.prio != 0 ||
+			n.left != nil || n.right != nil || n.parent != nil {
+			t.Fatalf("node %d carved dirty after Reset: %+v", i, n)
+		}
+	}
+	if got := pool.Stats().Chunks; got != chunks {
+		t.Fatalf("re-carving the same volume grew the pool: %d -> %d", chunks, got)
+	}
+}

@@ -38,6 +38,12 @@ type Tree struct {
 	stats Stats
 }
 
+// treapSeed is the deterministic xorshift64* seed every tree starts from.
+// Reset must restore exactly this value: reused trees re-derive the same
+// priority stream as fresh ones, so tree shapes — and therefore every
+// traversal counter — are identical between a reused and a fresh detector.
+const treapSeed = 0x9E3779B97F4A7C15
+
 // NewTree returns an empty tree seeded deterministically, with its own
 // node pool.
 func NewTree() *Tree { return NewTreeIn(NewPool()) }
@@ -47,7 +53,23 @@ func NewTree() *Tree { return NewTreeIn(NewPool()) }
 // seed and the priority stream is a per-tree field, tree shapes depend only
 // on each tree's own insertion sequence — not on pool sharing — which keeps
 // per-page trees byte-identical across shard counts.
-func NewTreeIn(pool *Pool) *Tree { return &Tree{rng: 0x9E3779B97F4A7C15, pool: pool} }
+func NewTreeIn(pool *Pool) *Tree { return &Tree{rng: treapSeed, pool: pool} }
+
+// Reset empties the tree and re-arms it for reuse: the root is dropped
+// (without walking it — the caller resets the shared Pool wholesale), the
+// priority stream rewinds to the seed, and the counters zero. A Reset tree
+// is indistinguishable from a fresh NewTreeIn over the same pool; only the
+// retained capacity of its worklists differs. The caller owns the pool
+// lifecycle: Tree.Reset must be paired with a Pool.Reset (or the pool's
+// nodes leak until then), which is why it does not free nodes itself.
+func (t *Tree) Reset() {
+	t.root = nil
+	t.size = 0
+	t.rng = treapSeed
+	t.fresh = t.fresh[:0]
+	t.work = t.work[:0]
+	t.stats = Stats{}
+}
 
 // SetBalancing enables (default) or disables treap rotations. Disabling
 // turns the structure into an unbalanced BST, used by the "any balanced BST

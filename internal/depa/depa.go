@@ -71,7 +71,12 @@ type Builder struct {
 	seq    int32 // next sequential rank
 	cur    int32 // current strand
 	stack  []frame
-	arena  []uint64 // bump allocator for fork paths
+	// Fork paths are bump-allocated out of a retained list of arenas;
+	// arenas[arenaCur] is the one being filled. Reset rewinds every arena to
+	// length zero instead of dropping it, so reused Builders stop allocating
+	// once they have seen their peak run.
+	arenas   [][]uint64
+	arenaCur int
 }
 
 // NewBuilder returns a Builder with a single root strand, which is current.
@@ -83,9 +88,26 @@ func NewBuilder() *Builder {
 	return b
 }
 
+// Reset rewinds the Builder to the state NewBuilder returns, retaining
+// every label chunk and path arena. Views snapshotted before the Reset
+// must no longer be read: their records are recycled wholesale. newRec
+// fully overwrites each record it hands out, so the chunks need no
+// clearing — stale records past n are unreachable through any View.
+func (b *Builder) Reset() {
+	b.n, b.seq = 0, 0
+	b.stack = b.stack[:1]
+	b.stack[0] = frame{pending: -1, cont: -1}
+	for i := range b.arenas {
+		b.arenas[i] = b.arenas[i][:0]
+	}
+	b.arenaCur = 0
+	root := b.newRec(nil, 0)
+	b.makeCurrent(root)
+}
+
 func (b *Builder) newRec(path []uint64, block uint32) int32 {
 	id := b.n
-	if int(id)%recChunk == 0 {
+	if int(id)%recChunk == 0 && int(id)/recChunk == len(b.chunks) {
 		b.chunks = append(b.chunks, new(recSlab))
 	}
 	r := &b.chunks[id/recChunk][id%recChunk]
@@ -105,20 +127,30 @@ func (b *Builder) makeCurrent(id int32) {
 }
 
 // appendPath returns parent+[entry] in freshly bump-allocated storage. The
-// result is immutable: the arena only ever grows past it.
+// result is immutable until Reset: the active arena only ever grows past
+// it. An arena too full for the next path is left behind (its tail stays
+// unused until Reset rewinds it) and the cursor moves to the next retained
+// arena, allocating a new one only when none remain.
 func (b *Builder) appendPath(parent []uint64, entry uint64) []uint64 {
 	n := len(parent) + 1
-	if cap(b.arena)-len(b.arena) < n {
-		size := 4096
-		if n > size {
-			size = n
+	for {
+		if b.arenaCur == len(b.arenas) {
+			size := 4096
+			if n > size {
+				size = n
+			}
+			b.arenas = append(b.arenas, make([]uint64, 0, size))
 		}
-		b.arena = make([]uint64, 0, size)
+		a := b.arenas[b.arenaCur]
+		if cap(a)-len(a) >= n {
+			off := len(a)
+			a = append(a, parent...)
+			a = append(a, entry)
+			b.arenas[b.arenaCur] = a
+			return a[off : off+n : off+n]
+		}
+		b.arenaCur++
 	}
-	off := len(b.arena)
-	b.arena = append(b.arena, parent...)
-	b.arena = append(b.arena, entry)
-	return b.arena[off : off+n : off+n]
 }
 
 // Current returns the ID of the current strand.

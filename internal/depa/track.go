@@ -30,6 +30,14 @@ func NewTracker() *Tracker {
 	return t
 }
 
+// Reset rewinds the Tracker to the state NewTracker returns, keeping its
+// stack capacity.
+func (t *Tracker) Reset() {
+	t.n, t.cur = 1, 0
+	t.stack = t.stack[:1]
+	t.stack[0] = tframe{pending: -1, cont: -1}
+}
+
 // Current returns the ID of the current strand.
 func (t *Tracker) Current() int32 { return t.cur }
 

@@ -239,6 +239,14 @@ type Engine interface {
 	Finish()
 	// Stats returns the accumulated counters.
 	Stats() *Stats
+	// Reset returns the engine to its freshly-constructed state while
+	// retaining its warm capacity (slab pools, page directories, coalescing
+	// freelists), so a long-lived runner can reuse one engine across runs
+	// with zero steady-state heap growth. A reset engine must be
+	// indistinguishable from a fresh one: deterministic seeds re-derive,
+	// counters zero, and no access recorded before the Reset can influence
+	// a check after it.
+	Reset()
 }
 
 // New builds the engine for cfg.Mode over the given reachability structure.
@@ -264,6 +272,34 @@ func New(cfg Config, reach Reach) Engine {
 	panic(fmt.Sprintf("detect: no engine for mode %v", cfg.Mode))
 }
 
+// Footprint describes an engine's retained warm capacity — the memory a
+// reset-and-reuse lifecycle keeps parked between runs. The reuse-soak
+// suite asserts every field stops growing once a reused engine has seen
+// its peak workload (the zero-steady-state-heap-growth contract).
+type Footprint struct {
+	PoolChunks int // treap node-slab chunks (live + free)
+	PageDirCap int // page-directory backing capacity
+	HistPages  int // history pages ever allocated (live + parked)
+	BitPages   int // coalescing bit-hashmap pages ever allocated
+}
+
+// Add accumulates o into f (summing across shard workers).
+func (f *Footprint) Add(o Footprint) {
+	f.PoolChunks += o.PoolChunks
+	f.PageDirCap += o.PageDirCap
+	f.HistPages += o.HistPages
+	f.BitPages += o.BitPages
+}
+
+// FootprintOf returns e's warm footprint, or a zero Footprint for engines
+// that do not expose one (the no-op and oracle engines).
+func FootprintOf(e Engine) Footprint {
+	if f, ok := e.(interface{ Footprint() Footprint }); ok {
+		return f.Footprint()
+	}
+	return Footprint{}
+}
+
 // nopEngine supports Off and ReachOnly.
 type nopEngine struct{ stats Stats }
 
@@ -274,3 +310,4 @@ func (e *nopEngine) WriteRangeHook(mem.Addr, int, uint64) {}
 func (e *nopEngine) StrandEnd()                           {}
 func (e *nopEngine) Finish()                              {}
 func (e *nopEngine) Stats() *Stats                        { return &e.stats }
+func (e *nopEngine) Reset()                               { e.stats = Stats{} }

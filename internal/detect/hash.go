@@ -213,3 +213,25 @@ func (e *hashEngine) Finish() {
 }
 
 func (e *hashEngine) Stats() *Stats { return &e.stats }
+
+// Reset returns the engine to its freshly-constructed state: the shadow
+// table retires its pages to the freelist (capacity retained) and the bit
+// hashmaps drop any mid-strand state from an aborted run.
+func (e *hashEngine) Reset() {
+	e.table.Reset()
+	if e.rts {
+		e.readBits.Reset()
+		e.writeBits.Reset()
+	}
+	e.scratch = e.scratch[:0]
+	e.stats = Stats{}
+}
+
+// Footprint reports the engine's retained warm capacity.
+func (e *hashEngine) Footprint() Footprint {
+	f := Footprint{HistPages: e.table.Pages() + e.table.FreePages()}
+	if e.rts {
+		f.BitPages = e.readBits.Pages() + e.writeBits.Pages()
+	}
+	return f
+}

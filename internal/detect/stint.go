@@ -19,6 +19,9 @@ type store interface {
 	Query(x core.Interval, onOverlap core.OverlapFunc)
 	Stats() core.Stats
 	Size() int
+	// Reset empties the store for reuse, re-deriving any deterministic
+	// seeds so a reused store behaves byte-identically to a fresh one.
+	Reset()
 }
 
 type treeBackend int
@@ -63,7 +66,9 @@ type treeEngine struct {
 	readBits  *coalesce.BitSet
 	writeBits *coalesce.BitSet
 	pages     pagedir.Dir[histPage]
-	pool      *core.Pool // node slabs shared by every page's trees
+	pool      *core.Pool  // node slabs shared by every page's trees
+	freePages []*histPage // parked pages with reset stores, reused by pageFor
+	nPages    int         // histPages ever allocated (live + parked)
 	lastIdx   uint64
 	lastPage  *histPage
 	leftOf    core.LeftOfFunc
@@ -116,17 +121,26 @@ func (e *treeEngine) pageFor(idx uint64) *histPage {
 	}
 	p := e.pages.Get(idx)
 	if p == nil {
-		p = &histPage{}
-		switch e.backend {
-		case treeBackendTreap:
-			p.read, p.write = core.NewTreeIn(e.pool), core.NewTreeIn(e.pool)
-		case treeBackendBST:
-			rt, wt := core.NewTreeIn(e.pool), core.NewTreeIn(e.pool)
-			rt.SetBalancing(false)
-			wt.SetBalancing(false)
-			p.read, p.write = rt, wt
-		case treeBackendSkiplist:
-			p.read, p.write = skiplist.New(), skiplist.New()
+		if n := len(e.freePages); n > 0 {
+			// A parked page's stores were Reset when it was retired, so it is
+			// indistinguishable from a fresh page: same seeds, empty stores.
+			p = e.freePages[n-1]
+			e.freePages[n-1] = nil
+			e.freePages = e.freePages[:n-1]
+		} else {
+			p = &histPage{}
+			e.nPages++
+			switch e.backend {
+			case treeBackendTreap:
+				p.read, p.write = core.NewTreeIn(e.pool), core.NewTreeIn(e.pool)
+			case treeBackendBST:
+				rt, wt := core.NewTreeIn(e.pool), core.NewTreeIn(e.pool)
+				rt.SetBalancing(false)
+				wt.SetBalancing(false)
+				p.read, p.write = rt, wt
+			case treeBackendSkiplist:
+				p.read, p.write = skiplist.New(), skiplist.New()
+			}
 		}
 		e.pages.Put(idx, p)
 	}
@@ -250,6 +264,46 @@ func (e *treeEngine) Finish() {
 }
 
 func (e *treeEngine) Stats() *Stats { return &e.stats }
+
+// Reset returns the engine to its freshly-constructed state with its warm
+// capacity retained: every live history page has its stores Reset (seeds
+// re-derived, contents dropped) and is parked on the page freelist, the
+// shared node pool rewinds wholesale, the directory keeps its backing
+// array, and the coalescing bit hashmaps clear any mid-strand state an
+// aborted run may have left behind. In steady state Reset allocates
+// nothing and the retained footprint (pool chunks, directory capacity,
+// page count) stops growing once the engine has seen its peak run.
+func (e *treeEngine) Reset() {
+	e.readBits.Reset()
+	e.writeBits.Reset()
+	e.pages.Reset(func(p *histPage) {
+		p.read.Reset()
+		p.write.Reset()
+		e.freePages = append(e.freePages, p)
+	})
+	if e.pool != nil {
+		e.pool.Reset()
+	}
+	e.lastIdx, e.lastPage = 0, nil
+	e.scratch = e.scratch[:0]
+	e.curID = 0
+	e.stats = Stats{}
+}
+
+// Footprint reports the engine's retained warm capacity; the reuse-soak
+// test asserts it stops growing after warm-up.
+func (e *treeEngine) Footprint() Footprint {
+	var chunks int
+	if e.pool != nil {
+		chunks = e.pool.Stats().Chunks
+	}
+	return Footprint{
+		PoolChunks: chunks,
+		PageDirCap: e.pages.Cap(),
+		HistPages:  e.nPages,
+		BitPages:   e.readBits.Pages() + e.writeBits.Pages(),
+	}
+}
 
 // HistorySizes reports the number of intervals currently stored across all
 // pages' read and write histories (used by the skiplist-vs-treap ablation).

@@ -164,6 +164,34 @@ func (r *BcastRing[M]) Stats() Stats {
 	return s
 }
 
+// Reset re-arms a closed (or idle) broadcast ring for another run: slots,
+// cursors, release marks, and counters all clear and the closed flag drops.
+// Messages still referenced in slots — possible only after an aborted run —
+// are recycled through onFree before being dropped. Reset must not race
+// with an active producer or any consumer.
+func (r *BcastRing[M]) Reset() {
+	r.mu.Lock()
+	var orphans []M
+	for i := range r.slots {
+		if r.slots[i].refs > 0 {
+			orphans = append(orphans, r.slots[i].m)
+		}
+		r.slots[i] = bcastSlot[M]{}
+	}
+	r.tail = 0
+	clear(r.cursors)
+	clear(r.released)
+	clear(r.waits)
+	r.closed = false
+	r.stats = Stats{}
+	r.mu.Unlock()
+	if r.onFree != nil {
+		for _, m := range orphans {
+			r.onFree(m)
+		}
+	}
+}
+
 // ConsumerWaits returns the number of blocking episodes consumer i spent in
 // Next waiting for a publish.
 func (r *BcastRing[M]) ConsumerWaits(i int) uint64 {

@@ -341,3 +341,26 @@ func (r *Ring) Stats() Stats {
 	r.mu.Unlock()
 	return s
 }
+
+// Reset re-arms a closed (or idle) ring for another run: the closed flag
+// and counters clear, any batches still parked in the queue — an aborted
+// run may leave some undelivered — retire to the free list, and the free
+// list itself is retained, so the next run's Gets reuse the same warm
+// batches. Reset must not race with an active producer or consumer; call
+// it only after the previous run has fully wound down.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	for r.count > 0 {
+		b := r.buf[r.head]
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) % len(r.buf)
+		r.count--
+		if b != nil && len(r.free) < len(r.buf)+1 {
+			r.free = append(r.free, b)
+		}
+	}
+	r.head = 0
+	r.closed = false
+	r.stats = Stats{}
+	r.mu.Unlock()
+}

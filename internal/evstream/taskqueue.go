@@ -140,6 +140,23 @@ func (q *TaskQueue) Close() {
 	q.mu.Unlock()
 }
 
+// Reset re-arms a closed (or idle) queue for another run: pending chunks
+// are dropped (an aborted run's leftovers — their batches belong to the
+// BatchPool, which survives independently), counters zero, and the closed
+// flag clears. Must not race with active producers or the consumer.
+func (q *TaskQueue) Reset() {
+	q.mu.Lock()
+	for q.count > 0 {
+		q.buf[q.head] = Chunk{}
+		q.head = (q.head + 1) % len(q.buf)
+		q.count--
+	}
+	q.head = 0
+	q.closed = false
+	q.stats = Stats{}
+	q.mu.Unlock()
+}
+
 // Stats returns a snapshot of the queue counters. EventsPublished and
 // StreamBytes cover the chunks' access events; the merge stage accounts
 // separately for the structure events it synthesizes from terminators.
@@ -211,6 +228,15 @@ func (p *BatchPool) Put(b *Batch) {
 	if len(p.free) < p.limit {
 		p.free = append(p.free, b)
 	}
+	p.mu.Unlock()
+}
+
+// Reset re-arms the pool for another run: the free list — the pool's warm
+// capacity — is retained untouched, only the reuse counter rewinds so each
+// run's Reused figure stands alone.
+func (p *BatchPool) Reset() {
+	p.mu.Lock()
+	p.reused = 0
 	p.mu.Unlock()
 }
 

@@ -123,6 +123,19 @@ func (a *Arena) AllocFloat64(name string, elems int) *Buffer {
 // Buffers returns all allocations in allocation order.
 func (a *Arena) Buffers() []*Buffer { return a.buffers }
 
+// Reset discards every allocation and rewinds the address space to its
+// initial state: the next Alloc hands out the same addresses a fresh Arena
+// would. Allocation is deterministic, so a caller replaying an identical
+// Alloc sequence after Reset gets byte-identical buffers — the property
+// that lets a reused Runner re-Setup a workload per run without growing
+// its shadow footprint. Previously returned Buffers are invalidated; the
+// caller must drop them along with whatever state referenced them
+// (typically via Runner.Reset).
+func (a *Arena) Reset() {
+	a.next = arenaBase
+	a.buffers = a.buffers[:0]
+}
+
 // Resolve maps a virtual address back to the buffer containing it and the
 // element index within that buffer. It returns (nil, 0) for addresses
 // outside every allocation (padding or unallocated space). Buffers are

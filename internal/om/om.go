@@ -63,31 +63,76 @@ type List struct {
 	head *group // first group, nil when empty
 	tail *group
 	len  int
-	// nodeSlab and groupSlab are the unused tails of the newest slab chunks;
-	// allocNode/allocGroup slice elements off the front. Elements stay valid
-	// forever because the backing arrays are never reused.
-	nodeSlab  []Node
-	groupSlab []group
+	// Nodes and groups are carved sequentially out of retained chunk tables;
+	// allocNode/allocGroup advance a (chunk, offset) cursor. Elements stay
+	// valid until Reset, which rewinds the cursors and zeroes the carved
+	// region — the backing arrays are reused, never released, so steady-state
+	// reuse allocates nothing.
+	nodeChunks [][]Node
+	nodeCur    int
+	nodeUsed   int
+	grpChunks  [][]group
+	grpCur     int
+	grpUsed    int
 }
 
-// allocNode carves a zero node out of the slab.
+// allocNode carves a zero node out of the chunk table.
 func (l *List) allocNode() *Node {
-	if len(l.nodeSlab) == 0 {
-		l.nodeSlab = make([]Node, omChunk)
+	if l.nodeUsed == omChunk {
+		l.nodeCur++
+		l.nodeUsed = 0
 	}
-	n := &l.nodeSlab[0]
-	l.nodeSlab = l.nodeSlab[1:]
+	if l.nodeCur == len(l.nodeChunks) {
+		l.nodeChunks = append(l.nodeChunks, make([]Node, omChunk))
+	}
+	n := &l.nodeChunks[l.nodeCur][l.nodeUsed]
+	l.nodeUsed++
 	return n
 }
 
-// allocGroup carves a zero group out of the slab.
+// allocGroup carves a zero group out of the chunk table.
 func (l *List) allocGroup() *group {
-	if len(l.groupSlab) == 0 {
-		l.groupSlab = make([]group, omChunk)
+	if l.grpUsed == omChunk {
+		l.grpCur++
+		l.grpUsed = 0
 	}
-	g := &l.groupSlab[0]
-	l.groupSlab = l.groupSlab[1:]
+	if l.grpCur == len(l.grpChunks) {
+		l.grpChunks = append(l.grpChunks, make([]group, omChunk))
+	}
+	g := &l.grpChunks[l.grpCur][l.grpUsed]
+	l.grpUsed++
 	return g
+}
+
+// clearCarved zeroes the carved prefix of a chunk table: full chunks below
+// the cursor plus the carved head of the current chunk. Chunks past the
+// cursor are already zero (fresh from make, or cleared by an earlier Reset
+// and never re-carved).
+func clearCarved[T any](chunks [][]T, cur, used int) {
+	hi := cur
+	if hi >= len(chunks) {
+		hi = len(chunks) - 1
+	}
+	for i := 0; i < hi; i++ {
+		clear(chunks[i])
+	}
+	if hi >= 0 {
+		clear(chunks[hi][:used])
+	}
+}
+
+// Reset empties the list for reuse, retaining every chunk it ever
+// allocated. All Nodes previously returned by InsertAfter are recycled
+// wholesale — the caller must drop every reference before Reset (race
+// detection only ever does this between runs, when the whole strand set
+// dies at once). A Reset list is indistinguishable from NewList() except
+// for its retained capacity.
+func (l *List) Reset() {
+	clearCarved(l.nodeChunks, l.nodeCur, l.nodeUsed)
+	clearCarved(l.grpChunks, l.grpCur, l.grpUsed)
+	l.head, l.tail, l.len = nil, nil, 0
+	l.nodeCur, l.nodeUsed = 0, 0
+	l.grpCur, l.grpUsed = 0, 0
 }
 
 // NewList returns an empty order-maintenance list.

@@ -75,6 +75,15 @@ func (d *Detector) Finish() {}
 // Stats returns zeroed counters; the oracle measures nothing.
 func (d *Detector) Stats() *detect.Stats { return &d.stats }
 
+// Reset drops all recorded accesses so the oracle can be reused. The maps
+// are reallocated rather than cleared: the oracle is a test-only reference
+// and retains no warm capacity.
+func (d *Detector) Reset() {
+	d.reads = make(map[mem.Addr]map[int32]struct{})
+	d.writes = make(map[mem.Addr]map[int32]struct{})
+	d.stats = detect.Stats{}
+}
+
 // RacingWords returns the set of word addresses with at least one pair of
 // logically parallel conflicting accesses.
 func (d *Detector) RacingWords() map[mem.Addr]bool {

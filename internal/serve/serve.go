@@ -1,0 +1,409 @@
+// Package serve implements a long-lived trace-ingest service: an HTTP
+// server that accepts recorded execution traces, replays each through a
+// bounded fleet of pre-warmed, reused Runners, and exposes the resulting
+// race reports over a small JSON API.
+//
+// The service is the payoff of the reset-and-reuse Runner lifecycle: every
+// worker owns one Runner whose slab pools, page directories, and pipeline
+// state are allocated once and rewound between traces, so steady-state
+// ingest performs no per-trace heap growth. Reports are byte-identical to
+// fresh-Runner replays — the reuse-exactness contract is load-bearing
+// here, not an optimization footnote.
+//
+// API:
+//
+//	POST /v1/traces      body: raw trace bytes → {"id": "t-000001"} (202)
+//	GET  /v1/results/ID  → result JSON (status queued|running|done|error)
+//	GET  /v1/statusz     → pool utilization and admission counters
+//
+// Admission is backpressured: a bounded queue sits in front of the worker
+// fleet and a full queue rejects uploads with 429 instead of buffering
+// without bound. Per-run caps bound each replay's memory: uploads larger
+// than MaxTraceBytes are rejected with 413 before queuing, and traces
+// exceeding the MaxEvents budget are aborted mid-replay (the worker's
+// Runner resets and stays in the pool). Both show up in Stats.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stint"
+	"stint/trace"
+)
+
+// Config configures a Server. The zero value serves with two warm Runners
+// running the STINT detector.
+type Config struct {
+	// Runners is the worker-fleet size: that many Runners are built and
+	// warmed at startup, and at most that many traces replay concurrently.
+	// Default 2.
+	Runners int
+	// QueueDepth bounds the admission queue in front of the fleet; a full
+	// queue rejects uploads with 429. Default 2×Runners.
+	QueueDepth int
+	// MaxTraceBytes rejects uploads larger than this with 413 before they
+	// reach the queue. Default 64 MiB; negative disables the cap.
+	MaxTraceBytes int64
+	// MaxEvents bounds the events one replay may consume
+	// (trace.Options.MaxEvents); an oversized trace aborts with its result
+	// status "error" and counts as oversized in Stats. 0 = unbounded.
+	MaxEvents uint64
+	// Opts configures every pooled Runner (detector, pipeline mode, race
+	// recording bounds). Detector defaults to DetectorSTINT; Tracer and
+	// OnRace must be unset — the service owns both ends of the replay.
+	Opts stint.Options
+	// MaxResults bounds the retained result set; the oldest results are
+	// evicted first. Default 256.
+	MaxResults int
+	// FreshRunners, when true, builds a new Runner for every trace instead
+	// of reusing the warm pool. This is the benchmark baseline the warm
+	// pool is measured against; production servers leave it false.
+	FreshRunners bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runners <= 0 {
+		c.Runners = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Runners
+	}
+	if c.MaxTraceBytes == 0 {
+		c.MaxTraceBytes = 64 << 20
+	}
+	if c.MaxResults <= 0 {
+		c.MaxResults = 256
+	}
+	if c.Opts.Detector == stint.DetectorOff {
+		c.Opts.Detector = stint.DetectorSTINT
+	}
+	if c.Opts.MaxRacesRecorded == 0 {
+		c.Opts.MaxRacesRecorded = 64
+	}
+	return c
+}
+
+// Result is the JSON-visible state of one submitted trace.
+type Result struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // queued | running | done | error
+	Error  string `json:"error,omitempty"`
+	// Filled in when Status == "done".
+	RaceCount uint64   `json:"race_count"`
+	Strands   int      `json:"strands"`
+	Races     []string `json:"races,omitempty"` // canonical order, Race.String() form
+	WallTime  string   `json:"wall_time,omitempty"`
+
+	done chan struct{}
+}
+
+// Stats is the /v1/statusz payload: pool utilization and admission
+// counters since the server started.
+type Stats struct {
+	Runners      int     `json:"runners"`
+	Busy         int     `json:"busy"`
+	Idle         int     `json:"idle"`
+	QueueLen     int     `json:"queue_len"`
+	QueueCap     int     `json:"queue_cap"`
+	Admitted     uint64  `json:"admitted"`
+	Rejected     uint64  `json:"rejected"`  // 429s: queue full
+	Oversized    uint64  `json:"oversized"` // 413s + MaxEvents aborts
+	Failed       uint64  `json:"failed"`    // replay errors other than oversize
+	Completed    uint64  `json:"completed"`
+	UptimeSec    float64 `json:"uptime_sec"`
+	TracesPerSec float64 `json:"traces_per_sec"` // completed / uptime
+}
+
+type job struct {
+	id   string
+	data []byte
+}
+
+// Server is a trace-ingest service instance. Create with New, serve its
+// Handler, and Close it to stop the worker fleet.
+type Server struct {
+	cfg   Config
+	queue chan job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	start time.Time
+
+	busy      atomic.Int64
+	admitted  atomic.Uint64
+	rejected  atomic.Uint64
+	oversized atomic.Uint64
+	failed    atomic.Uint64
+	completed atomic.Uint64
+
+	mu      sync.Mutex
+	nextID  uint64
+	results map[string]*Result
+	order   []string
+}
+
+// New builds the Runner fleet, warms every Runner, and starts the workers.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Opts.Tracer != nil || cfg.Opts.OnRace != nil {
+		return nil, errors.New("serve: Opts.Tracer and Opts.OnRace must be unset")
+	}
+	runners := make([]*stint.Runner, cfg.Runners)
+	for i := range runners {
+		r, err := stint.NewRunner(cfg.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("serve: building runner fleet: %w", err)
+		}
+		// Warm the full pipeline (stage graph, rings, engines) before the
+		// first trace arrives, so ingest latency never pays first-run
+		// construction.
+		if _, err := r.Run(func(*stint.Task) {}); err != nil {
+			return nil, fmt.Errorf("serve: warming runner fleet: %w", err)
+		}
+		runners[i] = r
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan job, cfg.QueueDepth),
+		quit:    make(chan struct{}),
+		start:   time.Now(),
+		results: make(map[string]*Result),
+	}
+	for _, r := range runners {
+		s.wg.Add(1)
+		go s.worker(r)
+	}
+	return s, nil
+}
+
+// Close stops accepting work and waits for in-flight replays to finish.
+// Queued-but-unstarted traces finish too: the queue is drained, not
+// dropped.
+func (s *Server) Close() {
+	close(s.quit)
+	s.wg.Wait()
+}
+
+func (s *Server) worker(r *stint.Runner) {
+	defer s.wg.Done()
+	for {
+		// Drain the queue even while shutting down, but prefer quit when
+		// the queue is empty.
+		select {
+		case j := <-s.queue:
+			s.replay(r, j)
+		case <-s.quit:
+			select {
+			case j := <-s.queue:
+				s.replay(r, j)
+			default:
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) replay(r *stint.Runner, j job) {
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+	s.setStatus(j.id, "running")
+
+	opts := trace.Options{Runner: r, MaxEvents: s.cfg.MaxEvents}
+	if s.cfg.FreshRunners {
+		fresh, err := stint.NewRunner(s.cfg.Opts)
+		if err != nil {
+			s.finishErr(j.id, err)
+			return
+		}
+		opts.Runner = fresh
+	}
+	rep, err := trace.Replay(bytes.NewReader(j.data), opts)
+	if err != nil {
+		s.finishErr(j.id, err)
+		return
+	}
+	s.completed.Add(1)
+	races := make([]string, len(rep.Races))
+	for i, rc := range rep.Races {
+		races[i] = rc.String()
+	}
+	s.finish(j.id, func(res *Result) {
+		res.Status = "done"
+		res.RaceCount = rep.RaceCount
+		res.Strands = rep.Strands
+		res.Races = races
+		res.WallTime = rep.WallTime.String()
+	})
+}
+
+func (s *Server) finishErr(id string, err error) {
+	if errors.Is(err, trace.ErrTooManyEvents) {
+		s.oversized.Add(1)
+	} else {
+		s.failed.Add(1)
+	}
+	s.finish(id, func(res *Result) {
+		res.Status = "error"
+		res.Error = err.Error()
+	})
+}
+
+func (s *Server) setStatus(id, status string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if res := s.results[id]; res != nil {
+		res.Status = status
+	}
+}
+
+func (s *Server) finish(id string, fill func(*Result)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := s.results[id]
+	if res == nil {
+		return // evicted while running
+	}
+	fill(res)
+	close(res.done)
+}
+
+// admit registers a new result record and enqueues the trace. It reports
+// false when the queue is full.
+func (s *Server) admit(data []byte) (string, bool) {
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("t-%06d", s.nextID)
+	res := &Result{ID: id, Status: "queued", done: make(chan struct{})}
+	s.results[id] = res
+	s.order = append(s.order, id)
+	for len(s.order) > s.cfg.MaxResults {
+		evict := s.order[0]
+		s.order = s.order[1:]
+		delete(s.results, evict)
+	}
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- job{id: id, data: data}:
+		s.admitted.Add(1)
+		return id, true
+	default:
+		s.rejected.Add(1)
+		s.mu.Lock()
+		delete(s.results, id)
+		if n := len(s.order); n > 0 && s.order[n-1] == id {
+			s.order = s.order[:n-1]
+		}
+		s.mu.Unlock()
+		return "", false
+	}
+}
+
+// result looks up a result record by id.
+func (s *Server) result(id string) (*Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, ok := s.results[id]
+	if !ok {
+		return nil, false
+	}
+	// Copy under the lock: workers mutate the record in place.
+	cp := *res
+	cp.done = nil
+	return &cp, true
+}
+
+// wait blocks until the result with the given id reaches a terminal
+// status. Test and benchmark plumbing.
+func (s *Server) wait(id string) {
+	s.mu.Lock()
+	res := s.results[id]
+	s.mu.Unlock()
+	if res != nil {
+		<-res.done
+	}
+}
+
+// Stats snapshots the pool and admission counters.
+func (s *Server) Stats() Stats {
+	busy := int(s.busy.Load())
+	up := time.Since(s.start).Seconds()
+	st := Stats{
+		Runners:   s.cfg.Runners,
+		Busy:      busy,
+		Idle:      s.cfg.Runners - busy,
+		QueueLen:  len(s.queue),
+		QueueCap:  cap(s.queue),
+		Admitted:  s.admitted.Load(),
+		Rejected:  s.rejected.Load(),
+		Oversized: s.oversized.Load(),
+		Failed:    s.failed.Load(),
+		Completed: s.completed.Load(),
+		UptimeSec: up,
+	}
+	if up > 0 {
+		st.TracesPerSec = float64(st.Completed) / up
+	}
+	return st
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/traces", s.handleUpload)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /v1/statusz", s.handleStatusz)
+	return mux
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, req *http.Request) {
+	body := req.Body
+	if s.cfg.MaxTraceBytes > 0 {
+		body = http.MaxBytesReader(w, body, s.cfg.MaxTraceBytes)
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.oversized.Add(1)
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("trace exceeds %d bytes", tooBig.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	id, ok := s.admit(data)
+	if !ok {
+		writeJSON(w, http.StatusTooManyRequests,
+			map[string]string{"error": "admission queue full"})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, req *http.Request) {
+	res, ok := s.result(req.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown or evicted result id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

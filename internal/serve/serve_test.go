@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"stint"
+	"stint/trace"
+)
+
+// divide records a racy divide-and-conquer program: sibling halves overlap
+// by one word at every split, so the trace carries a deterministic set of
+// races at every granularity.
+func divide(t *stint.Task, buf *stint.Buffer, lo, hi, leaf int) {
+	if hi-lo <= leaf {
+		t.LoadRange(buf, lo, hi-lo)
+		t.StoreRange(buf, lo, hi-lo)
+		return
+	}
+	mid := (lo + hi) / 2
+	t.Spawn(func(c *stint.Task) { divide(c, buf, lo, mid+1, leaf) })
+	t.Spawn(func(c *stint.Task) { divide(c, buf, mid, hi, leaf) })
+	t.Sync()
+}
+
+// recordTrace runs the divide program under a Recorder (detector off) and
+// returns the trace bytes.
+func recordTrace(tb testing.TB, words, leaf int) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf)
+	r, err := stint.NewRunner(stint.Options{Tracer: rec})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	data := r.Arena().AllocWords("d", words)
+	if _, err := r.Run(func(task *stint.Task) { divide(task, data, 0, words, leaf) }); err != nil {
+		tb.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postTrace(tb testing.TB, ts *httptest.Server, raw []byte) (string, int) {
+	tb.Helper()
+	resp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		tb.Fatal(err)
+	}
+	return body["id"], resp.StatusCode
+}
+
+func pollResult(tb testing.TB, ts *httptest.Server, id string) Result {
+	tb.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/results/" + id)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var res Result
+		err = json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if res.Status == "done" || res.Status == "error" {
+			return res
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("result %s stuck in status %q", id, res.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServeEndToEnd uploads a trace over HTTP, polls its result, and checks
+// the race report against a direct fresh-Runner replay of the same bytes.
+func TestServeEndToEnd(t *testing.T) {
+	raw := recordTrace(t, 512, 64)
+	want, err := trace.Replay(bytes.NewReader(raw), trace.Options{Detector: stint.DetectorSTINT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.RaceCount == 0 {
+		t.Fatal("fixture trace should race")
+	}
+
+	s, err := New(Config{Runners: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id, code := postTrace(t, ts, raw)
+	if code != http.StatusAccepted || id == "" {
+		t.Fatalf("upload: status %d, id %q", code, id)
+	}
+	res := pollResult(t, ts, id)
+	if res.Status != "done" {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.RaceCount != want.RaceCount || res.Strands != want.Strands {
+		t.Fatalf("served result diverges: %d races / %d strands, fresh replay %d / %d",
+			res.RaceCount, res.Strands, want.RaceCount, want.Strands)
+	}
+	wantRaces := make([]string, len(want.Races))
+	for i, rc := range want.Races {
+		wantRaces[i] = rc.String()
+	}
+	if !reflect.DeepEqual(res.Races, wantRaces) {
+		t.Fatalf("served race list diverges\n got: %v\nwant: %v", res.Races, wantRaces)
+	}
+
+	var st Stats
+	resp, err := http.Get(ts.URL + "/v1/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Runners != 2 || st.Admitted < 1 || st.Completed < 1 {
+		t.Fatalf("statusz: %+v", st)
+	}
+}
+
+// TestServeReusedMatchesFresh is the serve-level byte-identity invariant:
+// the same trace replayed repeatedly through the warm pool — and through a
+// fresh-runner-per-trace server — always yields the identical result.
+func TestServeReusedMatchesFresh(t *testing.T) {
+	raw := recordTrace(t, 512, 64)
+	results := make(map[string][]Result)
+	for _, mode := range []struct {
+		name  string
+		fresh bool
+	}{{"warm", false}, {"fresh", true}} {
+		s, err := New(Config{Runners: 1, FreshRunners: mode.fresh})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		for i := 0; i < 3; i++ {
+			id, code := postTrace(t, ts, raw)
+			if code != http.StatusAccepted {
+				t.Fatalf("%s upload %d: status %d", mode.name, i, code)
+			}
+			res := pollResult(t, ts, id)
+			if res.Status != "done" {
+				t.Fatalf("%s result %d: %+v", mode.name, i, res)
+			}
+			res.ID, res.WallTime = "", "" // only the report content must match
+			results[mode.name] = append(results[mode.name], res)
+		}
+		ts.Close()
+		s.Close()
+	}
+	for i := 1; i < len(results["warm"]); i++ {
+		if !reflect.DeepEqual(results["warm"][i], results["warm"][0]) {
+			t.Fatalf("warm pool drifted between replays:\n%+v\n%+v", results["warm"][i], results["warm"][0])
+		}
+	}
+	if !reflect.DeepEqual(results["warm"][0], results["fresh"][0]) {
+		t.Fatalf("warm vs fresh reports diverge:\nwarm:  %+v\nfresh: %+v", results["warm"][0], results["fresh"][0])
+	}
+}
+
+// TestServeQueueFullRejects exercises admission backpressure against a
+// server whose workers never drain: the queue fills, further uploads get
+// 429, and the rejection is counted.
+func TestServeQueueFullRejects(t *testing.T) {
+	s := &Server{
+		cfg:     Config{Runners: 1, QueueDepth: 1}.withDefaults(),
+		queue:   make(chan job, 1),
+		quit:    make(chan struct{}),
+		start:   time.Now(),
+		results: make(map[string]*Result),
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	raw := recordTrace(t, 64, 16)
+	if _, code := postTrace(t, ts, raw); code != http.StatusAccepted {
+		t.Fatalf("first upload: status %d", code)
+	}
+	id, code := postTrace(t, ts, raw)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("second upload: status %d, want 429", code)
+	}
+	if id != "" {
+		t.Fatalf("rejected upload got id %q", id)
+	}
+	st := s.Stats()
+	if st.Rejected != 1 || st.Admitted != 1 || st.QueueLen != 1 {
+		t.Fatalf("stats after rejection: %+v", st)
+	}
+}
+
+// TestServeOversize exercises both memory caps: the byte cap rejects at
+// the door with 413, and the event budget aborts mid-replay with the
+// result surfaced as an error — both counted as oversized.
+func TestServeOversize(t *testing.T) {
+	raw := recordTrace(t, 512, 64)
+
+	t.Run("bytes", func(t *testing.T) {
+		s, err := New(Config{Runners: 1, MaxTraceBytes: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		if _, code := postTrace(t, ts, raw); code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("oversized upload: status %d, want 413", code)
+		}
+		if st := s.Stats(); st.Oversized != 1 || st.Admitted != 0 {
+			t.Fatalf("stats: %+v", st)
+		}
+	})
+
+	t.Run("events", func(t *testing.T) {
+		s, err := New(Config{Runners: 1, MaxEvents: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		id, code := postTrace(t, ts, raw)
+		if code != http.StatusAccepted {
+			t.Fatalf("upload: status %d", code)
+		}
+		res := pollResult(t, ts, id)
+		if res.Status != "error" || !strings.Contains(res.Error, "event budget") {
+			t.Fatalf("result: %+v", res)
+		}
+		if st := s.Stats(); st.Oversized != 1 || st.Failed != 0 {
+			t.Fatalf("stats: %+v", st)
+		}
+	})
+}
+
+// TestServeUnknownResult covers the 404 path and result eviction.
+func TestServeUnknownResult(t *testing.T) {
+	s, err := New(Config{Runners: 1, MaxResults: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/results/t-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+
+	raw := recordTrace(t, 64, 16)
+	first, code := postTrace(t, ts, raw)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload: status %d", code)
+	}
+	s.wait(first)
+	second, code := postTrace(t, ts, raw)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload: status %d", code)
+	}
+	s.wait(second)
+	resp, err = http.Get(ts.URL + "/v1/results/" + first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServeShardedPool runs the service over the sharded pipeline
+// configuration and checks it against a fresh sharded replay.
+func TestServeShardedPool(t *testing.T) {
+	raw := recordTrace(t, 512, 64)
+	want, err := trace.Replay(bytes.NewReader(raw), trace.Options{Detector: stint.DetectorSTINT, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Runners: 2, Opts: stint.Options{
+		Detector: stint.DetectorSTINT, Async: true, DetectShards: 2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	id, code := postTrace(t, ts, raw)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload: status %d", code)
+	}
+	res := pollResult(t, ts, id)
+	if res.Status != "done" || res.RaceCount != want.RaceCount {
+		t.Fatalf("sharded serve diverges: %+v, want %d races", res, want.RaceCount)
+	}
+}

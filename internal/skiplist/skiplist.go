@@ -36,9 +36,26 @@ type List struct {
 	stats  core.Stats
 }
 
+// skiplistSeed is the deterministic height-stream seed; Reset restores it
+// so reused lists draw the same heights as fresh ones.
+const skiplistSeed = 0x853C49E6748FEA9B
+
 // New returns an empty list.
 func New() *List {
-	return &List{head: &node{}, level: 1, rng: 0x853C49E6748FEA9B}
+	return &List{head: &node{}, level: 1, rng: skiplistSeed}
+}
+
+// Reset empties the list for reuse: nodes are dropped for the garbage
+// collector (this store deliberately mirrors the heap-per-node related
+// work, so there is no slab to rewind) and the height stream rewinds to
+// the seed, making a reused list indistinguishable from a fresh one.
+func (l *List) Reset() {
+	l.head.next = [maxHeight]*node{}
+	l.level = 1
+	l.rng = skiplistSeed
+	l.maxLen = 0
+	l.size = 0
+	l.stats = core.Stats{}
 }
 
 // Size returns the number of stored intervals (duplicates included).

@@ -61,18 +61,53 @@ type SP struct {
 	eng     *om.List
 	heb     *om.List
 	strands []*Strand
-	slab    []Strand // unused tail of the newest slab chunk
-	cur     *Strand
-	seq     int32 // next sequential rank to hand out (see Strand.Seq)
+	// Strand records are carved sequentially out of retained chunks; Reset
+	// rewinds the (chunk, offset) cursor instead of dropping the backing
+	// arrays, so a reused SP allocates nothing in steady state.
+	chunks [][]Strand
+	curCk  int
+	usedCk int
+	cur    *Strand
+	seq    int32 // next sequential rank to hand out (see Strand.Seq)
 }
 
 // New returns an SP with a single root strand, which is also the current
 // strand.
 func New() *SP {
 	sp := &SP{eng: om.NewList(), heb: om.NewList()}
+	sp.start()
+	return sp
+}
+
+// start creates the root strand and makes it current.
+func (sp *SP) start() {
 	root := sp.newStrand(sp.eng.InsertAfter(nil), sp.heb.InsertAfter(nil))
 	sp.makeCurrent(root)
-	return sp
+}
+
+// Reset rewinds the SP to the state New returns, retaining every strand
+// chunk and both order-maintenance lists' backing memory. All Strand
+// pointers handed out before the Reset are recycled wholesale; the access
+// history referencing them must be reset in the same breath. Because the
+// root strand is re-created through the identical insertion sequence, a
+// reused SP is indistinguishable from a fresh one.
+func (sp *SP) Reset() {
+	sp.eng.Reset()
+	sp.heb.Reset()
+	hi := sp.curCk
+	if hi >= len(sp.chunks) {
+		hi = len(sp.chunks) - 1
+	}
+	for i := 0; i < hi; i++ {
+		clear(sp.chunks[i])
+	}
+	if hi >= 0 {
+		clear(sp.chunks[hi][:sp.usedCk])
+	}
+	sp.strands = sp.strands[:0]
+	sp.curCk, sp.usedCk = 0, 0
+	sp.seq = 0
+	sp.start()
 }
 
 // makeCurrent stamps s with the next sequential rank and makes it current.
@@ -85,11 +120,15 @@ func (sp *SP) makeCurrent(s *Strand) {
 }
 
 func (sp *SP) newStrand(eng, heb *om.Node) *Strand {
-	if len(sp.slab) == 0 {
-		sp.slab = make([]Strand, strandChunk)
+	if sp.usedCk == strandChunk {
+		sp.curCk++
+		sp.usedCk = 0
 	}
-	s := &sp.slab[0]
-	sp.slab = sp.slab[1:]
+	if sp.curCk == len(sp.chunks) {
+		sp.chunks = append(sp.chunks, make([]Strand, strandChunk))
+	}
+	s := &sp.chunks[sp.curCk][sp.usedCk]
+	sp.usedCk++
 	s.id, s.eng, s.heb = int32(len(sp.strands)), eng, heb
 	sp.strands = append(sp.strands, s)
 	return s

@@ -129,8 +129,16 @@ func (c *Collector) Sorted() []detect.Race {
 	for i, kr := range c.h {
 		out[i] = kr.r
 	}
-	c.h = nil
+	// Keep the backing array: a reused Collector re-heaps into the same
+	// bounded allocation instead of growing the heap each run.
+	c.h = c.h[:0]
 	return out
+}
+
+// Reset empties the collector for another run, retaining the heap's backing
+// array (bounded by max) so steady-state reuse allocates nothing.
+func (c *Collector) Reset() {
+	c.h = c.h[:0]
 }
 
 // heapifyPrefix restores the max-heap property over h[:end] after the root

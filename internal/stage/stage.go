@@ -156,6 +156,9 @@ func (m *Meter) AddBatch(t0 time.Time, skipped bool) {
 	}
 }
 
+// Reset zeroes the meter for another run.
+func (m *Meter) Reset() { *m = Meter{} }
+
 // Busy returns the accumulated busy time.
 func (m *Meter) Busy() time.Duration { return m.busy }
 

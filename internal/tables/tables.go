@@ -11,13 +11,19 @@
 package tables
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"time"
 
 	"stint"
 	"stint/internal/cliutil"
+	"stint/internal/serve"
+	"stint/trace"
 	"stint/workloads"
 )
 
@@ -581,4 +587,121 @@ func (s *Suite) All() error {
 		s.printf("\n")
 	}
 	return nil
+}
+
+// Serve exercises the trace-ingest service end to end and prints its pool
+// utilization: every benchmark is recorded once, uploaded reps times to an
+// in-process stint-serve instance running a warm Runner fleet, and the
+// closing block renders the service's /v1/statusz payload — runners
+// busy/idle, queue depth, admission counters, traces/sec — through the
+// same formatter the CLI tools use. Not one of the paper's figures, so
+// Suite.All leaves it out.
+func (s *Suite) Serve() error {
+	const fleet = 4
+	srv, err := serve.New(serve.Config{
+		Runners: fleet,
+		Opts:    stint.Options{Detector: stint.DetectorSTINT},
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	s.printf("== Trace-ingest service: warm pool of %d reused Runners ==\n", fleet)
+	s.printf("%-6s %10s %8s %6s\n", "", "trace-KiB", "uploads", "races")
+	for _, name := range workloads.Names() {
+		f, err := workloads.ByName(name, s.scale())
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		rec := trace.NewRecorder(&buf)
+		r, err := stint.NewRunner(stint.Options{Tracer: rec})
+		if err != nil {
+			return err
+		}
+		w := f()
+		w.Setup(r)
+		if _, err := r.Run(w.Run); err != nil {
+			return err
+		}
+		if err := rec.Flush(); err != nil {
+			return err
+		}
+		raw := buf.Bytes()
+
+		var races uint64
+		for rep := 0; rep < s.reps(); rep++ {
+			id, err := uploadTrace(ts.URL, raw)
+			if err != nil {
+				return err
+			}
+			res, err := awaitResult(ts.URL, id)
+			if err != nil {
+				return err
+			}
+			races = res.RaceCount
+		}
+		s.printf("%-6s %10.0f %8d %6d\n", name, float64(len(raw))/1024, s.reps(), races)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/statusz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	for _, line := range cliutil.ServeStatus(st) {
+		s.printf("%s\n", line)
+	}
+	return nil
+}
+
+// uploadTrace POSTs trace bytes to a running service and returns the
+// assigned result id.
+func uploadTrace(baseURL string, raw []byte) (string, error) {
+	resp, err := http.Post(baseURL+"/v1/traces", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("tables: trace upload: status %d: %s", resp.StatusCode, body["error"])
+	}
+	return body["id"], nil
+}
+
+// awaitResult polls a result until it reaches a terminal status.
+func awaitResult(baseURL, id string) (*serve.Result, error) {
+	deadline := time.Now().Add(time.Minute)
+	for {
+		resp, err := http.Get(baseURL + "/v1/results/" + id)
+		if err != nil {
+			return nil, err
+		}
+		var res serve.Result
+		err = json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case res.Status == "done":
+			return &res, nil
+		case res.Status == "error":
+			return nil, fmt.Errorf("tables: replay of %s failed: %s", id, res.Error)
+		case time.Now().After(deadline):
+			return nil, fmt.Errorf("tables: result %s stuck in status %q", id, res.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }

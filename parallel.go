@@ -141,10 +141,11 @@ func (p *parTask) cut(end evstream.ChunkEnd, child uint64) {
 	p.resume()
 }
 
-// startParallel wires the ParallelDetect stage graph: the merge stage
-// bridging the chunk queue to the broadcast ring, and the same N shard
-// workers and merge finalizer the Async sharded pipeline uses.
-func (as *asyncState) startParallel(cfg detect.Config, shards, maxRec int, user func(Race), summarize bool) {
+// buildParallel constructs the retained detector-side state of the
+// ParallelDetect pipeline — label Builder, broadcast ring, and the same N
+// shard workers the Async sharded pipeline uses — without launching
+// anything; launchParallel wires them onto each run's fresh stage graph.
+func (as *asyncState) buildParallel(cfg detect.Config, shards, maxRec int, user func(Race), summarize bool) (*depa.Builder, []*shardWorker, *evstream.BcastRing[labeledBatch]) {
 	as.shards = shards
 	as.summarize = summarize
 	labels := depa.NewBuilder()
@@ -152,11 +153,22 @@ func (as *asyncState) startParallel(cfg detect.Config, shards, maxRec int, user 
 		// Last worker release: the batch returns to the shared pool.
 		as.pool.Put(m.batch)
 	})
+	workers := as.buildWorkers(cfg, shards, maxRec, user, bcast)
+	return labels, workers, bcast
+}
+
+// launchParallel wires the ParallelDetect stage graph for one run: the
+// merge stage bridging the chunk queue to the broadcast ring, and the same
+// prebuilt shard workers and merge finalizer the Async sharded pipeline
+// uses.
+func (as *asyncState) launchParallel(labels *depa.Builder, workers []*shardWorker, bcast *evstream.BcastRing[labeledBatch], maxRec int) {
 	as.graph.OnAbort(func() {
 		as.queue.Close()
 		bcast.Close()
 	})
-	workers := as.startWorkers(cfg, shards, maxRec, user, bcast)
+	for _, w := range workers {
+		as.graph.Go(w.run)
+	}
 	as.graph.Go(func() { as.mergeParallel(labels, bcast) })
 	as.graph.Seal(func() { as.mergeSharded(labels, workers, bcast, maxRec) })
 }

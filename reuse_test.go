@@ -1,0 +1,208 @@
+package stint
+
+import (
+	"reflect"
+	"runtime"
+	"runtime/debug"
+	"testing"
+)
+
+// The reuse suite pins the Runner lifecycle contract: a Runner reused
+// across many programs (Run auto-resets between them) produces Reports
+// byte-identical to fresh Runners, across every execution mode, and its
+// retained footprint stops growing once it has seen its peak workload.
+
+// reuseModes are the execution-mode configurations the reuse contract
+// covers: synchronous inline, plain pipelined, sharded at one and four
+// workers, and parallel execution with online detection.
+var reuseModes = []struct {
+	name string
+	opts Options
+}{
+	{"sync", Options{Detector: DetectorSTINT, MaxRacesRecorded: 1 << 10}},
+	{"async", Options{Detector: DetectorSTINT, MaxRacesRecorded: 1 << 10, Async: true}},
+	{"shards1", Options{Detector: DetectorSTINT, MaxRacesRecorded: 1 << 10, Async: true, DetectShards: 1}},
+	{"shards4", Options{Detector: DetectorSTINT, MaxRacesRecorded: 1 << 10, Async: true, DetectShards: 4}},
+	{"parallel", Options{Detector: DetectorSTINT, MaxRacesRecorded: 1 << 10, ParallelDetect: true, DetectShards: 2}},
+}
+
+// reuseCompare fails the test unless the two reports agree on every
+// deterministic field: the race list byte for byte, the counts, and the
+// normalized stats.
+func reuseCompare(t *testing.T, label string, got, want *Report) {
+	t.Helper()
+	if got.RaceCount != want.RaceCount || got.Strands != want.Strands {
+		t.Fatalf("%s: RaceCount/Strands %d/%d, fresh %d/%d",
+			label, got.RaceCount, got.Strands, want.RaceCount, want.Strands)
+	}
+	if !reflect.DeepEqual(got.Races, want.Races) {
+		t.Fatalf("%s: race list diverges from fresh runner\n got: %v\nwant: %v",
+			label, got.Races, want.Races)
+	}
+	if normStats(got.Stats) != normStats(want.Stats) {
+		t.Fatalf("%s: stats diverge from fresh runner\n got: %+v\nwant: %+v",
+			label, normStats(got.Stats), normStats(want.Stats))
+	}
+}
+
+// TestReuseByteIdenticalReports drives one Runner per mode through a
+// sequence of randomized soak workloads — Run auto-resets between them —
+// and checks each Report byte-for-byte against a fresh Runner executing the
+// same workload. The arena is deterministic, so the reused Runner's buffers
+// (allocated once, before the first run) and the fresh Runners' buffers get
+// identical addresses.
+func TestReuseByteIdenticalReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	const seeds = 5
+	for _, mode := range reuseModes {
+		t.Run(mode.name, func(t *testing.T) {
+			reused, err := NewRunner(mode.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// All soak programs use the same fixed buffer geometry, so the
+			// reused runner allocates its buffers exactly once.
+			_, sizes := soakProgram(0)
+			bufs := make([]*Buffer, len(sizes))
+			for i, s := range sizes {
+				bufs[i] = reused.Arena().AllocWords("b", s)
+			}
+			for seed := int64(0); seed < seeds; seed++ {
+				acts, _ := soakProgram(seed)
+				got, err := reused.Run(func(task *Task) { runActs(task, bufs, acts) })
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := soakRunOpts(t, acts, sizes, mode.opts)
+				reuseCompare(t, mode.name, got, want)
+			}
+			// An explicit Reset between runs is equivalent to the automatic
+			// one: re-running the last seed still matches fresh.
+			reused.Reset()
+			acts, _ := soakProgram(seeds - 1)
+			got, err := reused.Run(func(task *Task) { runActs(task, bufs, acts) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := soakRunOpts(t, acts, sizes, mode.opts)
+			reuseCompare(t, mode.name+"/explicit-reset", got, want)
+		})
+	}
+}
+
+// TestReuseFootprintStopsGrowing reruns the same workload set on one Runner
+// and checks the retained warm capacity — pool chunks, page-directory
+// capacity, history and bitmap pages — is identical after every lap: the
+// first pass over the workloads warms the structures to their peak, and
+// reuse never grows them again.
+func TestReuseFootprintStopsGrowing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	for _, mode := range reuseModes {
+		t.Run(mode.name, func(t *testing.T) {
+			r, err := NewRunner(mode.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, sizes := soakProgram(0)
+			bufs := make([]*Buffer, len(sizes))
+			for i, s := range sizes {
+				bufs[i] = r.Arena().AllocWords("b", s)
+			}
+			lap := func() {
+				for seed := int64(0); seed < 4; seed++ {
+					acts, _ := soakProgram(seed)
+					if _, err := r.Run(func(task *Task) { runActs(task, bufs, acts) }); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			lap() // warm-up: the structures grow to the workload's peak
+			warm := r.footprint()
+			if warm.HistPages == 0 && warm.BitPages == 0 {
+				t.Fatalf("%s: footprint reports nothing after a detecting run: %+v", mode.name, warm)
+			}
+			for i := 0; i < 3; i++ {
+				lap()
+				if got := r.footprint(); got != warm {
+					t.Fatalf("%s: footprint grew on lap %d: warm %+v, now %+v",
+						mode.name, i+1, warm, got)
+				}
+			}
+		})
+	}
+}
+
+// TestResetSteadyStateAllocatesNothing checks the headline Reset property:
+// after a dirty run on a warm synchronous Runner, the reset walk itself
+// performs zero heap allocations.
+func TestResetSteadyStateAllocatesNothing(t *testing.T) {
+	r, err := NewRunner(Options{Detector: DetectorSTINT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sizes := soakProgram(0)
+	bufs := make([]*Buffer, len(sizes))
+	for i, s := range sizes {
+		bufs[i] = r.Arena().AllocWords("b", s)
+	}
+	acts, _ := soakProgram(1)
+	run := func() {
+		if _, err := r.Run(func(task *Task) { runActs(task, bufs, acts) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	r.Reset()
+	run() // dirty again, with every structure already at peak capacity
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	r.Reset()
+	runtime.ReadMemStats(&after)
+	if n := after.Mallocs - before.Mallocs; n != 0 {
+		t.Fatalf("Reset allocated %d objects; want 0", n)
+	}
+}
+
+// TestResetClearsCountersAndOrdering pins satellite hazards of reuse: the
+// second run's Stats counters start from zero (no bleed from the first
+// run), and the canonical race ordering is preserved after Reset.
+func TestResetClearsCountersAndOrdering(t *testing.T) {
+	r, err := NewRunner(Options{Detector: DetectorSTINT, MaxRacesRecorded: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := r.Arena().AllocWords("w", 64)
+	racy := func(task *Task) {
+		task.Spawn(func(c *Task) { c.StoreRange(buf, 0, 32) })
+		task.StoreRange(buf, 16, 32)
+		task.Sync()
+	}
+	first, err := r.Run(racy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.RaceCount == 0 {
+		t.Fatal("expected races from the racy program")
+	}
+	second, err := r.Run(racy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.RaceCount != first.RaceCount {
+		t.Fatalf("RaceCount accumulated across runs: first %d, second %d",
+			first.RaceCount, second.RaceCount)
+	}
+	if normStats(second.Stats) != normStats(first.Stats) {
+		t.Fatalf("stats bled across Reset\nfirst:  %+v\nsecond: %+v",
+			normStats(first.Stats), normStats(second.Stats))
+	}
+	if !reflect.DeepEqual(second.Races, first.Races) {
+		t.Fatalf("canonical race ordering moved across Reset\nfirst:  %v\nsecond: %v",
+			first.Races, second.Races)
+	}
+}

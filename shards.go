@@ -197,6 +197,9 @@ type shardWorker struct {
 	bcast *evstream.BcastRing[labeledBatch]
 	view  depa.View
 	track *depa.Tracker
+	// engine is built once (its OnRace closure captures the worker, whose
+	// identity is stable) and retained across runs; reset re-arms it.
+	engine detect.Engine
 
 	// splitReads/splitWrites count the extra hook calls this worker's local
 	// splitting introduced beyond the piece the access's first page owns;
@@ -228,8 +231,23 @@ func (w *shardWorker) Parallel(a, b int32) bool { return w.view.Parallel(a, b) }
 
 func (w *shardWorker) LeftOf(a, b int32) bool { return w.view.LeftOf(a, b) }
 
-func (w *shardWorker) run(cfg detect.Config) {
-	engine := detect.New(cfg, w)
+// reset re-arms the worker for another run: the tracker rewinds to the
+// root strand, the engine drops its access history (retaining its warm
+// pages and pools), and every per-run counter zeroes.
+func (w *shardWorker) reset() {
+	w.track.Reset()
+	w.engine.Reset()
+	w.view = depa.View{}
+	w.splitReads, w.splitWrites = 0, 0
+	w.eventsScanned, w.blocksDecoded = 0, 0
+	w.decodeBusy = 0
+	w.stats = Stats{}
+	w.busy.Reset()
+	w.col.Reset()
+}
+
+func (w *shardWorker) run() {
+	engine := w.engine
 	var blk [evstream.BlockEvents]evstream.Event
 	for {
 		m, ok := w.bcast.Next(w.id)
@@ -342,14 +360,15 @@ func (w *shardWorker) access(engine detect.Engine, ev evstream.Event) {
 	}
 }
 
-// startSharded wires the sharded stage graph: label stage, N workers over
-// the broadcast ring, and the merge finalizer. User OnRace calls are
-// serialized with a mutex — across workers their order is nondeterministic
-// (documented), but the recorded Report is canonical regardless. summarize
-// controls batch summaries (the worker skip fast path) — with it off,
-// batches carry MaskAll and every worker scans everything — and prodStamp
-// selects the stamping stage (see setSharded).
-func (as *asyncState) startSharded(cfg detect.Config, shards, maxRec int, user func(Race), summarize, prodStamp bool) {
+// buildSharded constructs the retained detector-side state of the sharded
+// pipeline — label Builder, broadcast ring, and N workers with their
+// engines — without launching anything. The Runner keeps the returned
+// structures warm across runs; launchSharded wires them onto each run's
+// fresh stage graph. summarize controls batch summaries (the worker skip
+// fast path) — with it off, batches carry MaskAll and every worker scans
+// everything — and prodStamp selects the stamping stage (see setSharded;
+// Run refreshes it per run, since StampAuto reads GOMAXPROCS).
+func (as *asyncState) buildSharded(cfg detect.Config, shards, maxRec int, user func(Race), summarize, prodStamp bool) (*depa.Builder, []*shardWorker, *evstream.BcastRing[labeledBatch]) {
 	as.setSharded(shards, summarize, prodStamp)
 	labels := depa.NewBuilder()
 	bcast := evstream.NewBcastRing(as.ringDepth, shards, func(m labeledBatch) {
@@ -358,6 +377,16 @@ func (as *asyncState) startSharded(cfg detect.Config, shards, maxRec int, user f
 		// any goroutine.
 		as.ring.Recycle(m.batch)
 	})
+	workers := as.buildWorkers(cfg, shards, maxRec, user, bcast)
+	return labels, workers, bcast
+}
+
+// launchSharded wires the sharded stage graph for one run: label stage, the
+// N prebuilt workers over the broadcast ring, and the merge finalizer. User
+// OnRace calls are serialized with a mutex (see buildWorkers) — across
+// workers their order is nondeterministic (documented), but the recorded
+// Report is canonical regardless.
+func (as *asyncState) launchSharded(labels *depa.Builder, workers []*shardWorker, bcast *evstream.BcastRing[labeledBatch], maxRec int) {
 	// First failure anywhere (a user OnRace panic in a worker, a guard in
 	// the label stage): close both rings so every peer blocked in a
 	// Publish/Next unwinds, the producer's flushes turn into no-ops, and
@@ -366,16 +395,19 @@ func (as *asyncState) startSharded(cfg detect.Config, shards, maxRec int, user f
 		as.ring.Close()
 		bcast.Close()
 	})
-	workers := as.startWorkers(cfg, shards, maxRec, user, bcast)
+	for _, w := range workers {
+		as.graph.Go(w.run)
+	}
 	as.graph.Go(func() { as.labelStage(labels, bcast) })
 	as.graph.Seal(func() { as.mergeSharded(labels, workers, bcast, maxRec) })
 }
 
-// startWorkers launches the N shard workers on the graph and returns them
-// for the merge finalizer. Shared by the Async sharded pipeline and the
-// ParallelDetect pipeline — the workers are identical; only the stage
-// feeding the broadcast ring differs (label stage vs merge stage).
-func (as *asyncState) startWorkers(cfg detect.Config, shards, maxRec int, user func(Race), bcast *evstream.BcastRing[labeledBatch]) []*shardWorker {
+// buildWorkers constructs the N shard workers with their engines, for the
+// merge finalizer and for retention across runs. Shared by the Async
+// sharded pipeline and the ParallelDetect pipeline — the workers are
+// identical; only the stage feeding the broadcast ring differs (label
+// stage vs merge stage).
+func (as *asyncState) buildWorkers(cfg detect.Config, shards, maxRec int, user func(Race), bcast *evstream.BcastRing[labeledBatch]) []*shardWorker {
 	var raceMu sync.Mutex
 	workers := make([]*shardWorker, shards)
 	for i := range workers {
@@ -398,8 +430,8 @@ func (as *asyncState) startWorkers(cfg detect.Config, shards, maxRec int, user f
 				user(race)
 			}
 		}
+		w.engine = detect.New(wcfg, w)
 		workers[i] = w
-		as.graph.Go(func() { w.run(wcfg) })
 	}
 	return workers
 }

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"stint/internal/depa"
 	"stint/internal/detect"
 	"stint/internal/evstream"
 	"stint/internal/mem"
@@ -235,8 +236,11 @@ func (o *Options) producerStamps() bool {
 
 // Runner executes fork-join programs under one detector configuration. A
 // Runner's Arena must be populated before Run; a Runner may Run multiple
-// programs, but detector state (access history, reachability) is fresh for
-// each Run.
+// programs, and detector state (access history, reachability) is fresh for
+// each Run — but not freshly allocated: the Runner builds its detector
+// pipeline once, on first use, and Run auto-resets it between runs
+// (allocate-once / reset-and-reuse). Reports are byte-identical to what a
+// brand-new Runner with the same Options would produce; see Reset.
 type Runner struct {
 	opts  Options
 	arena *mem.Arena
@@ -248,6 +252,133 @@ type Runner struct {
 	// and backpressure edge cases.
 	asyncBatchEvents int
 	asyncRingDepth   int
+	// warm is the retained detector state, built lazily on first Run (so
+	// test seams set after NewRunner still apply); dirty marks it as used
+	// since the last Reset, making Run's auto-reset exact.
+	warm  *warmState
+	dirty bool
+}
+
+// warmState is everything a Runner retains across runs. Exactly one shape
+// is populated, fixed by the Options mode:
+//
+//   - sync (and ReachOnly): sp + engine + col;
+//   - plain Async: as (ring, working batch) + cons;
+//   - Async + DetectShards: as + labels + workers + bcast;
+//   - ParallelDetect: as (queue, pool) + labels + workers + bcast;
+//   - DetectorOff / Parallel / pure tracing: nothing.
+//
+// The OnRace closures built here capture the retained structures, so they
+// remain valid for every subsequent run.
+type warmState struct {
+	// Synchronous inline detection.
+	sp     *spord.SP
+	engine detect.Engine
+	col    *stage.Collector
+	// Pipelined modes.
+	as      *asyncState
+	cons    *consumeState
+	labels  *depa.Builder
+	workers []*shardWorker
+	bcast   *evstream.BcastRing[labeledBatch]
+}
+
+// ensureWarm builds the retained detector state on first use.
+func (r *Runner) ensureWarm() {
+	if r.warm != nil {
+		return
+	}
+	w := &warmState{}
+	r.warm = w
+	if r.opts.Detector == DetectorOff {
+		return
+	}
+	cfg := detect.Config{
+		Mode:              r.opts.Detector,
+		TimeAccessHistory: r.opts.TimeAccessHistory,
+	}
+	user := r.opts.OnRace
+	maxRec := r.opts.MaxRacesRecorded
+	depth, bcap := r.asyncRingDepth, r.asyncBatchEvents
+	if depth == 0 {
+		depth = defaultAsyncRingDepth
+	}
+	if bcap == 0 {
+		bcap = defaultAsyncBatchEvents
+	}
+	switch {
+	case r.opts.ParallelDetect:
+		shards := r.opts.DetectShards
+		if shards == 0 {
+			shards = 1
+		}
+		w.as = newParallelState(depth, bcap, !r.opts.DisableCompactEvents)
+		w.labels, w.workers, w.bcast = w.as.buildParallel(cfg, shards, maxRec, user, !r.opts.DisableBatchSummaries)
+	case r.opts.Async:
+		w.as = newAsyncState(depth, bcap, !r.opts.DisableCompactEvents)
+		if n := r.opts.DetectShards; n > 0 && r.opts.Detector != DetectorReachOnly {
+			w.labels, w.workers, w.bcast = w.as.buildSharded(cfg, n, maxRec, user, !r.opts.DisableBatchSummaries, r.opts.producerStamps())
+		} else {
+			w.cons = buildConsume(cfg, r.newEngine, maxRec, user)
+		}
+	default:
+		w.sp = spord.New()
+		w.col = stage.NewCollector(maxRec)
+		cfg.OnRace = func(race Race) {
+			w.col.Add(w.sp.SeqRank(race.Cur), race)
+			if user != nil {
+				user(race)
+			}
+		}
+		if r.newEngine != nil {
+			w.engine = r.newEngine(cfg, w.sp)
+		} else {
+			w.engine = detect.New(cfg, w.sp)
+		}
+	}
+}
+
+// Reset returns the Runner to fresh-but-warm state: every retained layer —
+// reachability structures, detector engines with their page directories and
+// node pools, race collectors, event rings and batch pools — is emptied in
+// place with its capacity kept, so in steady state Reset allocates nothing
+// and the Runner's heap footprint stops growing once it has seen its peak
+// run. Deterministic seeds re-derive, so the next Run's Report is
+// byte-identical to a fresh Runner's. The Arena is untouched: buffers
+// allocated before a Reset stay valid across it.
+//
+// Run resets automatically between runs; call Reset explicitly to pay the
+// cost at a moment of your choosing (e.g. returning a Runner to a pool).
+func (r *Runner) Reset() {
+	w := r.warm
+	r.dirty = false
+	if w == nil {
+		return
+	}
+	if w.sp != nil {
+		w.sp.Reset()
+	}
+	if w.engine != nil {
+		w.engine.Reset()
+	}
+	if w.col != nil {
+		w.col.Reset()
+	}
+	if w.cons != nil {
+		w.cons.reset()
+	}
+	if w.labels != nil {
+		w.labels.Reset()
+	}
+	for _, sw := range w.workers {
+		sw.reset()
+	}
+	if w.bcast != nil {
+		w.bcast.Reset()
+	}
+	if w.as != nil {
+		w.as.reset()
+	}
 }
 
 // NewRunner validates opts (see options.go for the rule table) and returns
@@ -393,9 +524,37 @@ type Task struct {
 	par          *parTask        // ParallelDetect only: this task's chunk emitter
 }
 
+// footprint sums the retained warm capacity of every engine the Runner
+// holds; the reuse-soak suite asserts it stops growing after warm-up.
+func (r *Runner) footprint() detect.Footprint {
+	var f detect.Footprint
+	w := r.warm
+	if w == nil {
+		return f
+	}
+	if w.engine != nil {
+		f.Add(detect.FootprintOf(w.engine))
+	}
+	if w.cons != nil {
+		f.Add(detect.FootprintOf(w.cons.engine))
+	}
+	for _, sw := range w.workers {
+		f.Add(detect.FootprintOf(sw.engine))
+	}
+	return f
+}
+
 // Run executes root to completion (with an implicit final sync) and
-// returns the report.
+// returns the report. The Runner's retained detector state is built on
+// first use and auto-reset between runs, so repeated Runs reuse the same
+// warm structures while each Run still observes fresh detector state.
 func (r *Runner) Run(root TaskFunc) (*Report, error) {
+	if r.dirty {
+		r.Reset()
+	}
+	r.ensureWarm()
+	r.dirty = true
+	w := r.warm
 	rep := &Report{}
 	rs := &runState{parallel: r.opts.Parallel, tracer: r.opts.Tracer}
 	var syncCol *stage.Collector
@@ -404,65 +563,42 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 		// maintained but memory hooks are skipped at the dispatch layer,
 		// matching the paper's near-zero "reach." column.
 		rs.hooks = r.opts.Detector != DetectorReachOnly
-		cfg := detect.Config{
-			Mode:              r.opts.Detector,
-			TimeAccessHistory: r.opts.TimeAccessHistory,
-		}
-		user := r.opts.OnRace
 		maxRec := r.opts.MaxRacesRecorded
-		if r.opts.ParallelDetect {
+		switch {
+		case r.opts.ParallelDetect:
 			// Parallel execution with online detection: task goroutines emit
 			// chunks onto a multi-producer queue, the merge stage
 			// reconstructs the serial projection and labels it, and the
 			// sharded worker graph consumes the result (parallel.go).
 			rs.parallel = true
-			depth, bcap := r.asyncRingDepth, r.asyncBatchEvents
-			if depth == 0 {
-				depth = defaultAsyncRingDepth
+			rs.parPipe = w.as
+			if w.as.graph == nil {
+				w.as.graph = stage.NewGraph()
 			}
-			if bcap == 0 {
-				bcap = defaultAsyncBatchEvents
-			}
-			shards := r.opts.DetectShards
-			if shards == 0 {
-				shards = 1
-			}
-			rs.parPipe = newParallelState(depth, bcap, !r.opts.DisableCompactEvents)
-			rs.parPipe.startParallel(cfg, shards, maxRec, user, !r.opts.DisableBatchSummaries)
-		} else if r.opts.Async {
+			w.as.launchParallel(w.labels, w.workers, w.bcast, maxRec)
+		case r.opts.Async:
 			// Pipelined detection: SP-Order (or the depa labels, when
 			// sharded) and the engine(s) live behind the event stream as a
 			// stage graph; the consumer stages own the race collectors and
 			// user OnRace calls. rep is safe to read once drain() has
 			// waited out the graph.
-			depth, bcap := r.asyncRingDepth, r.asyncBatchEvents
-			if depth == 0 {
-				depth = defaultAsyncRingDepth
+			rs.async = w.as
+			if w.as.graph == nil {
+				w.as.graph = stage.NewGraph()
 			}
-			if bcap == 0 {
-				bcap = defaultAsyncBatchEvents
-			}
-			rs.async = newAsyncState(depth, bcap, !r.opts.DisableCompactEvents)
-			if n := r.opts.DetectShards; n > 0 && rs.hooks {
-				rs.async.startSharded(cfg, n, maxRec, user, !r.opts.DisableBatchSummaries, r.opts.producerStamps())
+			if w.workers != nil {
+				// StampAuto reads the machine shape, so re-resolve the
+				// stamping stage each run rather than freezing the
+				// first run's answer into the warm state.
+				w.as.setSharded(w.as.shards, w.as.summarize, r.opts.producerStamps())
+				w.as.launchSharded(w.labels, w.workers, w.bcast, maxRec)
 			} else {
-				rs.async.startConsume(cfg, r.newEngine, maxRec, user)
+				w.as.launchConsume(w.cons)
 			}
-		} else {
-			rs.sp = spord.New()
-			col := stage.NewCollector(maxRec)
-			syncCol = col
-			cfg.OnRace = func(race Race) {
-				col.Add(rs.sp.SeqRank(race.Cur), race)
-				if user != nil {
-					user(race)
-				}
-			}
-			if r.newEngine != nil {
-				rs.engine = r.newEngine(cfg, rs.sp)
-			} else {
-				rs.engine = detect.New(cfg, rs.sp)
-			}
+		default:
+			rs.sp = w.sp
+			rs.engine = w.engine
+			syncCol = w.col
 		}
 	}
 	t := &Task{rs: rs}

@@ -169,7 +169,23 @@ type Options struct {
 	// encoding instead of the default compact one
 	// (stint.Options.DisableCompactEvents); ignored without Async/Shards.
 	NoCompact bool
+	// Runner, when non-nil, replays through the caller's Runner instead of
+	// constructing a fresh one. The Runner's own Options govern the replay:
+	// every other field here except MaxEvents is ignored. Run auto-resets a
+	// dirty Runner, so a long-lived Runner can serve many Replay calls with
+	// its warm state — reports are byte-identical to fresh-Runner replays.
+	// The Runner must not be used concurrently by other callers.
+	Runner *stint.Runner
+	// MaxEvents, when > 0, bounds the number of trace events (structure and
+	// access) a replay will consume. A trace exceeding the budget aborts
+	// with an error matching ErrTooManyEvents; the Runner (caller-provided
+	// or internal) stays valid — its next Run resets it.
+	MaxEvents uint64
 }
+
+// ErrTooManyEvents is returned (wrapped) by Replay when the trace exceeds
+// Options.MaxEvents. Use errors.Is to test for it.
+var ErrTooManyEvents = errors.New("trace: event budget exceeded")
 
 // decoder drives a replayed execution through the public stint API: the
 // trace's structure events become Task.Spawn/Sync calls and its access
@@ -177,9 +193,23 @@ type Options struct {
 // a live run does — including, when requested, the async pipeline and
 // sharded detection.
 type decoder struct {
-	br       *bufio.Reader
-	lastAddr mem.Addr
-	err      error
+	br        *bufio.Reader
+	lastAddr  mem.Addr
+	err       error
+	maxEvents uint64 // 0 = unbounded
+	events    uint64
+}
+
+// charge debits one event from the budget, failing the decode when the
+// budget is exhausted. Called before the corresponding API call, so an
+// oversized trace stops injecting work the moment it crosses the cap.
+func (d *decoder) charge() bool {
+	d.events++
+	if d.maxEvents > 0 && d.events > d.maxEvents {
+		d.fail(fmt.Errorf("%w: trace exceeds %d events", ErrTooManyEvents, d.maxEvents))
+		return false
+	}
+	return true
 }
 
 func (d *decoder) fail(err error) {
@@ -218,6 +248,9 @@ func (d *decoder) replayBody(t *stint.Task, depth int) {
 			return
 
 		case opSpawn:
+			if !d.charge() {
+				return
+			}
 			pending++
 			t.Spawn(func(c *stint.Task) { d.replayBody(c, depth+1) })
 
@@ -240,9 +273,15 @@ func (d *decoder) replayBody(t *stint.Task, depth int) {
 				return
 			}
 			pending = 0
+			if !d.charge() {
+				return
+			}
 			t.Sync()
 
 		case opRead, opWrite:
+			if !d.charge() {
+				return
+			}
 			addr, err := d.readAddr()
 			if err == nil {
 				var size uint64
@@ -269,6 +308,9 @@ func (d *decoder) replayBody(t *stint.Task, depth int) {
 			}
 
 		case opReadRange, opWriteRange:
+			if !d.charge() {
+				return
+			}
 			addr, err := d.readAddr()
 			var count, elem uint64
 			if err == nil {
@@ -308,7 +350,7 @@ func (d *decoder) replayBody(t *stint.Task, depth int) {
 // Replay reads a trace and runs the selected detector over it, returning
 // the same Report a live run would have produced (modulo wall time).
 func Replay(src io.Reader, opts Options) (*stint.Report, error) {
-	if opts.Detector == stint.DetectorOff {
+	if opts.Runner == nil && opts.Detector == stint.DetectorOff {
 		return nil, errors.New("trace: replay needs a detector (got DetectorOff)")
 	}
 	if opts.MaxRacesRecorded == 0 {
@@ -323,19 +365,23 @@ func Replay(src io.Reader, opts Options) (*stint.Report, error) {
 		return nil, fmt.Errorf("trace: bad magic %q", hdr[:])
 	}
 
-	r, err := stint.NewRunner(stint.Options{
-		Detector:             opts.Detector,
-		OnRace:               opts.OnRace,
-		MaxRacesRecorded:     opts.MaxRacesRecorded,
-		TimeAccessHistory:    opts.TimeAccessHistory,
-		Async:                opts.Async || opts.Shards > 0,
-		DetectShards:         opts.Shards,
-		DisableCompactEvents: opts.NoCompact,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
+	r := opts.Runner
+	if r == nil {
+		var err error
+		r, err = stint.NewRunner(stint.Options{
+			Detector:             opts.Detector,
+			OnRace:               opts.OnRace,
+			MaxRacesRecorded:     opts.MaxRacesRecorded,
+			TimeAccessHistory:    opts.TimeAccessHistory,
+			Async:                opts.Async || opts.Shards > 0,
+			DetectShards:         opts.Shards,
+			DisableCompactEvents: opts.NoCompact,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
 	}
-	d := &decoder{br: br}
+	d := &decoder{br: br, maxEvents: opts.MaxEvents}
 	rep, runErr := r.Run(func(task *stint.Task) { d.replayBody(task, 0) })
 	if d.err != nil {
 		return nil, d.err

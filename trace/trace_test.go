@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -334,5 +335,86 @@ func TestWorkloadTraceRoundTrip(t *testing.T) {
 	}
 	if rep.Stats.ReadIntervals != live.Stats.ReadIntervals || rep.Strands != live.Strands {
 		t.Fatalf("replay stats diverge: %+v vs %+v", rep.Stats, live.Stats)
+	}
+}
+
+// TestReplayReusedRunner pins the serve-side contract: replaying through a
+// caller-provided, reused Runner produces Reports byte-identical to a
+// fresh-Runner replay of the same trace, across repeated replays and
+// across both the sync and sharded pipelines.
+func TestReplayReusedRunner(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		opts stint.Options
+	}{
+		{"sync", stint.Options{Detector: stint.DetectorSTINT, MaxRacesRecorded: 1 << 20}},
+		{"shards2", stint.Options{Detector: stint.DetectorSTINT, MaxRacesRecorded: 1 << 20, Async: true, DetectShards: 2}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			reused, err := stint.NewRunner(mode.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(100); seed < 106; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				acts := genActions(rng, 4, bufWords)
+				raw := record(t, acts)
+				fresh, err := Replay(bytes.NewReader(raw), Options{
+					Detector:         mode.opts.Detector,
+					MaxRacesRecorded: mode.opts.MaxRacesRecorded,
+					Async:            mode.opts.Async,
+					Shards:           mode.opts.DetectShards,
+				})
+				if err != nil {
+					t.Fatalf("seed %d fresh: %v", seed, err)
+				}
+				got, err := Replay(bytes.NewReader(raw), Options{Runner: reused})
+				if err != nil {
+					t.Fatalf("seed %d reused: %v", seed, err)
+				}
+				if got.RaceCount != fresh.RaceCount || got.Strands != fresh.Strands {
+					t.Fatalf("seed %d: counts diverge: %d/%d reused vs %d/%d fresh",
+						seed, got.RaceCount, got.Strands, fresh.RaceCount, fresh.Strands)
+				}
+				if !reflect.DeepEqual(got.Races, fresh.Races) {
+					t.Fatalf("seed %d: race lists diverge\nreused: %v\nfresh:  %v",
+						seed, got.Races, fresh.Races)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayMaxEvents checks the per-run budget: an undersized cap aborts
+// the replay with ErrTooManyEvents, and the same Runner replays the full
+// trace correctly afterwards — an aborted trace must not poison the pool.
+func TestReplayMaxEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var acts []action
+	for len(acts) < 3 {
+		acts = genActions(rng, 4, bufWords)
+	}
+	raw := record(t, acts)
+	r, err := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT, MaxRacesRecorded: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(bytes.NewReader(raw), Options{Runner: r, MaxEvents: 2}); !errors.Is(err, ErrTooManyEvents) {
+		t.Fatalf("capped replay: got %v, want ErrTooManyEvents", err)
+	}
+	want, err := Replay(bytes.NewReader(raw), Options{Detector: stint.DetectorSTINT, MaxRacesRecorded: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(bytes.NewReader(raw), Options{Runner: r})
+	if err != nil {
+		t.Fatalf("post-abort replay: %v", err)
+	}
+	if got.RaceCount != want.RaceCount || !reflect.DeepEqual(got.Races, want.Races) {
+		t.Fatalf("post-abort replay diverges: %d races vs %d", got.RaceCount, want.RaceCount)
+	}
+	// A budget exactly covering the trace succeeds.
+	if _, err := Replay(bytes.NewReader(raw), Options{Detector: stint.DetectorSTINT, MaxEvents: 1 << 20}); err != nil {
+		t.Fatalf("generous budget: %v", err)
 	}
 }

@@ -74,6 +74,16 @@ func ByName(name string, scale int) (Factory, error) {
 		return func() Workload { return NewStrassen(128*p2, 32, false) }, nil
 	case "straz":
 		return func() Workload { return NewStrassen(128*p2, 32, true) }, nil
+	// The deliberately buggy variants (races that serial execution hides)
+	// are addressable for recording traces that actually race — the
+	// serve-smoke comparison needs a non-empty race set — but stay out of
+	// Names() so the benchmark tables remain race-free.
+	case "mmul-racy":
+		return func() Workload { return NewRacyMMul(96*s, 16) }, nil
+	case "heat-racy":
+		return func() Workload { return NewRacyHeat(128*s, 128, 20, 4) }, nil
+	case "sort-racy":
+		return func() Workload { return NewRacySort(100000*s, 512) }, nil
 	}
 	return nil, fmt.Errorf("workloads: unknown benchmark %q (have %v)", name, Names())
 }
