@@ -96,6 +96,18 @@ type asyncState struct {
 	// and shardLoad the per-worker load breakdown (sharded mode only).
 	seqBusy   stage.Meter
 	shardLoad []ShardLoad
+	// quiesce, when non-nil (PageQuiesceThreshold in a serial-projection
+	// pipeline), is the quiesced-page registry the detector engines publish
+	// into. The producer consults it to drop single-page accesses to dead
+	// pages before they ever hit the ring; qlive caches whether the
+	// registry has any entries, refreshed once per batch in flush() so the
+	// per-access fast path stays two loads. The drop is sound because the
+	// producer is strictly ahead of the detector in stream order: any page
+	// it observes quiesced reached its threshold at an earlier stream
+	// position, so the engine would ignore the event anyway. (Parallel-
+	// detect executors have no such ordering and never set this field.)
+	quiesce *detect.QuiesceSet
+	qlive   bool
 }
 
 func newAsyncState(ringDepth, batchEvents int, compact bool) *asyncState {
@@ -141,6 +153,7 @@ func (as *asyncState) reset() {
 	as.races = nil
 	as.seqBusy.Reset()
 	as.shardLoad = nil
+	as.qlive = false
 }
 
 // setSharded fixes the summary-stamping split before the program starts
@@ -172,8 +185,13 @@ func (as *asyncState) emitCtl(op evstream.Op) {
 // and ORs the access's page mask into the batch summary when the producer
 // is the stamping stage. This is the producer's entire per-access hot
 // path: an encode, two predictable branches, and one ring handoff per
-// batch.
+// batch. Accesses wholly inside a quiesced page are dropped here — the
+// cheapest possible no-op, saving the encode, the stream bytes, and the
+// consumer's scan (see the quiesce field for why this is sound).
 func (as *asyncState) emitAccess(op evstream.Op, addr, size uint64) {
+	if as.qlive && deadEmit(as.quiesce, addr, size) {
+		return
+	}
 	if as.batch.Full() {
 		as.flush()
 	}
@@ -187,6 +205,9 @@ func (as *asyncState) emitAccess(op evstream.Op, addr, size uint64) {
 // for the mask is count*elem bytes; the hook layer's field validation
 // (count < 2^32, elem < 2^24) keeps the product inside 56 bits.
 func (as *asyncState) emitRange(op evstream.Op, addr uint64, count int, elem uint64) {
+	if as.qlive && deadEmit(as.quiesce, addr, uint64(count)*elem) {
+		return
+	}
 	if as.batch.Full() {
 		as.flush()
 	}
@@ -196,6 +217,34 @@ func (as *asyncState) emitRange(op evstream.Op, addr uint64, count int, elem uin
 	as.batch.AppendRange(op, addr, count, elem)
 }
 
+// deadEmit reports whether a span lies wholly within one registry-quiesced
+// page. Mirrors the engines' deadSpan rule: multi-page spans always stream
+// (their dead pieces drop page-locally at the engine).
+func deadEmit(q *detect.QuiesceSet, addr, size uint64) bool {
+	if size == 0 {
+		return false
+	}
+	first := addr >> coalesce.PageBytesBits
+	if (addr+size-1)>>coalesce.PageBytesBits != first {
+		return false
+	}
+	return q.Contains(first)
+}
+
+// deadEvent is deadEmit for a decoded event — the label stage's stamping
+// scan consults the registry after the fact for events the producer
+// streamed before its own liveness check caught up.
+func deadEvent(q *detect.QuiesceSet, ev evstream.Event) bool {
+	var size uint64
+	switch ev.EvOp() {
+	case evstream.OpRead, evstream.OpWrite:
+		size = ev.Size()
+	default:
+		size = uint64(ev.Count()) * ev.Elem()
+	}
+	return deadEmit(q, ev.Addr(), size)
+}
+
 // flush publishes the working batch and takes a fresh one from the ring's
 // free list. Kept out of the emit paths so they stay under the inlining
 // budget. A false Publish means the graph aborted and closed the ring
@@ -203,6 +252,12 @@ func (as *asyncState) emitRange(op evstream.Op, addr uint64, count int, elem uin
 // (the failure, re-raised by drain, is the run's result), and the producer
 // keeps running to its natural unwind point.
 func (as *asyncState) flush() {
+	if as.quiesce != nil {
+		// Refresh the quiesce fast-path flag once per batch, off the
+		// per-access path. A page quiesced mid-batch starts dropping at
+		// the next batch boundary; the engine drops it until then.
+		as.qlive = as.quiesce.Len() > 0
+	}
 	if !as.ring.Publish(as.batch) {
 		as.batch.Reset()
 		return

@@ -238,6 +238,69 @@ func BenchmarkFig5ParallelDetect(b *testing.B) {
 	}
 }
 
+// BenchmarkFig5RacyQuiesce measures per-page quiescing on the racy
+// workload variants, where it earns its keep: a hot racy page keeps
+// producing the same races, and once PageQuiesceThreshold of them are
+// recorded the page's history is retired — subsequent accesses to it cost a
+// page lookup and nothing else. The quiesce-off/quiesce-on pair reports
+// hist-bytes-peak (the live access-history footprint quiescing shrinks),
+// pages-quiesced, and the race count that survives the threshold. The
+// race-free Figure 5 workloads are deliberately absent: quiescing never
+// triggers there, and TestQuiesceRaceFreeZeroDelta pins the zero-delta.
+func BenchmarkFig5RacyQuiesce(b *testing.B) {
+	wls := []struct {
+		name string
+		f    workloads.Factory
+	}{
+		{"mmul-racy", func() workloads.Workload { return workloads.NewRacyMMul(64, 16) }},
+		{"heat-racy", func() workloads.Workload { return workloads.NewRacyHeat(64, 64, 8, 4) }},
+		{"sort-racy", func() workloads.Workload { return workloads.NewRacySort(30000, 512) }},
+	}
+	for _, wl := range wls {
+		for _, q := range []struct {
+			name      string
+			threshold int
+		}{{"quiesce-off", 0}, {"quiesce-on", 4}} {
+			b.Run(fmt.Sprintf("%s/%s", wl.name, q.name), func(b *testing.B) {
+				r, err := stint.NewRunner(stint.Options{
+					Detector:             stint.DetectorSTINT,
+					PageQuiesceThreshold: q.threshold,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var last *stint.Report
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					w := wl.f()
+					r.Reset()
+					r.Arena().Reset()
+					w.Setup(r)
+					b.StartTimer()
+					rep, err := r.Run(w.Run)
+					b.StopTimer()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Racy() {
+						b.Fatalf("%s found no races; the quiesce measurement is vacuous", w.Name())
+					}
+					if err := w.Verify(); err != nil {
+						b.Fatal(err)
+					}
+					last = rep
+					b.StartTimer()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(last.Stats.HistoryBytesPeak), "hist-bytes-peak")
+				b.ReportMetric(float64(last.Stats.PagesQuiesced), "pages-quiesced")
+				b.ReportMetric(float64(last.RaceCount), "races")
+			})
+		}
+	}
+}
+
 // BenchmarkFig6 reports the access and interval statistics behind Figure 6
 // as benchmark metrics (counts, not timings).
 func BenchmarkFig6(b *testing.B) {

@@ -22,25 +22,27 @@ import (
 
 func main() {
 	var (
-		detector  = flag.String("detector", "stint", "detector mode for the replay")
-		races     = flag.Int("races", 10, "max races to print")
-		timing    = flag.Bool("timing", false, "measure access-history time separately")
-		async     = flag.Bool("async", false, "replay through the pipelined detector (decoder and detector on separate goroutines)")
-		shards    = flag.Int("shards", 0, "partition pipelined detection across N workers by shadow page (implies -async; comp+rts and stint variants only)")
-		noCompact = flag.Bool("no-compact", false, "stream fixed 16-byte events instead of the compact delta encoding (for before/after measurement)")
+		detector   = flag.String("detector", "stint", "detector mode for the replay")
+		races      = flag.Int("races", 10, "max races to print")
+		timing     = flag.Bool("timing", false, "measure access-history time separately")
+		async      = flag.Bool("async", false, "replay through the pipelined detector (decoder and detector on separate goroutines)")
+		shards     = flag.Int("shards", 0, "partition pipelined detection across N workers by shadow page (implies -async; comp+rts and stint variants only)")
+		noCompact  = flag.Bool("no-compact", false, "stream fixed 16-byte events instead of the compact delta encoding (for before/after measurement)")
+		quiesce    = flag.Int("quiesce", 0, "retire a shadow page's access history once it produces N races (0 disables)")
+		maxHistory = flag.Int64("max-history", 0, "abort the replay when the retained access history exceeds N bytes (0 = unlimited)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: stint-replay [flags] TRACEFILE")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *detector, *races, *timing, *async, *shards, *noCompact); err != nil {
+	if err := run(flag.Arg(0), *detector, *races, *timing, *async, *shards, *noCompact, *quiesce, *maxHistory); err != nil {
 		fmt.Fprintln(os.Stderr, "stint-replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, detector string, maxRaces int, timing, async bool, shards int, noCompact bool) error {
+func run(path, detector string, maxRaces int, timing, async bool, shards int, noCompact bool, quiesce int, maxHistory int64) error {
 	mode, err := stint.ParseDetector(detector)
 	if err != nil {
 		return err
@@ -52,12 +54,14 @@ func run(path, detector string, maxRaces int, timing, async bool, shards int, no
 	defer f.Close()
 	start := time.Now()
 	rep, err := trace.Replay(f, trace.Options{
-		Detector:          mode,
-		MaxRacesRecorded:  maxRaces,
-		TimeAccessHistory: timing,
-		Async:             async,
-		Shards:            shards,
-		NoCompact:         noCompact,
+		Detector:             mode,
+		MaxRacesRecorded:     maxRaces,
+		TimeAccessHistory:    timing,
+		Async:                async,
+		Shards:               shards,
+		NoCompact:            noCompact,
+		PageQuiesceThreshold: quiesce,
+		MaxHistoryBytes:      maxHistory,
 	})
 	if err != nil {
 		return err
@@ -80,6 +84,12 @@ func run(path, detector string, maxRaces int, timing, async bool, shards int, no
 	}
 	for _, line := range cliutil.PipelineReport(rep) {
 		fmt.Println(line)
+	}
+	if rep.Stats.HistoryBytesPeak > 0 {
+		fmt.Printf("history    %.1f KiB peak retained\n", float64(rep.Stats.HistoryBytesPeak)/1024)
+	}
+	if quiesce > 0 {
+		fmt.Printf("quiesced   %d pages (threshold %d races/page)\n", rep.Stats.PagesQuiesced, quiesce)
 	}
 	if rep.Racy() {
 		fmt.Printf("RACES: %d found\n", rep.RaceCount)

@@ -12,8 +12,9 @@
 // allocated once and rewound between traces (Runner.Reset), so steady-state
 // ingest performs no per-trace heap growth; reports are byte-identical to
 // fresh-Runner replays. Admission is backpressured (full queue → 429) and
-// per-run caps bound each replay's memory (oversized upload → 413, event
-// budget exceeded → result status "error").
+// per-run caps bound each replay's memory (oversized upload → 413; event
+// budget or access-history cap exceeded → result status "error", counted
+// as oversized in /v1/statusz).
 package main
 
 import (
@@ -30,25 +31,27 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		runners   = flag.Int("runners", runtime.GOMAXPROCS(0), "warm Runner pool size (max concurrent replays)")
-		queue     = flag.Int("queue", 0, "admission queue depth (default 2x runners)")
-		detector  = flag.String("detector", "stint", "detector mode for every replay")
-		races     = flag.Int("races", 64, "max races recorded per trace")
-		shards    = flag.Int("shards", 0, "detection shards per replay (implies async pipeline)")
-		async     = flag.Bool("async", false, "replay through the pipelined detector")
-		maxBytes  = flag.Int64("max-trace-bytes", 64<<20, "reject uploads larger than this (413); negative disables")
-		maxEvents = flag.Uint64("max-events", 0, "abort replays exceeding this many trace events (0 = unbounded)")
-		fresh     = flag.Bool("fresh-runners", false, "build a fresh Runner per trace instead of reusing the warm pool (baseline mode)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		runners    = flag.Int("runners", runtime.GOMAXPROCS(0), "warm Runner pool size (max concurrent replays)")
+		queue      = flag.Int("queue", 0, "admission queue depth (default 2x runners)")
+		detector   = flag.String("detector", "stint", "detector mode for every replay")
+		races      = flag.Int("races", 64, "max races recorded per trace")
+		shards     = flag.Int("shards", 0, "detection shards per replay (implies async pipeline)")
+		async      = flag.Bool("async", false, "replay through the pipelined detector")
+		maxBytes   = flag.Int64("max-trace-bytes", 64<<20, "reject uploads larger than this (413); negative disables")
+		maxEvents  = flag.Uint64("max-events", 0, "abort replays exceeding this many trace events (0 = unbounded)")
+		quiesce    = flag.Int("quiesce", 0, "retire a shadow page's access history once it produces N races during a replay (0 disables)")
+		maxHistory = flag.Int64("max-history", 0, "abort replays whose retained access history exceeds N bytes (0 = unlimited)")
+		fresh      = flag.Bool("fresh-runners", false, "build a fresh Runner per trace instead of reusing the warm pool (baseline mode)")
 	)
 	flag.Parse()
-	if err := run(*addr, *runners, *queue, *detector, *races, *shards, *async, *maxBytes, *maxEvents, *fresh); err != nil {
+	if err := run(*addr, *runners, *queue, *detector, *races, *shards, *async, *maxBytes, *maxEvents, *quiesce, *maxHistory, *fresh); err != nil {
 		fmt.Fprintln(os.Stderr, "stint-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, runners, queue int, detector string, races, shards int, async bool, maxBytes int64, maxEvents uint64, fresh bool) error {
+func run(addr string, runners, queue int, detector string, races, shards int, async bool, maxBytes int64, maxEvents uint64, quiesce int, maxHistory int64, fresh bool) error {
 	mode, err := stint.ParseDetector(detector)
 	if err != nil {
 		return err
@@ -60,10 +63,12 @@ func run(addr string, runners, queue int, detector string, races, shards int, as
 		MaxEvents:     maxEvents,
 		FreshRunners:  fresh,
 		Opts: stint.Options{
-			Detector:         mode,
-			MaxRacesRecorded: races,
-			Async:            async || shards > 0,
-			DetectShards:     shards,
+			Detector:             mode,
+			MaxRacesRecorded:     races,
+			Async:                async || shards > 0,
+			DetectShards:         shards,
+			PageQuiesceThreshold: quiesce,
+			MaxHistoryBytes:      maxHistory,
 		},
 	})
 	if err != nil {

@@ -5,7 +5,7 @@
 //
 //	stint -workload mmul -detector stint [-scale 2] [-races 10] [-timing]
 //	      [-async] [-parallel-detect] [-shards N] [-no-summaries] [-no-compact]
-//	      [-stamp auto|producer|label]
+//	      [-stamp auto|producer|label] [-quiesce N] [-max-history BYTES]
 //
 // Detectors: off, reach, vanilla, compiler, comp+rts, stint,
 // stint-unbalanced, stint-skiplist.
@@ -39,6 +39,8 @@ func main() {
 		noSummaries = flag.Bool("no-summaries", false, "disable per-batch page summaries in sharded mode (workers scan every batch; for before/after measurement)")
 		noCompact   = flag.Bool("no-compact", false, "stream fixed 16-byte events instead of the compact delta encoding (for before/after measurement)")
 		stamp       = flag.String("stamp", "auto", "which stage stamps batch summaries in sharded mode: auto, producer, or label")
+		quiesce     = flag.Int("quiesce", 0, "retire a 64 KiB shadow page's access history once it has produced N races (0 disables)")
+		maxHistory  = flag.Int64("max-history", 0, "abort the run with an error when the detector's retained access history exceeds N bytes (0 = unlimited)")
 		traceOut    = flag.String("trace-out", "", "record the execution to this trace file (replay with stint-replay)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the detection run to this file")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
@@ -63,7 +65,8 @@ func main() {
 		os.Exit(2)
 	}
 	err = run(*workload, *detector, *scale, *races, *timing,
-		(*async || *shards > 0) && !*parDetect, *parDetect, *shards, *noSummaries, *noCompact, stamping, *traceOut)
+		(*async || *shards > 0) && !*parDetect, *parDetect, *shards, *noSummaries, *noCompact, stamping, *traceOut,
+		*quiesce, *maxHistory)
 	if *memProfile != "" {
 		if perr := writeMemProfile(*memProfile); perr != nil {
 			fmt.Fprintln(os.Stderr, "stint: memprofile:", perr)
@@ -97,7 +100,7 @@ func writeMemProfile(path string) error {
 	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
-func run(workload, detector string, scale, maxRaces int, timing, async, parDetect bool, shards int, noSummaries, noCompact bool, stamping stint.SummaryStamping, traceOut string) error {
+func run(workload, detector string, scale, maxRaces int, timing, async, parDetect bool, shards int, noSummaries, noCompact bool, stamping stint.SummaryStamping, traceOut string, quiesce int, maxHistory int64) error {
 	factory, err := workloads.ByName(workload, scale)
 	if err != nil {
 		return err
@@ -120,6 +123,8 @@ func run(workload, detector string, scale, maxRaces int, timing, async, parDetec
 		DisableBatchSummaries: noSummaries,
 		DisableCompactEvents:  noCompact,
 		SummaryStamping:       stamping,
+		PageQuiesceThreshold:  quiesce,
+		MaxHistoryBytes:       maxHistory,
 	}
 	var rec *trace.Recorder
 	if traceOut != "" {
@@ -190,6 +195,12 @@ func run(workload, detector string, scale, maxRaces int, timing, async, parDetec
 	}
 	for _, line := range cliutil.PipelineReport(rep) {
 		fmt.Println(line)
+	}
+	if st.HistoryBytesPeak > 0 {
+		fmt.Printf("history    %.1f KiB peak retained\n", float64(st.HistoryBytesPeak)/1024)
+	}
+	if quiesce > 0 {
+		fmt.Printf("quiesced   %d pages (threshold %d races/page)\n", st.PagesQuiesced, quiesce)
 	}
 	fmt.Printf("heap allocs %d objects, %.1f KiB during the run\n",
 		st.AllocObjects, float64(st.AllocBytes)/1024)

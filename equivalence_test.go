@@ -175,6 +175,9 @@ type pipeOpts struct {
 	// chunk queue, deterministic merge. shards then names the worker count
 	// (0 means one worker).
 	parallel bool
+	// quiesce adds the fuzzer's per-page quiescing differential legs
+	// (PageQuiesceThreshold 2 on every mode).
+	quiesce bool
 }
 
 // reportForOpts is reportFor with the pipeline knobs exposed, so the suite

@@ -28,7 +28,9 @@ func fuzzAllocBufs(r *Runner) ([]*Buffer, []int) {
 // twice sharded — once with batch summaries, once with them disabled — and
 // (when the flags byte asks for it) twice under ParallelDetect, and
 // requires identical racing-word sets, canonical race reports, strand
-// counts, and (timing-normalized) stats. Tiny batch capacities and ring
+// counts, and (timing-normalized) stats. A further flags bit re-runs the
+// mode matrix with per-page quiescing enabled and requires the quiesced
+// reports to agree across modes too. Tiny batch capacities and ring
 // depths force the batch-boundary edge cases: events split across batches,
 // empty final batches, backpressure stalls, and drain while a strand's
 // accesses are still buffered. Shard counts above one additionally force
@@ -78,6 +80,18 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 	// the whole stream is the root task's chunks — the reorder walk never
 	// buffers and the merge must still synthesize an identical report.
 	f.Add([]byte{0x00, 0x00, 0x01, 0x08, 0x00, 0x03, 0x00, 0x05, 0x04, 0x00, 0x06, 0x05, 0x00, 0x07})
+	// Quiescing mid-batch (flags bit 4): the page-straddling racy range pair
+	// again, now with a threshold-2 quiesce differential — the page under the
+	// straddle retires while the range's other piece is still live, and the
+	// sharded workers' local page splits must agree with sync on which piece
+	// died.
+	f.Add([]byte{0x01, 0x01, 0x02, 0x10, 0x00, 0x06, 0x03, 0x33, 0xfe, 0x00, 0x03, 0x01, 0x06, 0x03, 0x33, 0xfe, 0x00, 0x03, 0x02})
+	// The same under ParallelDetect too (bits 3+4), and with repeated racy
+	// pairs so the threshold actually trips.
+	f.Add([]byte{0x01, 0x01, 0x02, 0x18, 0x00, 0x06, 0x03, 0x33, 0xfe, 0x00, 0x03, 0x01, 0x06, 0x03, 0x33, 0xfe, 0x00, 0x03, 0x01, 0x06, 0x03, 0x33, 0xfe, 0x00, 0x03, 0x01, 0x06, 0x03, 0x33, 0xfe, 0x00, 0x03, 0x02})
+	// Cross-shard racy pair with quiescing: the racing span covers two full
+	// pages, so both pages accumulate races and retire on different workers.
+	f.Add([]byte{0x01, 0x01, 0x02, 0x10, 0x00, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x01, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x01, 0x06, 0x03, 0x00, 0x00, 0x7f, 0xff, 0x02})
 	// Merge-boundary straddle: one-event batches force every access into
 	// its own chunk, and a spawn-heavy body with nested children makes the
 	// chunk cuts land on every structure boundary — the deterministic merge
@@ -174,6 +188,73 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 			check("parallel-detect", run(shards, false, true))
 			check("parallel-detect-nosum", run(shards, true, true))
 		}
+		if po.quiesce {
+			// Quiescing differential: with a threshold of 2, pages retire
+			// their history mid-run — possibly mid-batch, possibly under a
+			// page-straddling range. The quiesce decision is page-local and
+			// taken at a deterministic point in the serial order, so races,
+			// racing words, strands, and the pages-quiesced count must be
+			// identical across every mode. Full stats are NOT compared: the
+			// producer-side drops legitimately elide hook calls the
+			// synchronous run counts.
+			qrun := func(mode int, par bool) result {
+				words := make(map[Addr]bool)
+				opts := Options{
+					Detector:             DetectorSTINT,
+					PageQuiesceThreshold: 2,
+					DisableCompactEvents: po.nocompact,
+					OnRace: func(rc Race) {
+						for a := rc.Addr &^ 3; a < rc.Addr+rc.Size; a += 4 {
+							words[a] = true
+						}
+					},
+				}
+				if par {
+					opts.ParallelDetect = true
+					opts.DetectShards = mode
+				} else if mode >= 0 {
+					opts.Async = true
+					opts.DetectShards = mode
+				}
+				r, err := NewRunner(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par || mode >= 0 {
+					r.asyncBatchEvents, r.asyncRingDepth = batchEvents, ringDepth
+				}
+				bufs, _ := fuzzAllocBufs(r)
+				rep, err := r.Run(func(task *Task) { runActs(task, bufs, prog) })
+				if err != nil {
+					t.Fatal(err)
+				}
+				st := Stats{PagesQuiesced: rep.Stats.PagesQuiesced}
+				return result{words: words, races: rep.Races, strands: rep.Strands, stats: st}
+			}
+			qsync := qrun(-1, false)
+			qcheck := func(name string, got result) {
+				if got.strands != qsync.strands || got.stats.PagesQuiesced != qsync.stats.PagesQuiesced {
+					t.Fatalf("%s: strands/quiesced %d/%d, sync %d/%d (batch=%d depth=%d shards=%d)\nprogram: %+v",
+						name, got.strands, got.stats.PagesQuiesced, qsync.strands, qsync.stats.PagesQuiesced,
+						batchEvents, ringDepth, shards, prog)
+				}
+				if !reflect.DeepEqual(got.races, qsync.races) {
+					t.Fatalf("quiesced races diverge (%s, batch=%d depth=%d shards=%d)\n%s: %v\nsync:  %v\nprogram: %+v",
+						name, batchEvents, ringDepth, shards, name, got.races, qsync.races, prog)
+				}
+				if !reflect.DeepEqual(got.words, qsync.words) {
+					t.Fatalf("quiesced racing words diverge (%s): %d vs sync %d\nprogram: %+v",
+						name, len(got.words), len(qsync.words), prog)
+				}
+			}
+			qcheck("quiesce-async", qrun(0, false))
+			if shards > 0 {
+				qcheck("quiesce-sharded", qrun(shards, false))
+			}
+			if po.parallel {
+				qcheck("quiesce-parallel-detect", qrun(shards, true))
+			}
+		}
 	})
 }
 
@@ -181,8 +262,9 @@ func FuzzAsyncAgainstSync(f *testing.F) {
 // shards, pipeline flags). The first four bytes pick a tiny pipeline
 // geometry — shards of zero means "compare the plain async pipeline only";
 // the flags byte toggles the fixed encoding (bit 0), picks the summary-
-// stamping stage (bits 1-2), and adds the ParallelDetect legs (bit 3) — and
-// the rest is a byte-code for act programs.
+// stamping stage (bits 1-2), adds the ParallelDetect legs (bit 3), and adds
+// the per-page quiescing differential legs (bit 4) — and the rest is a
+// byte-code for act programs.
 // Every input decodes to a valid program — the fuzzer explores program
 // shapes, not parser rejections.
 func decodeFuzzProgram(data []byte) ([]act, int, int, int, pipeOpts) {
@@ -202,8 +284,9 @@ func decodeFuzzProgram(data []byte) ([]act, int, int, int, pipeOpts) {
 	}
 	if len(data) > 0 {
 		po.nocompact = data[0]&1 != 0
-		po.stamp = SummaryStamping((data[0] >> 1) % 3)
+		po.stamp = SummaryStamping(((data[0] >> 1) & 3) % 3)
 		po.parallel = data[0]&8 != 0
+		po.quiesce = data[0]&16 != 0
 		data = data[1:]
 	}
 	pos := 0

@@ -119,6 +119,15 @@ func (ps PoolStats) Bytes() uint64 {
 	return uint64(ps.Chunks) * chunkNodes * uint64(unsafe.Sizeof(node{}))
 }
 
+// LiveBytes returns the bytes of pool nodes currently linked into trees:
+// nodes carved from chunks minus nodes parked on the free list. Unlike
+// PoolStats.Bytes it excludes retained-but-uncarved chunk capacity, so it
+// rewinds to zero on Reset — the measure a per-run memory cap wants.
+func (p *Pool) LiveBytes() uint64 {
+	carved := p.cur*chunkNodes + p.used
+	return uint64(carved-p.nfree) * uint64(unsafe.Sizeof(node{}))
+}
+
 // Stats returns the pool-level slab counters. Live is zero at pool level:
 // the pool does not know how many of its carved nodes are still linked
 // into trees (Tree.PoolStats fills it in for a single tree).

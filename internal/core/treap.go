@@ -71,6 +71,29 @@ func (t *Tree) Reset() {
 	t.stats = Stats{}
 }
 
+// Drop empties the tree like Reset but returns every node to the pool's
+// free list first, so the pool can recycle them for other trees without a
+// wholesale Pool.Reset. This is the quiescing path: a page that has hit its
+// race threshold hands its history back while sibling pages keep growing
+// out of the same pool. A dropped tree, like a Reset one, is
+// indistinguishable from a fresh NewTreeIn over the same pool.
+func (t *Tree) Drop() {
+	t.putSubtree(t.root)
+	t.Reset()
+}
+
+// putSubtree returns every node under n (inclusive) to the pool, without
+// stats or overlap reporting — this is bulk disposal, not a query.
+func (t *Tree) putSubtree(n *node) {
+	if n == nil {
+		return
+	}
+	l, r := n.left, n.right
+	t.pool.put(n)
+	t.putSubtree(l)
+	t.putSubtree(r)
+}
+
 // SetBalancing enables (default) or disables treap rotations. Disabling
 // turns the structure into an unbalanced BST, used by the "any balanced BST
 // would work" ablation to show the cost of imbalance.

@@ -182,6 +182,17 @@ type Stats struct {
 	// runner's drain, not by the engines, and not Accumulated.
 	EventsStreamed uint64
 	StreamBytes    uint64
+	// PagesQuiesced counts 64 KiB history pages retired because they hit
+	// Config.QuiesceThreshold recorded races. Quiesce decisions are
+	// page-local and taken at span boundaries, so the count is identical
+	// across execution modes.
+	PagesQuiesced uint64
+	// HistoryBytesPeak is the high-water mark of the engine's retained
+	// access-history footprint (history stores plus coalescing bitmaps),
+	// sampled at strand boundaries. Pool-chunk granularity makes it an
+	// estimate that varies with shard count; compare it only within one
+	// configuration.
+	HistoryBytesPeak uint64
 }
 
 // Accumulate adds o's deterministic detection counters into s. It is the
@@ -206,6 +217,8 @@ func (s *Stats) Accumulate(o *Stats) {
 	s.AccessHistoryTime += o.AccessHistoryTime
 	s.Races += o.Races
 	s.AccessHistoryBytes += o.AccessHistoryBytes
+	s.PagesQuiesced += o.PagesQuiesced
+	s.HistoryBytesPeak += o.HistoryBytesPeak
 }
 
 // Config configures an engine.
@@ -216,6 +229,20 @@ type Config struct {
 	// TimeAccessHistory enables the per-strand timers behind Figures 7
 	// and 8. It costs a few clock reads per strand.
 	TimeAccessHistory bool
+	// QuiesceThreshold, when positive, retires a 64 KiB history page once
+	// it has produced that many races: its history drops back onto the free
+	// lists and later accesses wholly within it become no-ops. Zero
+	// disables quiescing.
+	QuiesceThreshold int
+	// MaxHistoryBytes, when positive, caps this engine's retained
+	// access-history footprint. The check runs at strand boundaries; on
+	// trip the engine freezes (hooks become no-ops) and records a
+	// HistoryCapError retrievable via CapErrorOf.
+	MaxHistoryBytes uint64
+	// Quiesced, if non-nil, is a cross-goroutine registry the engine
+	// publishes quiesced page indices into, letting producer-side stages
+	// drop or de-mask accesses to dead pages.
+	Quiesced *QuiesceSet
 }
 
 // Engine is the event interface between the fork-join runner and a
@@ -298,6 +325,16 @@ func FootprintOf(e Engine) Footprint {
 		return f.Footprint()
 	}
 	return Footprint{}
+}
+
+// CapErrorOf returns the history-cap error e recorded, or nil — nil for
+// engines without cap support (the no-op and oracle engines) and for
+// engines that stayed under Config.MaxHistoryBytes.
+func CapErrorOf(e Engine) error {
+	if c, ok := e.(interface{ CapError() error }); ok {
+		return c.CapError()
+	}
+	return nil
 }
 
 // nopEngine supports Off and ReachOnly.

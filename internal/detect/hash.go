@@ -36,6 +36,18 @@ type hashEngine struct {
 	readBits     *coalesce.BitSet
 	writeBits    *coalesce.BitSet
 	scratch      []span
+
+	// Quiescing and memory-cap state. Races never span a page (words are
+	// page-contained and flushed spans page-split), so attributing each
+	// race to the page of its start address is exact.
+	qthresh   int
+	maxBytes  uint64
+	registry  *QuiesceSet
+	capErr    error
+	pageRaces map[uint64]int32 // page index -> races produced
+	nQuiesced int
+	lastQIdx  uint64 // 1-entry quiesced-page cache
+	lastQ     bool
 }
 
 func newHashEngine(cfg Config, reach Reach, expandRanges, rts bool) *hashEngine {
@@ -46,18 +58,68 @@ func newHashEngine(cfg Config, reach Reach, expandRanges, rts bool) *hashEngine 
 		expandRanges: expandRanges,
 		rts:          rts,
 		timeAH:       cfg.TimeAccessHistory,
+		qthresh:      cfg.QuiesceThreshold,
+		maxBytes:     cfg.MaxHistoryBytes,
+		registry:     cfg.Quiesced,
 	}
 	if rts {
 		e.readBits = coalesce.New()
 		e.writeBits = coalesce.New()
+	}
+	if e.qthresh > 0 {
+		e.pageRaces = make(map[uint64]int32)
 	}
 	return e
 }
 
 func (e *hashEngine) race(r Race) {
 	e.stats.Races++
+	if e.qthresh > 0 {
+		e.pageRaces[uint64(r.Addr)>>coalesce.PageBytesBits]++
+	}
 	if e.onRace != nil {
 		e.onRace(r)
+	}
+}
+
+// quiescedIdx reports whether shadow page idx has been retired, with a
+// one-entry cache in front of the directory probe.
+func (e *hashEngine) quiescedIdx(idx uint64) bool {
+	if e.lastQ && idx == e.lastQIdx {
+		return true
+	}
+	if e.table.Quiesced(idx) {
+		e.lastQIdx, e.lastQ = idx, true
+		return true
+	}
+	return false
+}
+
+// deadSpan reports whether [addr, addr+size) lies entirely within one
+// retired page; see treeEngine.deadSpan for why only whole-page-contained
+// spans short-circuit here.
+func (e *hashEngine) deadSpan(addr mem.Addr, size uint64) bool {
+	if e.nQuiesced == 0 {
+		return false
+	}
+	first := addr >> coalesce.PageBytesBits
+	if (addr+size-1)>>coalesce.PageBytesBits != first {
+		return false
+	}
+	return e.quiescedIdx(first)
+}
+
+// quiescePage retires one shadow page: its 128 KiB of cells park on the
+// freelist and the directory slot becomes a tombstone. Word accesses and
+// flushed spans on the page become no-ops from here on.
+func (e *hashEngine) quiescePage(idx uint64) {
+	e.table.Retire(idx)
+	delete(e.pageRaces, idx)
+	e.lastQIdx, e.lastQ = idx, true
+	e.nQuiesced++
+	e.stats.PagesQuiesced++
+	if e.registry != nil {
+		e.registry.Add(idx)
 	}
 }
 
@@ -76,9 +138,17 @@ func wordsIn(addr mem.Addr, size uint64) uint64 {
 // last writer or leftmost reader. Reads replace the stored reader only when
 // left-of it; writes always become the last writer.
 func (e *hashEngine) accessWord(addr mem.Addr, isWrite bool) {
+	var idx uint64
+	if e.qthresh > 0 || e.nQuiesced > 0 {
+		idx = uint64(addr) >> coalesce.PageBytesBits
+		if e.nQuiesced > 0 && e.quiescedIdx(idx) {
+			return // page retired: no history op, no check
+		}
+	}
 	e.stats.HashOps++
 	w, r := e.table.Cell(addr)
 	cur := e.reach.CurrentID()
+	racesBefore := e.stats.Races
 	if *w != shadow.None && e.reach.Parallel(*w, cur) {
 		e.race(Race{Addr: addr &^ 3, Size: mem.WordSize, Prev: *w, Cur: cur, PrevWrite: true, CurWrite: isWrite})
 	}
@@ -89,6 +159,9 @@ func (e *hashEngine) accessWord(addr mem.Addr, isWrite bool) {
 		*w = cur
 	} else if *r == shadow.None || e.reach.LeftOf(cur, *r) {
 		*r = cur
+	}
+	if e.qthresh > 0 && e.stats.Races != racesBefore && e.pageRaces[idx] >= int32(e.qthresh) {
+		e.quiescePage(idx)
 	}
 }
 
@@ -102,8 +175,14 @@ func (e *hashEngine) accessRange(addr mem.Addr, size uint64, isWrite bool) {
 }
 
 func (e *hashEngine) ReadHook(addr mem.Addr, size uint64) {
+	if e.capErr != nil {
+		return
+	}
 	e.stats.ReadHookCalls++
 	e.stats.ReadAccesses += wordsIn(addr, size)
+	if e.deadSpan(addr, size) {
+		return
+	}
 	if e.rts {
 		setBits(e.readBits, addr, size)
 		return
@@ -112,8 +191,14 @@ func (e *hashEngine) ReadHook(addr mem.Addr, size uint64) {
 }
 
 func (e *hashEngine) WriteHook(addr mem.Addr, size uint64) {
+	if e.capErr != nil {
+		return
+	}
 	e.stats.WriteHookCalls++
 	e.stats.WriteAccesses += wordsIn(addr, size)
+	if e.deadSpan(addr, size) {
+		return
+	}
 	if e.rts {
 		setBits(e.writeBits, addr, size)
 		return
@@ -132,6 +217,9 @@ func setBits(b *coalesce.BitSet, addr mem.Addr, size uint64) {
 }
 
 func (e *hashEngine) ReadRangeHook(addr mem.Addr, count int, elemBytes uint64) {
+	if e.capErr != nil {
+		return
+	}
 	if e.expandRanges {
 		// Vanilla: the compiler emitted one hook per access.
 		for i := 0; i < count; i++ {
@@ -142,6 +230,9 @@ func (e *hashEngine) ReadRangeHook(addr mem.Addr, count int, elemBytes uint64) {
 	size := uint64(count) * elemBytes
 	e.stats.ReadHookCalls++
 	e.stats.ReadAccesses += wordsIn(addr, size)
+	if e.deadSpan(addr, size) {
+		return
+	}
 	if e.rts {
 		e.readBits.SetRange(addr, size)
 		return
@@ -150,6 +241,9 @@ func (e *hashEngine) ReadRangeHook(addr mem.Addr, count int, elemBytes uint64) {
 }
 
 func (e *hashEngine) WriteRangeHook(addr mem.Addr, count int, elemBytes uint64) {
+	if e.capErr != nil {
+		return
+	}
 	if e.expandRanges {
 		for i := 0; i < count; i++ {
 			e.WriteHook(addr+mem.Addr(uint64(i)*elemBytes), elemBytes)
@@ -159,6 +253,9 @@ func (e *hashEngine) WriteRangeHook(addr mem.Addr, count int, elemBytes uint64) 
 	size := uint64(count) * elemBytes
 	e.stats.WriteHookCalls++
 	e.stats.WriteAccesses += wordsIn(addr, size)
+	if e.deadSpan(addr, size) {
+		return
+	}
 	if e.rts {
 		e.writeBits.SetRange(addr, size)
 		return
@@ -167,13 +264,22 @@ func (e *hashEngine) WriteRangeHook(addr mem.Addr, count int, elemBytes uint64) 
 }
 
 // StrandEnd flushes the bit hashmaps (CompRTS only) and replays the
-// deduplicated intervals against the word-granularity access history.
+// deduplicated intervals against the word-granularity access history, then
+// samples the footprint high-water mark and the hard cap.
 func (e *hashEngine) StrandEnd() {
-	if !e.rts {
+	if e.capErr != nil {
 		return
 	}
-	e.flush(e.readBits, false)
-	e.flush(e.writeBits, true)
+	if e.rts {
+		e.flush(e.readBits, false)
+		e.flush(e.writeBits, true)
+	}
+	if b := e.histBytes(); b > e.stats.HistoryBytesPeak {
+		e.stats.HistoryBytesPeak = b
+		if e.maxBytes > 0 && b > e.maxBytes {
+			e.capErr = &HistoryCapError{Limit: e.maxBytes, Bytes: b}
+		}
+	}
 }
 
 func (e *hashEngine) flush(bits *coalesce.BitSet, isWrite bool) {
@@ -184,28 +290,52 @@ func (e *hashEngine) flush(bits *coalesce.BitSet, isWrite bool) {
 	if len(e.scratch) == 0 {
 		return
 	}
-	var bytes uint64
-	for _, s := range e.scratch {
-		bytes += s.size
-	}
-	if isWrite {
-		e.stats.WriteIntervals += uint64(len(e.scratch))
-		e.stats.WriteIntervalBytes += bytes
-	} else {
-		e.stats.ReadIntervals += uint64(len(e.scratch))
-		e.stats.ReadIntervalBytes += bytes
-	}
 	var t0 time.Time
 	if e.timeAH {
 		t0 = time.Now()
 	}
+	// Spans on retired pages drop before they are counted as intervals —
+	// page-local, so every execution mode drops the same spans. A page can
+	// also retire mid-flush (its threshold race fires inside accessRange);
+	// the per-word guard there drops the rest of that page's words and the
+	// span check here drops its later spans.
+	var n, bytes uint64
 	for _, s := range e.scratch {
+		if e.nQuiesced > 0 && e.quiescedIdx(uint64(s.addr)>>coalesce.PageBytesBits) {
+			continue
+		}
+		n++
+		bytes += s.size
 		e.accessRange(s.addr, s.size, isWrite)
+	}
+	if isWrite {
+		e.stats.WriteIntervals += n
+		e.stats.WriteIntervalBytes += bytes
+	} else {
+		e.stats.ReadIntervals += n
+		e.stats.ReadIntervalBytes += bytes
 	}
 	if e.timeAH {
 		e.stats.AccessHistoryTime += time.Since(t0)
 	}
 }
+
+// histBytes estimates the engine's live footprint for this run: shadow
+// pages currently in the directory plus live coalescing bit pages. Warm
+// capacity parked on free lists across Reset is excluded so a Runner that
+// auto-resets after a MaxHistoryBytes trip starts the next run near zero;
+// quiesced pages are retired to the free list and leave this measure.
+func (e *hashEngine) histBytes() uint64 {
+	b := e.table.Bytes()
+	if e.rts {
+		b += uint64(e.readBits.LivePages()+e.writeBits.LivePages()) * bitPageBytes
+	}
+	return b
+}
+
+// CapError returns the history-cap error, if the footprint tripped
+// Config.MaxHistoryBytes during the run.
+func (e *hashEngine) CapError() error { return e.capErr }
 
 func (e *hashEngine) Finish() {
 	e.StrandEnd()
@@ -224,6 +354,12 @@ func (e *hashEngine) Reset() {
 		e.writeBits.Reset()
 	}
 	e.scratch = e.scratch[:0]
+	e.capErr = nil
+	e.nQuiesced = 0
+	e.lastQIdx, e.lastQ = 0, false
+	for k := range e.pageRaces {
+		delete(e.pageRaces, k)
+	}
 	e.stats = Stats{}
 }
 

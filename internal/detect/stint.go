@@ -22,6 +22,10 @@ type store interface {
 	// Reset empties the store for reuse, re-deriving any deterministic
 	// seeds so a reused store behaves byte-identically to a fresh one.
 	Reset()
+	// Drop empties the store like Reset but returns its nodes to any
+	// shared slab pool first, so quiescing one page's history makes the
+	// memory immediately reusable by sibling pages.
+	Drop()
 }
 
 type treeBackend int
@@ -40,6 +44,7 @@ const (
 // never emits an interval crossing a page boundary.
 type histPage struct {
 	read, write store
+	races       int32 // races this page has produced (quiesce accounting)
 }
 
 // treeEngine is STINT: compile-time and runtime coalescing feeding an
@@ -74,6 +79,17 @@ type treeEngine struct {
 	leftOf    core.LeftOfFunc
 	scratch   []span
 
+	// Quiescing and memory-cap state.
+	qthresh   int         // Config.QuiesceThreshold; 0 disables
+	maxBytes  uint64      // Config.MaxHistoryBytes; 0 disables
+	registry  *QuiesceSet // optional cross-goroutine quiesce registry
+	capErr    error       // set once the history footprint trips maxBytes
+	retired   core.Stats  // store counters salvaged from quiesced pages
+	nQuiesced int         // pages quiesced (fast guard for the hot checks)
+	lastQIdx  uint64      // 1-entry quiesced-page cache in front of the dir
+	lastQ     bool
+	curPage   *histPage // page whose span is being flushed (race accounting)
+
 	// Per-flush state and preallocated callbacks: the overlap callbacks
 	// capture the engine, not the strand, so flushing allocates nothing.
 	curID         int32
@@ -90,6 +106,9 @@ func newTreeEngine(cfg Config, reach Reach, backend treeBackend) *treeEngine {
 		backend:   backend,
 		readBits:  coalesce.New(),
 		writeBits: coalesce.New(),
+		qthresh:   cfg.QuiesceThreshold,
+		maxBytes:  cfg.MaxHistoryBytes,
+		registry:  cfg.Quiesced,
 	}
 	if backend != treeBackendSkiplist {
 		e.pool = core.NewPool()
@@ -150,93 +169,233 @@ func (e *treeEngine) pageFor(idx uint64) *histPage {
 
 func (e *treeEngine) race(r Race) {
 	e.stats.Races++
+	if e.qthresh > 0 && e.curPage != nil {
+		e.curPage.races++
+	}
 	if e.onRace != nil {
 		e.onRace(r)
 	}
 }
 
+// quiescedIdx reports whether page idx has been quiesced, with a one-entry
+// cache in front of the directory probe — racy workloads hammer the same
+// dead page, so the common case is a single compare.
+func (e *treeEngine) quiescedIdx(idx uint64) bool {
+	if e.lastQ && idx == e.lastQIdx {
+		return true
+	}
+	if e.pages.Quiesced(idx) {
+		e.lastQIdx, e.lastQ = idx, true
+		return true
+	}
+	return false
+}
+
+// deadSpan reports whether [addr, addr+size) lies entirely within one
+// quiesced page — the hook fast path: such an access can never contribute a
+// race check again, so only its counters are kept. Spans that straddle a
+// page boundary always proceed (the flush drops the dead pieces span by
+// span), keeping the decision page-local and identical in every execution
+// mode regardless of how dispatch split the access.
+func (e *treeEngine) deadSpan(addr mem.Addr, size uint64) bool {
+	if e.nQuiesced == 0 {
+		return false
+	}
+	first := addr >> coalesce.PageBytesBits
+	if (addr+size-1)>>coalesce.PageBytesBits != first {
+		return false
+	}
+	return e.quiescedIdx(first)
+}
+
 func (e *treeEngine) ReadHook(addr mem.Addr, size uint64) {
+	if e.capErr != nil {
+		return
+	}
 	e.stats.ReadHookCalls++
 	e.stats.ReadAccesses += wordsIn(addr, size)
+	if e.deadSpan(addr, size) {
+		return
+	}
 	setBits(e.readBits, addr, size)
 }
 
 func (e *treeEngine) WriteHook(addr mem.Addr, size uint64) {
+	if e.capErr != nil {
+		return
+	}
 	e.stats.WriteHookCalls++
 	e.stats.WriteAccesses += wordsIn(addr, size)
+	if e.deadSpan(addr, size) {
+		return
+	}
 	setBits(e.writeBits, addr, size)
 }
 
 func (e *treeEngine) ReadRangeHook(addr mem.Addr, count int, elemBytes uint64) {
+	if e.capErr != nil {
+		return
+	}
 	size := uint64(count) * elemBytes
 	e.stats.ReadHookCalls++
 	e.stats.ReadAccesses += wordsIn(addr, size)
+	if e.deadSpan(addr, size) {
+		return
+	}
 	e.readBits.SetRange(addr, size)
 }
 
 func (e *treeEngine) WriteRangeHook(addr mem.Addr, count int, elemBytes uint64) {
+	if e.capErr != nil {
+		return
+	}
 	size := uint64(count) * elemBytes
 	e.stats.WriteHookCalls++
 	e.stats.WriteAccesses += wordsIn(addr, size)
+	if e.deadSpan(addr, size) {
+		return
+	}
 	e.writeBits.SetRange(addr, size)
 }
 
 // StrandEnd flushes both bit hashmaps and runs the interval-granularity
 // race checks and access-history updates for the finishing strand. Each
 // flushed interval is contained in one page (coalesce splits at page
-// boundaries), so it touches exactly one page's stores.
+// boundaries), so it touches exactly one page's stores. Spans whose page
+// has quiesced are dropped before they are counted as intervals — the drop
+// is page-local, so every execution mode drops exactly the same spans. A
+// page crossing its race threshold quiesces immediately after its span
+// completes, which makes the set of surviving race checks a pure function
+// of each page's own span sequence.
 func (e *treeEngine) StrandEnd() {
+	if e.capErr != nil {
+		return
+	}
 	e.curID = e.reach.CurrentID()
 
 	// Reads: race-check against the write history, then record.
-	e.collect(e.readBits)
-	if len(e.scratch) > 0 {
-		var bytes uint64
-		for _, s := range e.scratch {
-			bytes += s.size
-		}
-		e.stats.ReadIntervals += uint64(len(e.scratch))
-		e.stats.ReadIntervalBytes += bytes
-		var t0 time.Time
-		if e.timeAH {
-			t0 = time.Now()
-		}
-		for _, s := range e.scratch {
-			pg := e.pageFor(s.addr >> coalesce.PageBytesBits)
-			iv := core.Interval{Start: s.addr, End: s.addr + s.size, Acc: e.curID}
-			pg.write.Query(iv, e.readQueryCB)
-			pg.read.InsertRead(iv, e.leftOf, nil)
-		}
-		if e.timeAH {
-			e.stats.AccessHistoryTime += time.Since(t0)
-		}
-	}
-
+	e.flushSpans(false)
 	// Writes: race-check against the read history, then insert; displaced
 	// parallel writers are races too.
-	e.collect(e.writeBits)
-	if len(e.scratch) > 0 {
-		var bytes uint64
-		for _, s := range e.scratch {
-			bytes += s.size
-		}
-		e.stats.WriteIntervals += uint64(len(e.scratch))
-		e.stats.WriteIntervalBytes += bytes
-		var t0 time.Time
-		if e.timeAH {
-			t0 = time.Now()
-		}
-		for _, s := range e.scratch {
-			pg := e.pageFor(s.addr >> coalesce.PageBytesBits)
-			iv := core.Interval{Start: s.addr, End: s.addr + s.size, Acc: e.curID}
-			pg.read.Query(iv, e.writeQueryCB)
-			pg.write.InsertWrite(iv, e.writeInsertCB)
-		}
-		if e.timeAH {
-			e.stats.AccessHistoryTime += time.Since(t0)
+	e.flushSpans(true)
+
+	if b := e.histBytes(); b > e.stats.HistoryBytesPeak {
+		e.stats.HistoryBytesPeak = b
+		if e.maxBytes > 0 && b > e.maxBytes {
+			e.capErr = &HistoryCapError{Limit: e.maxBytes, Bytes: b}
 		}
 	}
 }
+
+func (e *treeEngine) flushSpans(write bool) {
+	if write {
+		e.collect(e.writeBits)
+	} else {
+		e.collect(e.readBits)
+	}
+	if len(e.scratch) == 0 {
+		return
+	}
+	var t0 time.Time
+	if e.timeAH {
+		t0 = time.Now()
+	}
+	var n, bytes uint64
+	for _, s := range e.scratch {
+		idx := s.addr >> coalesce.PageBytesBits
+		if e.nQuiesced > 0 && e.quiescedIdx(idx) {
+			continue
+		}
+		n++
+		bytes += s.size
+		pg := e.pageFor(idx)
+		e.curPage = pg
+		iv := core.Interval{Start: s.addr, End: s.addr + s.size, Acc: e.curID}
+		if write {
+			pg.read.Query(iv, e.writeQueryCB)
+			pg.write.InsertWrite(iv, e.writeInsertCB)
+		} else {
+			pg.write.Query(iv, e.readQueryCB)
+			pg.read.InsertRead(iv, e.leftOf, nil)
+		}
+		e.curPage = nil
+		if e.qthresh > 0 && int(pg.races) >= e.qthresh {
+			e.quiescePage(idx, pg)
+		}
+	}
+	if write {
+		e.stats.WriteIntervals += n
+		e.stats.WriteIntervalBytes += bytes
+	} else {
+		e.stats.ReadIntervals += n
+		e.stats.ReadIntervalBytes += bytes
+	}
+	if e.timeAH {
+		e.stats.AccessHistoryTime += time.Since(t0)
+	}
+}
+
+// quiescePage retires one page's history: its store counters are salvaged
+// into the retired aggregate (Finish still reports the work that was done),
+// its nodes go back to the shared pool, the empty shell parks on the page
+// freelist for reuse by live pages, and the directory slot becomes a
+// quiesced tombstone so the page cannot silently come back. The retained
+// footprint is unchanged — no shell is allocated or freed — which is what
+// keeps Runner.footprint() stable across quiesce/reset cycles.
+func (e *treeEngine) quiescePage(idx uint64, pg *histPage) {
+	rs, ws := pg.read.Stats(), pg.write.Stats()
+	e.retired.Ops += rs.Ops + ws.Ops
+	e.retired.NodesVisited += rs.NodesVisited + ws.NodesVisited
+	e.retired.Overlaps += rs.Overlaps + ws.Overlaps
+	pg.read.Drop()
+	pg.write.Drop()
+	pg.races = 0
+	e.pages.Quiesce(idx)
+	e.freePages = append(e.freePages, pg)
+	if e.lastPage == pg {
+		e.lastIdx, e.lastPage = 0, nil
+	}
+	e.lastQIdx, e.lastQ = idx, true
+	e.nQuiesced++
+	e.stats.PagesQuiesced++
+	if e.registry != nil {
+		e.registry.Add(idx)
+	}
+}
+
+// bitPageBytes approximates one coalescing bit-hashmap page: 2 KiB of bits
+// plus the touched-word index.
+const bitPageBytes = 3 << 10
+
+// histPageShellBytes approximates a histPage shell plus its directory slot.
+const histPageShellBytes = 256
+
+// histBytes estimates the engine's live access-history footprint for this
+// run: interval nodes currently linked into page trees, live page shells,
+// and live coalescing bit pages. Warm capacity retained across Reset (slab
+// chunks, parked shells, free bit pages) is deliberately excluded — the
+// MaxHistoryBytes cap bounds what the current run accumulates, and a Runner
+// that auto-resets after tripping the cap must start the next run back at
+// (near) zero. Quiescing a page moves its nodes and shell onto free lists,
+// so retired pages leave this measure immediately.
+func (e *treeEngine) histBytes() uint64 {
+	var b uint64
+	if e.pool != nil {
+		b = e.pool.LiveBytes()
+	} else {
+		const skiplistNodeBytes = 304 // interval + [32]*node tower
+		e.pages.Range(func(_ uint64, p *histPage) {
+			b += uint64(p.read.Size()+p.write.Size()) * skiplistNodeBytes
+		})
+	}
+	b += uint64(e.pages.Len()) * histPageShellBytes
+	b += uint64(e.readBits.LivePages()+e.writeBits.LivePages()) * bitPageBytes
+	return b
+}
+
+// CapError returns the history-cap error, if the footprint tripped
+// Config.MaxHistoryBytes during the run.
+func (e *treeEngine) CapError() error { return e.capErr }
 
 func (e *treeEngine) collect(bits *coalesce.BitSet) {
 	e.scratch = e.scratch[:0]
@@ -247,7 +406,7 @@ func (e *treeEngine) collect(bits *coalesce.BitSet) {
 
 func (e *treeEngine) Finish() {
 	e.StrandEnd()
-	var agg core.Stats
+	agg := e.retired // work done on since-quiesced pages still counts
 	var stored int
 	e.pages.Range(func(_ uint64, p *histPage) {
 		rs, ws := p.read.Stats(), p.write.Stats()
@@ -259,7 +418,8 @@ func (e *treeEngine) Finish() {
 	e.stats.TreapOps = agg.Ops
 	e.stats.TreapNodesVisited = agg.NodesVisited
 	e.stats.TreapOverlaps = agg.Overlaps
-	// Approximate footprint: one node per stored interval.
+	// Approximate footprint: one node per stored interval (quiesced pages
+	// store nothing — that is the point).
 	e.stats.AccessHistoryBytes = uint64(stored) * 48
 }
 
@@ -279,6 +439,7 @@ func (e *treeEngine) Reset() {
 	e.pages.Reset(func(p *histPage) {
 		p.read.Reset()
 		p.write.Reset()
+		p.races = 0
 		e.freePages = append(e.freePages, p)
 	})
 	if e.pool != nil {
@@ -287,6 +448,11 @@ func (e *treeEngine) Reset() {
 	e.lastIdx, e.lastPage = 0, nil
 	e.scratch = e.scratch[:0]
 	e.curID = 0
+	e.capErr = nil
+	e.retired = core.Stats{}
+	e.nQuiesced = 0
+	e.lastQIdx, e.lastQ = 0, false
+	e.curPage = nil
 	e.stats = Stats{}
 }
 

@@ -169,9 +169,9 @@ type Batch struct {
 	// accumulator at all for a run-continuing one-byte-delta access.
 	pendN      int
 	pendExtra  int
-	pendRunN   int    // size runs staged so far
-	pendRangeN int    // range events staged so far
-	pendLastA  uint64 // last size/elem operand, for run detection
+	pendRunN   int                   // size runs staged so far
+	pendRangeN int                   // range events staged so far
+	pendLastA  uint64                // last size/elem operand, for run detection
 	pendOW     [BlockEvents]byte     // op code (high nibble) | width code (low nibble)
 	pendRunV   [BlockEvents]uint64   // size-run operand values
 	pendRunS   [BlockEvents + 1]byte // size-run start indices (+1: seal's sentinel)

@@ -57,8 +57,12 @@ type Config struct {
 	// status "error" and counts as oversized in Stats. 0 = unbounded.
 	MaxEvents uint64
 	// Opts configures every pooled Runner (detector, pipeline mode, race
-	// recording bounds). Detector defaults to DetectorSTINT; Tracer and
-	// OnRace must be unset — the service owns both ends of the replay.
+	// recording bounds, and the per-run resource caps PageQuiesceThreshold
+	// and MaxHistoryBytes — a replay tripping the history cap aborts with
+	// its result status "error" and counts as oversized, and the worker's
+	// Runner resets and stays in the pool). Detector defaults to
+	// DetectorSTINT; Tracer and OnRace must be unset — the service owns
+	// both ends of the replay.
 	Opts stint.Options
 	// MaxResults bounds the retained result set; the oldest results are
 	// evicted first. Default 256.
@@ -86,7 +90,7 @@ func (c Config) withDefaults() Config {
 		c.Opts.Detector = stint.DetectorSTINT
 	}
 	if c.Opts.MaxRacesRecorded == 0 {
-		c.Opts.MaxRacesRecorded = 64
+		c.Opts.MaxRacesRecorded = stint.DefaultMaxRacesRecorded
 	}
 	return c
 }
@@ -115,7 +119,7 @@ type Stats struct {
 	QueueCap     int     `json:"queue_cap"`
 	Admitted     uint64  `json:"admitted"`
 	Rejected     uint64  `json:"rejected"`  // 429s: queue full
-	Oversized    uint64  `json:"oversized"` // 413s + MaxEvents aborts
+	Oversized    uint64  `json:"oversized"` // 413s + MaxEvents/MaxHistoryBytes aborts
 	Failed       uint64  `json:"failed"`    // replay errors other than oversize
 	Completed    uint64  `json:"completed"`
 	UptimeSec    float64 `json:"uptime_sec"`
@@ -243,8 +247,12 @@ func (s *Server) replay(r *stint.Runner, j job) {
 	})
 }
 
+// finishErr records a failed replay. Each failure increments exactly one
+// counter: the per-run resource caps (event budget, history cap) count as
+// oversized, everything else as failed. A 413 body rejection also counts
+// as oversized but never reaches admit, so no upload can be counted twice.
 func (s *Server) finishErr(id string, err error) {
-	if errors.Is(err, trace.ErrTooManyEvents) {
+	if errors.Is(err, trace.ErrTooManyEvents) || errors.Is(err, stint.ErrHistoryCap) {
 		s.oversized.Add(1)
 	} else {
 		s.failed.Add(1)
@@ -286,6 +294,15 @@ func (s *Server) admit(data []byte) (string, bool) {
 	for len(s.order) > s.cfg.MaxResults {
 		evict := s.order[0]
 		s.order = s.order[1:]
+		// A non-terminal record can be evicted while its trace is still
+		// queued or replaying. Resolve it before it disappears: anything
+		// blocked in wait() unblocks, and the worker's later finish() finds
+		// no record and leaves the closed channel alone (no double close).
+		if old := s.results[evict]; old != nil && old.Status != "done" && old.Status != "error" {
+			old.Status = "error"
+			old.Error = "evicted before completion"
+			close(old.done)
+		}
 		delete(s.results, evict)
 	}
 	s.mu.Unlock()

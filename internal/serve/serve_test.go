@@ -255,6 +255,93 @@ func TestServeOversize(t *testing.T) {
 	})
 }
 
+// TestServeOversizeHistoryCap exercises the third per-run cap: a replay
+// whose access-history footprint trips Opts.MaxHistoryBytes surfaces as a
+// result error counted under oversized, and the worker's Runner recovers —
+// the next trace on the same (single-runner) pool replays normally.
+func TestServeOversizeHistoryCap(t *testing.T) {
+	raw := recordTrace(t, 512, 64)
+	s, err := New(Config{Runners: 1, Opts: stint.Options{
+		Detector: stint.DetectorSTINT, MaxHistoryBytes: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	id, code := postTrace(t, ts, raw)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload: status %d", code)
+	}
+	res := pollResult(t, ts, id)
+	if res.Status != "error" || !strings.Contains(res.Error, "MaxHistoryBytes") {
+		t.Fatalf("result: %+v", res)
+	}
+	if st := s.Stats(); st.Oversized != 1 || st.Failed != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Same pool, same Runner: the cap abort must have left it reusable.
+	id2, code := postTrace(t, ts, raw)
+	if code != http.StatusAccepted {
+		t.Fatalf("second upload: status %d", code)
+	}
+	res2 := pollResult(t, ts, id2)
+	if res2.Status != "error" || !strings.Contains(res2.Error, "MaxHistoryBytes") {
+		t.Fatalf("second result: %+v", res2)
+	}
+	if st := s.Stats(); st.Oversized != 2 || st.Failed != 0 {
+		t.Fatalf("stats after second: %+v", st)
+	}
+}
+
+// TestServeEvictionResolvesPending pins the eviction fix: when the FIFO
+// evicts a result whose trace has not finished, anything blocked on that
+// result unblocks with a terminal "error" status instead of hanging on a
+// done channel nobody will ever close.
+func TestServeEvictionResolvesPending(t *testing.T) {
+	// No workers: jobs stay queued forever, so the first result is still
+	// non-terminal when the second upload evicts it.
+	s := &Server{
+		cfg:     Config{Runners: 1, QueueDepth: 4, MaxResults: 1}.withDefaults(),
+		queue:   make(chan job, 4),
+		quit:    make(chan struct{}),
+		start:   time.Now(),
+		results: make(map[string]*Result),
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	raw := recordTrace(t, 64, 16)
+	first, code := postTrace(t, ts, raw)
+	if code != http.StatusAccepted {
+		t.Fatalf("first upload: status %d", code)
+	}
+	// Grab the live record the way a concurrent waiter would, before the
+	// second upload evicts it.
+	s.mu.Lock()
+	res := s.results[first]
+	s.mu.Unlock()
+	if res == nil {
+		t.Fatalf("first result missing before eviction")
+	}
+	if _, code := postTrace(t, ts, raw); code != http.StatusAccepted {
+		t.Fatalf("second upload: status %d", code)
+	}
+	select {
+	case <-res.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("evicted result's done channel never closed")
+	}
+	s.mu.Lock()
+	status, errMsg := res.Status, res.Error
+	s.mu.Unlock()
+	if status != "error" || !strings.Contains(errMsg, "evicted") {
+		t.Fatalf("evicted result: status %q, error %q", status, errMsg)
+	}
+	// wait() on the evicted id returns promptly too (nil lookup path).
+	s.wait(first)
+}
+
 // TestServeUnknownResult covers the 404 path and result eviction.
 func TestServeUnknownResult(t *testing.T) {
 	s, err := New(Config{Runners: 1, MaxResults: 1})

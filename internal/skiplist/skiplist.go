@@ -58,6 +58,12 @@ func (l *List) Reset() {
 	l.stats = core.Stats{}
 }
 
+// Drop empties the list, releasing its nodes. Nodes are heap-allocated
+// (deliberately mirroring the related work), so dropping is just Reset —
+// the garbage collector reclaims them; there is no free list to feed.
+// Provided so the quiescing path can treat every store uniformly.
+func (l *List) Drop() { l.Reset() }
+
 // Size returns the number of stored intervals (duplicates included).
 func (l *List) Size() int { return l.size }
 

@@ -13,6 +13,21 @@ import "fmt"
 // pages; four-digit counts are a configuration error, not a scale-up.
 const maxDetectShards = 1024
 
+// DefaultMaxRacesRecorded is the race-report budget applied when
+// Options.MaxRacesRecorded is zero. Every entry point — NewRunner,
+// trace.Replay, the dag and pipeline runners, and stint-serve — defaults
+// through this one constant, so a zero value means the same thing
+// everywhere.
+const DefaultMaxRacesRecorded = 64
+
+// defaultMaxRaces resolves a zero MaxRacesRecorded to the shared default.
+func defaultMaxRaces(n int) int {
+	if n == 0 {
+		return DefaultMaxRacesRecorded
+	}
+	return n
+}
+
 // optionsRule is one validation rule: bad reports whether opts violate the
 // rule, and err renders the violation.
 type optionsRule struct {
@@ -98,6 +113,26 @@ var optionsRules = []optionsRule{
 		},
 		err: func(o *Options) error {
 			return fmt.Errorf("stint: SummaryStamping %d is not one of StampAuto, StampProducer, StampLabelStage", o.SummaryStamping)
+		},
+	},
+	{
+		bad: func(o *Options) bool { return o.PageQuiesceThreshold < 0 },
+		err: func(o *Options) error {
+			return fmt.Errorf("stint: PageQuiesceThreshold must be non-negative, got %d", o.PageQuiesceThreshold)
+		},
+	},
+	{
+		bad: func(o *Options) bool { return o.MaxHistoryBytes < 0 },
+		err: func(o *Options) error {
+			return fmt.Errorf("stint: MaxHistoryBytes must be non-negative, got %d", o.MaxHistoryBytes)
+		},
+	},
+	{
+		bad: func(o *Options) bool {
+			return o.MaxHistoryBytes > 0 && (o.Detector == DetectorOff || o.Detector == DetectorReachOnly)
+		},
+		err: func(o *Options) error {
+			return fmt.Errorf("stint: MaxHistoryBytes requires a detector with an access history, got %v", o.Detector)
 		},
 	},
 }

@@ -47,6 +47,7 @@ func pdNormStats(s stint.Stats) stint.Stats {
 	s.BatchesSkipped = 0
 	s.EventsStreamed = 0
 	s.StreamBytes = 0
+	s.HistoryBytesPeak = 0
 	return s
 }
 

@@ -55,7 +55,7 @@ type Runner struct {
 // NewRunner validates opts and returns a Runner with an empty Arena.
 func NewRunner(opts Options) (*Runner, error) {
 	if opts.MaxRacesRecorded == 0 {
-		opts.MaxRacesRecorded = 64
+		opts.MaxRacesRecorded = stint.DefaultMaxRacesRecorded
 	}
 	return &Runner{opts: opts, arena: mem.NewArena()}, nil
 }

@@ -134,6 +134,42 @@ func TestReuseFootprintStopsGrowing(t *testing.T) {
 			}
 		})
 	}
+	// Quiesce-heavy leg: pages that quiesce mid-run park their history on
+	// free lists and tombstone their directory slots, and the next run
+	// revives them. None of that may grow the retained footprint across
+	// laps — revival must reuse the tombstoned capacity, not rehash into
+	// fresh slots.
+	for _, mode := range reuseModes {
+		t.Run("quiesce/"+mode.name, func(t *testing.T) {
+			opts := mode.opts
+			opts.PageQuiesceThreshold = 2
+			r, err := NewRunner(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const pages = 4
+			acts := quiesceRacyActs(pages)
+			buf := r.Arena().AllocWords("q", pages*qPageWords)
+			lap := func() *Report {
+				rep, err := r.Run(func(task *Task) { runActs(task, []*Buffer{buf}, acts) })
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			if rep := lap(); rep.Stats.PagesQuiesced == 0 {
+				t.Fatalf("%s: no pages quiesced; the leg is vacuous", mode.name)
+			}
+			warm := r.footprint()
+			for i := 0; i < 3; i++ {
+				lap()
+				if got := r.footprint(); got != warm {
+					t.Fatalf("%s: footprint grew on quiesce lap %d: warm %+v, now %+v",
+						mode.name, i+1, warm, got)
+				}
+			}
+		})
+	}
 }
 
 // TestResetSteadyStateAllocatesNothing checks the headline Reset property:

@@ -153,6 +153,20 @@ func (as *asyncState) labelScan(labels *depa.Builder, batch *evstream.Batch) {
 		batch.Sum.Mask = evstream.MaskAll
 		return
 	}
+	// Accesses wholly inside a registry-quiesced page stay out of the
+	// stamped mask: the label stage is strictly ahead of the workers in
+	// stream order, so any page in the registry quiesced before every event
+	// in this batch, and the owning worker would drop these events anyway
+	// (deadSpan). Omitting their bits lets that worker skip whole batches
+	// whose only live content is dead pages — its Ctl replay still advances
+	// the tracker and flushes strand boundaries byte-identically. The
+	// registry is read atomically here (this runs on the sequencer
+	// goroutine, not the producer's), and the liveness check is hoisted to
+	// once per batch.
+	q := as.quiesce
+	if q != nil && q.Len() == 0 {
+		q = nil
+	}
 	for {
 		// Ctl offsets are block-relative: the j-th event of a decoded group
 		// sits at Pos-before-the-call + j — an event index in a fixed batch,
@@ -168,7 +182,7 @@ func (as *asyncState) labelScan(labels *depa.Builder, batch *evstream.Batch) {
 			if op <= evstream.OpSync {
 				batch.Sum.AddCtl(pos + j)
 				applyCtl(labels, op)
-			} else {
+			} else if q == nil || !deadEvent(q, ev) {
 				batch.Sum.Mask |= evstream.AccessMask(ev, coalesce.PageBytesBits, as.shards)
 			}
 		}

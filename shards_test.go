@@ -20,7 +20,12 @@ var shardTestDetectors = []Detector{
 // elided scan work, which varies with shard count and batch geometry while
 // every detection counter stays identical. EventsStreamed and StreamBytes
 // describe the transport, not the detection: sync runs have no stream and
-// the wire bytes vary with the encoding by design.
+// the wire bytes vary with the encoding by design. HistoryBytesPeak sums
+// each engine's retained footprint, so a sharded run's N directories and
+// pools legitimately peak higher than one inline engine's.
+// PagesQuiesced stays compared: quiesce decisions are page-local and
+// deterministic, so the count is mode-independent (and zero with
+// quiescing off).
 func normStats(s Stats) Stats {
 	s.AccessHistoryTime = 0
 	s.AllocObjects = 0
@@ -29,6 +34,7 @@ func normStats(s Stats) Stats {
 	s.BatchesSkipped = 0
 	s.EventsStreamed = 0
 	s.StreamBytes = 0
+	s.HistoryBytesPeak = 0
 	return s
 }
 

@@ -73,6 +73,14 @@ type Race = detect.Race
 // Stats carries the detector's internal counters; see detect.Stats.
 type Stats = detect.Stats
 
+// ErrHistoryCap is the sentinel a Run aborted by Options.MaxHistoryBytes
+// wraps; match it with errors.Is. The concrete error is a
+// *HistoryCapError carrying the tripped budget and footprint estimate.
+var ErrHistoryCap = detect.ErrHistoryCap
+
+// HistoryCapError is the structured over-cap error; see ErrHistoryCap.
+type HistoryCapError = detect.HistoryCapError
+
 // Buffer is a virtual allocation whose accesses the detector shadows.
 type Buffer = mem.Buffer
 
@@ -195,6 +203,28 @@ type Options struct {
 	// depend on this option. Ignored outside sharded mode and when
 	// summaries are disabled (the label stage then owns the MaskAll stamp).
 	SummaryStamping SummaryStamping
+	// PageQuiesceThreshold, when n > 0, retires a 64 KiB shadow page's
+	// access history once that page has produced n races: its treaps,
+	// skiplists, or shadow cells drop back onto the engine's free lists and
+	// later accesses wholly within the page become cheap no-ops. The
+	// decision is page-local and taken at deterministic points in the
+	// serial order, so races on pages that never quiesce stay byte-
+	// identical across every execution mode, and Stats.PagesQuiesced is
+	// mode-independent. Races a quiesced page would have produced after its
+	// threshold are not reported — the semantics of MaxRacesRecorded
+	// applied per page (a common setting is the MaxRacesRecorded budget
+	// itself). Zero (the default) disables quiescing entirely.
+	PageQuiesceThreshold int
+	// MaxHistoryBytes, when n > 0, caps the detector's retained
+	// access-history footprint (history stores, shadow pages, coalescing
+	// bitmaps), estimated at strand boundaries; under DetectShards the
+	// budget divides evenly across the shard workers. On trip, Run aborts
+	// with an error wrapping ErrHistoryCap instead of growing further — a
+	// structured error, not a panic — and the Runner stays valid: its next
+	// Run auto-resets, exactly like the ErrTooManyEvents recovery in
+	// stint/trace. Combine with PageQuiesceThreshold to shed racy pages
+	// before they eat the budget. Zero (the default) means unlimited.
+	MaxHistoryBytes int64
 	// Tracer, if set, receives every execution event (see Tracer); use
 	// stint/trace to record replayable traces. Incompatible with Parallel.
 	Tracer Tracer
@@ -281,6 +311,10 @@ type warmState struct {
 	labels  *depa.Builder
 	workers []*shardWorker
 	bcast   *evstream.BcastRing[labeledBatch]
+	// quiesce is the shared quiesced-page registry (serial-projection
+	// pipelines with PageQuiesceThreshold only): engines publish, the
+	// producer and label stage consult.
+	quiesce *detect.QuiesceSet
 }
 
 // ensureWarm builds the retained detector state on first use.
@@ -296,6 +330,22 @@ func (r *Runner) ensureWarm() {
 	cfg := detect.Config{
 		Mode:              r.opts.Detector,
 		TimeAccessHistory: r.opts.TimeAccessHistory,
+		QuiesceThreshold:  r.opts.PageQuiesceThreshold,
+	}
+	// The history budget divides evenly across the engines that will share
+	// it (one per shard worker); a lone engine gets the whole cap.
+	engines := 1
+	if r.opts.ParallelDetect || (r.opts.Async && r.opts.Detector != DetectorReachOnly) {
+		if n := r.opts.DetectShards; n > 1 {
+			engines = n
+		}
+	}
+	if r.opts.MaxHistoryBytes > 0 {
+		per := uint64(r.opts.MaxHistoryBytes) / uint64(engines)
+		if per == 0 {
+			per = 1
+		}
+		cfg.MaxHistoryBytes = per
 	}
 	user := r.opts.OnRace
 	maxRec := r.opts.MaxRacesRecorded
@@ -312,10 +362,25 @@ func (r *Runner) ensureWarm() {
 		if shards == 0 {
 			shards = 1
 		}
+		// No quiesce registry here: parallel executors emit events at
+		// serial positions that may precede a quiesce point already
+		// reached by a worker, so producer-side drops would be unsound.
+		// The engines' own page-local drops carry the optimization.
 		w.as = newParallelState(depth, bcap, !r.opts.DisableCompactEvents)
 		w.labels, w.workers, w.bcast = w.as.buildParallel(cfg, shards, maxRec, user, !r.opts.DisableBatchSummaries)
 	case r.opts.Async:
 		w.as = newAsyncState(depth, bcap, !r.opts.DisableCompactEvents)
+		if r.opts.PageQuiesceThreshold > 0 && r.opts.Detector != DetectorReachOnly {
+			// In the serial-projection pipelines the producer is always
+			// ahead of the detector in stream order, so once a page shows
+			// up in the registry every not-yet-emitted event is past the
+			// quiesce point — the producer can drop it (and the label
+			// stage can leave it out of the stamped mask) without
+			// changing any report.
+			w.quiesce = detect.NewQuiesceSet()
+			cfg.Quiesced = w.quiesce
+			w.as.quiesce = w.quiesce
+		}
 		if n := r.opts.DetectShards; n > 0 && r.opts.Detector != DetectorReachOnly {
 			w.labels, w.workers, w.bcast = w.as.buildSharded(cfg, n, maxRec, user, !r.opts.DisableBatchSummaries, r.opts.producerStamps())
 		} else {
@@ -379,6 +444,9 @@ func (r *Runner) Reset() {
 	if w.as != nil {
 		w.as.reset()
 	}
+	if w.quiesce != nil {
+		w.quiesce.Reset()
+	}
 }
 
 // NewRunner validates opts (see options.go for the rule table) and returns
@@ -387,9 +455,7 @@ func NewRunner(opts Options) (*Runner, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	if opts.MaxRacesRecorded == 0 {
-		opts.MaxRacesRecorded = 64
-	}
+	opts.MaxRacesRecorded = defaultMaxRaces(opts.MaxRacesRecorded)
 	return &Runner{opts: opts, arena: mem.NewArena()}, nil
 }
 
@@ -666,7 +732,41 @@ func (r *Runner) Run(root TaskFunc) (*Report, error) {
 	}
 	rep.Stats.AllocObjects = after[0].Value.Uint64() - before[0].Value.Uint64()
 	rep.Stats.AllocBytes = after[1].Value.Uint64() - before[1].Value.Uint64()
+	if err := r.capError(); err != nil {
+		// A tripped MaxHistoryBytes is a structured abort, not a panic:
+		// the engine froze at the cap and whatever it found before the
+		// trip is discarded with the report. The Runner stays dirty, so
+		// the next Run auto-resets — the same recovery contract as
+		// trace.ErrTooManyEvents.
+		return nil, err
+	}
 	return rep, nil
+}
+
+// capError collects the first history-cap error recorded by any of the
+// Runner's engines (worker order, so the answer is deterministic for a
+// deterministic workload split).
+func (r *Runner) capError() error {
+	w := r.warm
+	if w == nil {
+		return nil
+	}
+	if w.engine != nil {
+		if err := detect.CapErrorOf(w.engine); err != nil {
+			return err
+		}
+	}
+	if w.cons != nil {
+		if err := detect.CapErrorOf(w.cons.engine); err != nil {
+			return err
+		}
+	}
+	for _, sw := range w.workers {
+		if err := detect.CapErrorOf(sw.engine); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Spawn runs f as a subtask that is logically parallel with the caller's

@@ -181,6 +181,15 @@ type Options struct {
 	// with an error matching ErrTooManyEvents; the Runner (caller-provided
 	// or internal) stays valid — its next Run resets it.
 	MaxEvents uint64
+	// PageQuiesceThreshold retires a shadow page's access history after it
+	// produces this many races (stint.Options.PageQuiesceThreshold). Zero
+	// disables quiescing.
+	PageQuiesceThreshold int
+	// MaxHistoryBytes caps the detector's retained access-history
+	// footprint (stint.Options.MaxHistoryBytes). A replay exceeding the
+	// cap aborts with an error matching stint.ErrHistoryCap; the Runner
+	// stays valid, like MaxEvents.
+	MaxHistoryBytes int64
 }
 
 // ErrTooManyEvents is returned (wrapped) by Replay when the trace exceeds
@@ -354,7 +363,7 @@ func Replay(src io.Reader, opts Options) (*stint.Report, error) {
 		return nil, errors.New("trace: replay needs a detector (got DetectorOff)")
 	}
 	if opts.MaxRacesRecorded == 0 {
-		opts.MaxRacesRecorded = 64
+		opts.MaxRacesRecorded = stint.DefaultMaxRacesRecorded
 	}
 	br := bufio.NewReaderSize(src, 1<<16)
 	var hdr [8]byte
@@ -376,6 +385,8 @@ func Replay(src io.Reader, opts Options) (*stint.Report, error) {
 			Async:                opts.Async || opts.Shards > 0,
 			DetectShards:         opts.Shards,
 			DisableCompactEvents: opts.NoCompact,
+			PageQuiesceThreshold: opts.PageQuiesceThreshold,
+			MaxHistoryBytes:      opts.MaxHistoryBytes,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("trace: %w", err)

@@ -418,3 +418,94 @@ func TestReplayMaxEvents(t *testing.T) {
 		t.Fatalf("generous budget: %v", err)
 	}
 }
+
+// TestReplayHistoryCap checks the access-history memory cap: a trace whose
+// live history outgrows MaxHistoryBytes aborts the replay with a structured
+// error matching stint.ErrHistoryCap, and the same Runner replays an
+// in-budget trace correctly afterwards — like an event-budget abort, a cap
+// trip must not poison the pool.
+func TestReplayHistoryCap(t *testing.T) {
+	// Big: alternating-word stores never coalesce, so the root strand
+	// retains one interval node per store — far beyond the cap. Tiny: one
+	// store stays well under it.
+	big := record(t, func() []action {
+		var acts []action
+		for i := 0; i < bufWords; i += 2 {
+			acts = append(acts, action{kind: 's', idx: i})
+		}
+		return acts
+	}())
+	tiny := record(t, []action{{kind: 's', idx: 0}})
+	const cap = 1 << 10
+	r, err := stint.NewRunner(stint.Options{Detector: stint.DetectorSTINT, MaxHistoryBytes: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(bytes.NewReader(big), Options{Runner: r})
+	if !errors.Is(err, stint.ErrHistoryCap) {
+		t.Fatalf("capped replay: got %v, want stint.ErrHistoryCap", err)
+	}
+	var capErr *stint.HistoryCapError
+	if !errors.As(err, &capErr) || capErr.Limit != cap || capErr.Bytes <= capErr.Limit {
+		t.Fatalf("capped replay: want *stint.HistoryCapError with Bytes > Limit %d, got %#v", cap, err)
+	}
+	// The Runner recovers: an in-budget trace replays byte-identically to a
+	// fresh uncapped replay.
+	want, err := Replay(bytes.NewReader(tiny), Options{Detector: stint.DetectorSTINT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(bytes.NewReader(tiny), Options{Runner: r})
+	if err != nil {
+		t.Fatalf("post-abort replay: %v", err)
+	}
+	if got.RaceCount != want.RaceCount || !reflect.DeepEqual(got.Races, want.Races) {
+		t.Fatalf("post-abort replay diverges: %d races vs %d", got.RaceCount, want.RaceCount)
+	}
+	// A fresh replay with a generous budget handles the big trace.
+	if _, err := Replay(bytes.NewReader(big), Options{Detector: stint.DetectorSTINT, MaxHistoryBytes: 1 << 30}); err != nil {
+		t.Fatalf("generous budget: %v", err)
+	}
+}
+
+// TestReplayDefaultMaxRaces pins the replay-side defaulting: zero
+// MaxRacesRecorded means stint.DefaultMaxRacesRecorded, so a trace with
+// more races than the default records exactly the default number while
+// RaceCount keeps counting.
+func TestReplayDefaultMaxRaces(t *testing.T) {
+	words := 4 * stint.DefaultMaxRacesRecorded
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	r, err := stint.NewRunner(stint.Options{Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := r.Arena().AllocWords("data", words)
+	_, err = r.Run(func(task *stint.Task) {
+		// One pair of parallel single-word writes per word: each pair is an
+		// independent race, well above the default recording cap.
+		for i := 0; i < 2*stint.DefaultMaxRacesRecorded; i++ {
+			idx := 2 * i
+			task.Spawn(func(c *stint.Task) { c.Store(data, idx) })
+			task.Spawn(func(c *stint.Task) { c.Store(data, idx) })
+		}
+		task.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(bytes.NewReader(buf.Bytes()), Options{Detector: stint.DetectorSTINT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RaceCount <= stint.DefaultMaxRacesRecorded {
+		t.Fatalf("fixture trace found only %d races; want > %d", rep.RaceCount, stint.DefaultMaxRacesRecorded)
+	}
+	if len(rep.Races) != stint.DefaultMaxRacesRecorded {
+		t.Fatalf("zero MaxRacesRecorded recorded %d races; want the default %d",
+			len(rep.Races), stint.DefaultMaxRacesRecorded)
+	}
+}
